@@ -1,0 +1,205 @@
+// Benchmarks regenerating every figure of the paper plus the DESIGN.md §3
+// ablations. Each benchmark iteration executes a complete (reduced-scale)
+// experiment and reports the figure's headline quantities via
+// b.ReportMetric, so `go test -bench=.` prints rows directly comparable
+// to the paper:
+//
+//	BenchmarkFigure2/EqualMax-Credits  ...  p50_ms  p95_ms  p99_ms
+//
+// Scale note: benchmark iterations use 12k-task runs (the full 500k-task,
+// 6-seed tables are produced by cmd/brb-sim; shape is identical — see
+// EXPERIMENTS.md for both).
+package brb_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/credits"
+	"github.com/brb-repro/brb/internal/engine"
+	"github.com/brb-repro/brb/internal/experiments"
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/sim"
+)
+
+func benchConfig() engine.Config {
+	cfg := engine.Defaults()
+	cfg.Tasks = 12000
+	cfg.Keys = 20000
+	return cfg
+}
+
+func reportLatency(b *testing.B, s metrics.Summary) {
+	b.ReportMetric(metrics.Millis(s.Median), "p50_ms")
+	b.ReportMetric(metrics.Millis(s.P95), "p95_ms")
+	b.ReportMetric(metrics.Millis(s.P99), "p99_ms")
+}
+
+func runStrategy(b *testing.B, cfg engine.Config, factory experiments.StrategyFactory) {
+	b.Helper()
+	var last metrics.Summary
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := engine.Run(cfg, factory())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res.TaskLatency
+	}
+	reportLatency(b, last)
+}
+
+// BenchmarkFigure1 regenerates the paper's Figure 1 schedule comparison.
+func BenchmarkFigure1(b *testing.B) {
+	var res experiments.Figure1Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Figure1()
+	}
+	if !res.Matches() {
+		b.Fatalf("Figure 1 mismatch: %s", res.String())
+	}
+	b.ReportMetric(float64(res.ObliviousT2), "oblivious_T2_units")
+	b.ReportMetric(float64(res.OptimalT2), "optimal_T2_units")
+}
+
+// BenchmarkFigure2 regenerates Figure 2: one sub-benchmark per strategy in
+// the paper's legend order, reporting median/p95/p99 task latency in ms.
+func BenchmarkFigure2(b *testing.B) {
+	strategies := experiments.Figure2Strategies()
+	for _, name := range experiments.Figure2Order {
+		factory := strategies[name]
+		b.Run(name, func(b *testing.B) {
+			runStrategy(b, benchConfig(), factory)
+		})
+	}
+}
+
+// BenchmarkLoadSweep is ablation A1: p99 vs offered load for the two
+// headline strategies.
+func BenchmarkLoadSweep(b *testing.B) {
+	strategies := experiments.Figure2Strategies()
+	for _, load := range []float64{0.5, 0.7, 0.9} {
+		for _, name := range []string{"EqualMax-Credits", "C3"} {
+			factory := strategies[name]
+			cfg := benchConfig()
+			cfg.Load = load
+			b.Run(name+"/load="+pct(load), func(b *testing.B) {
+				runStrategy(b, cfg, factory)
+			})
+		}
+	}
+}
+
+// BenchmarkFanoutSweep is ablation A2: latency vs mean fan-out. The burst
+// share scales with the fan-out target so the mixture stays feasible, as
+// in experiments.FanoutSweep.
+func BenchmarkFanoutSweep(b *testing.B) {
+	strategies := experiments.Figure2Strategies()
+	for _, fan := range []float64{4, 8.6, 16} {
+		for _, name := range []string{"EqualMax-Credits", "C3"} {
+			factory := strategies[name]
+			cfg := benchConfig()
+			cfg.BurstProb = cfg.BurstProb * fan / cfg.MeanFanout
+			cfg.MeanFanout = fan
+			b.Run(name+"/fanout="+ftoa(fan), func(b *testing.B) {
+				runStrategy(b, cfg, factory)
+			})
+		}
+	}
+}
+
+// BenchmarkIntervalSweep is ablation A3: credits adaptation-interval
+// sensitivity.
+func BenchmarkIntervalSweep(b *testing.B) {
+	for _, iv := range []sim.Time{250 * sim.Millisecond, sim.Second, 4 * sim.Second} {
+		iv := iv
+		b.Run("adapt="+sim.Duration(iv).String(), func(b *testing.B) {
+			runStrategy(b, benchConfig(), func() engine.Strategy {
+				return credits.New(core.EqualMax{}, credits.Options{AdaptInterval: iv})
+			})
+		})
+	}
+}
+
+// BenchmarkReplicationSweep is ablation A4: replication factor.
+func BenchmarkReplicationSweep(b *testing.B) {
+	strategies := experiments.Figure2Strategies()
+	for _, r := range []int{1, 2, 3} {
+		factory := strategies["EqualMax-Credits"]
+		cfg := benchConfig()
+		cfg.Replication = r
+		b.Run("R="+itoa(r), func(b *testing.B) {
+			runStrategy(b, cfg, factory)
+		})
+	}
+}
+
+// BenchmarkVariants is ablation A5: priority-assignment variants.
+func BenchmarkVariants(b *testing.B) {
+	for _, a := range core.Assigners() {
+		a := a
+		b.Run(a.Name()+"-Credits", func(b *testing.B) {
+			runStrategy(b, benchConfig(), func() engine.Strategy {
+				return credits.New(a, credits.Options{})
+			})
+		})
+	}
+}
+
+// BenchmarkNoiseSweep is ablation A6: forecast-noise sensitivity.
+func BenchmarkNoiseSweep(b *testing.B) {
+	for _, sigma := range []float64{0, 0.3, 1.0} {
+		cfg := benchConfig()
+		cfg.NoiseSigma = sigma
+		b.Run("sigma="+ftoa(sigma), func(b *testing.B) {
+			runStrategy(b, cfg, func() engine.Strategy {
+				return credits.New(core.EqualMax{}, credits.Options{})
+			})
+		})
+	}
+}
+
+// BenchmarkEngineEvents measures raw simulator throughput (events/sec) —
+// the substrate's own performance.
+func BenchmarkEngineEvents(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Tasks = 20000
+	var events uint64
+	var seconds float64
+	strategies := experiments.Figure2Strategies()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Run(cfg, strategies["EqualMax-Credits"]())
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Events
+		seconds = res.SimulatedSeconds
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(seconds, "sim_s/run")
+}
+
+func pct(f float64) string { return itoa(int(f*100)) + "%" }
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func ftoa(f float64) string {
+	n := int(f)
+	frac := int(f*10) % 10
+	if frac == 0 {
+		return itoa(n)
+	}
+	return itoa(n) + "." + itoa(frac)
+}

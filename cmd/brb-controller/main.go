@@ -1,0 +1,40 @@
+// Command brb-controller runs the logically-centralized credits
+// controller: clients stream demand reports and receive per-interval
+// credit grants proportional to demand (paper §2.2).
+//
+// Usage:
+//
+//	brb-controller -listen :7080 -clients 18 -servers 9 -capacity 4 -interval 100ms
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"github.com/brb-repro/brb/internal/netstore"
+)
+
+func main() {
+	listen := flag.String("listen", ":7080", "listen address")
+	clients := flag.Int("clients", 18, "number of clients")
+	servers := flag.Int("servers", 9, "number of storage servers")
+	capacity := flag.Float64("capacity", 4, "per-server parallel capacity (worker count)")
+	interval := flag.Duration("interval", 0, "grant interval (default 100ms)")
+	flag.Parse()
+
+	ctrl := netstore.NewControllerServer(netstore.ControllerOptions{
+		Clients:         *clients,
+		Servers:         *servers,
+		CapacityPerNano: *capacity,
+		Interval:        *interval,
+	})
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("brb-controller: %v", err)
+	}
+	log.Printf("brb-controller: listening on %s (%d clients × %d servers)", *listen, *clients, *servers)
+	if err := ctrl.Serve(ln); err != nil {
+		log.Fatalf("brb-controller: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+// Command brb-load drives a cluster of brb-server processes with a
+// SoundCloud-like batched-read workload and reports task latency
+// percentiles — the networked counterpart of brb-sim's Figure 2 runs.
+//
+// Usage (3 servers already running on :7071..:7073):
+//
+//	brb-load -servers 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
+//	         -replication 3 -keys 1000 -tasks 5000 -fanout 8.6 \
+//	         -assigner EqualMax [-controller 127.0.0.1:7080]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/netstore"
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+func main() {
+	serversFlag := flag.String("servers", "127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073", "comma-separated server addresses")
+	controller := flag.String("controller", "", "credits controller address (optional)")
+	replication := flag.Int("replication", 3, "replication factor")
+	keys := flag.Int("keys", 1000, "key-space size to load")
+	tasks := flag.Int("tasks", 5000, "tasks to issue")
+	clients := flag.Int("clients", 4, "concurrent client connections")
+	fanout := flag.Float64("fanout", 8.6, "mean task fan-out")
+	burstProb := flag.Float64("burst-prob", 0.02, "playlist-burst probability")
+	assignerName := flag.String("assigner", "EqualMax", "priority assigner: EqualMax|UnifIncr|UnifIncrSub|Oblivious|SJFReq")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	skipLoad := flag.Bool("skip-load", false, "skip the initial data load")
+	flag.Parse()
+
+	addrs := strings.Split(*serversFlag, ",")
+	assigner, err := core.NewAssigner(*assignerName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brb-load:", err)
+		os.Exit(2)
+	}
+	topo, err := cluster.New(cluster.Config{Servers: len(addrs), Replication: *replication})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "brb-load:", err)
+		os.Exit(2)
+	}
+
+	// Load phase: heavy-tailed value sizes.
+	if !*skipLoad {
+		loader, err := netstore.Dial(addrs, netstore.ClientOptions{Topology: topo})
+		if err != nil {
+			log.Fatalf("brb-load: %v", err)
+		}
+		sizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 64 << 10}
+		r := randx.New(*seed)
+		start := time.Now()
+		for i := 0; i < *keys; i++ {
+			if err := loader.Set(fmt.Sprintf("key:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+				log.Fatalf("brb-load: load: %v", err)
+			}
+		}
+		loader.Close()
+		log.Printf("loaded %d keys in %s", *keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Measurement phase.
+	hist := metrics.NewLatencyHistogram()
+	var histMu sync.Mutex
+	var wg sync.WaitGroup
+	perClient := *tasks / *clients
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := netstore.Dial(addrs, netstore.ClientOptions{
+				Topology: topo, Client: w, Assigner: assigner,
+			})
+			if err != nil {
+				log.Printf("brb-load: client %d: %v", w, err)
+				return
+			}
+			defer c.Close()
+			if *controller != "" {
+				if err := c.AttachController(*controller, 0); err != nil {
+					log.Printf("brb-load: client %d controller: %v", w, err)
+					return
+				}
+			}
+			rng := randx.New(*seed + uint64(w)*7919)
+			p := 1.0 / *fanout
+			if p > 1 {
+				p = 1
+			}
+			for i := 0; i < perClient; i++ {
+				fan := rng.Geometric(p)
+				if rng.Float64() < *burstProb {
+					fan = 50 + rng.Intn(100)
+				}
+				ks := make([]string, fan)
+				for j := range ks {
+					ks[j] = fmt.Sprintf("key:%d", rng.Intn(*keys))
+				}
+				res, err := c.Task(ks)
+				if err != nil {
+					log.Printf("brb-load: client %d task: %v", w, err)
+					return
+				}
+				histMu.Lock()
+				hist.Record(res.Latency.Nanoseconds())
+				histMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	s := hist.Summarize()
+	fmt.Printf("assigner=%s tasks=%d wall=%s throughput=%.0f tasks/s\n",
+		assigner.Name(), s.Count, elapsed.Round(time.Millisecond),
+		float64(s.Count)/elapsed.Seconds())
+	fmt.Printf("task latency: %s\n", s)
+}

@@ -1,0 +1,55 @@
+// Command brb-server runs one networked BRB storage server: an in-memory
+// key-value store whose request scheduler drains a task-aware priority
+// queue with a bounded worker pool.
+//
+// Usage:
+//
+//	brb-server -listen :7070 -workers 4 -discipline priority
+//
+// The -service-base/-service-perbyte flags inject artificial
+// size-dependent service time, recreating the simulator's cost model for
+// laptop-scale validation runs against brb-load.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/netstore"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "listen address")
+	workers := flag.Int("workers", 4, "service workers (cores)")
+	discipline := flag.String("discipline", "priority", "scheduling discipline: priority | fifo")
+	base := flag.Duration("service-base", 0, "injected size-independent service time (0 = none)")
+	perByte := flag.Duration("service-perbyte", 0, "injected per-byte service time")
+	flag.Parse()
+
+	var disc netstore.Discipline
+	switch *discipline {
+	case "priority":
+		disc = netstore.Priority
+	case "fifo":
+		disc = netstore.FIFO
+	default:
+		fmt.Fprintf(os.Stderr, "brb-server: unknown discipline %q\n", *discipline)
+		os.Exit(2)
+	}
+	opts := netstore.ServerOptions{Workers: *workers, Discipline: disc}
+	if *base > 0 || *perByte > 0 {
+		b, pb := *base, *perByte
+		opts.ServiceDelay = func(size int64) time.Duration {
+			return b + time.Duration(size)*pb
+		}
+	}
+	srv := netstore.NewServer(kv.New(0), opts)
+	log.Printf("brb-server: listening on %s (%d workers, %s scheduling)", *listen, *workers, disc)
+	if err := srv.ListenAndServe(*listen); err != nil {
+		log.Fatalf("brb-server: %v", err)
+	}
+}

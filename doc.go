@@ -1,0 +1,12 @@
+// Package brb is a reproduction of "BRB: BetteR Batch Scheduling to Reduce
+// Tail Latencies in Cloud Data Stores" (Reda, Suresh, Canini, Braithwaite;
+// ACM SIGCOMM 2015).
+//
+// The library lives under internal/: the task-aware scheduling core
+// (internal/core), a discrete-event simulation of the paper's evaluation
+// (internal/engine and friends), and a real goroutine-based networked data
+// store implementing the same scheduling (internal/netstore). The
+// benchmarks in bench_test.go regenerate every figure of the paper; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results.
+package brb

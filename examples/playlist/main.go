@@ -1,0 +1,56 @@
+// Playlist: the workload the paper's introduction motivates — an
+// interactive service where loading a playlist fans out to every track's
+// metadata. This example compares all five Figure 2 strategies on a
+// playlist-heavy trace and prints how often a strategy meets a 10 ms
+// task SLO.
+//
+//	go run ./examples/playlist
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/brb-repro/brb/internal/engine"
+	"github.com/brb-repro/brb/internal/experiments"
+	"github.com/brb-repro/brb/internal/metrics"
+)
+
+func main() {
+	cfg := engine.Defaults()
+	cfg.Tasks = 40000
+	// Playlist-heavy: more large fan-outs than the default trace.
+	cfg.BurstProb = 0.03
+	cfg.MeanFanout = 12
+
+	fmt.Println("playlist-heavy workload: mean fan-out 12, 3% playlist bursts (50-400 tracks)")
+	fmt.Printf("%-18s %10s %10s %10s %12s\n", "strategy", "p50(ms)", "p95(ms)", "p99(ms)", "SLO(10ms)")
+	strategies := experiments.Figure2Strategies()
+	for _, name := range experiments.Figure2Order {
+		res, err := engine.Run(cfg, strategies[name]())
+		if err != nil {
+			log.Fatal(err)
+		}
+		slo := sloFraction(res.TaskHist, 10e6)
+		fmt.Printf("%-18s %10.3f %10.3f %10.3f %11.2f%%\n", name,
+			metrics.Millis(res.TaskLatency.Median),
+			metrics.Millis(res.TaskLatency.P95),
+			metrics.Millis(res.TaskLatency.P99),
+			slo*100)
+	}
+}
+
+// sloFraction estimates the fraction of tasks completing within the
+// budget by bisecting the quantile function.
+func sloFraction(h *metrics.Histogram, budgetNanos int64) float64 {
+	lo, hi := 0.0, 1.0
+	for i := 0; i < 30; i++ {
+		mid := (lo + hi) / 2
+		if h.Quantile(mid) <= budgetNanos {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

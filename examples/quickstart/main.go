@@ -1,0 +1,39 @@
+// Quickstart: run one BRB simulation (EqualMax priorities under the
+// credits realization, the paper's §2.2 configuration) and print the
+// latency percentiles Figure 2 reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/credits"
+	"github.com/brb-repro/brb/internal/engine"
+	"github.com/brb-repro/brb/internal/metrics"
+)
+
+func main() {
+	// The paper's simulation parameters: 18 clients, 9 servers × 4 cores
+	// at 3500 req/s, 50 µs one-way latency, mean fan-out 8.6, Poisson
+	// arrivals at 70% of capacity. Defaults() returns exactly those.
+	cfg := engine.Defaults()
+	cfg.Tasks = 50000 // quick demo; the paper simulates ~500k
+
+	strategy := credits.New(core.EqualMax{}, credits.Options{})
+	res, err := engine.Run(cfg, strategy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("strategy: %s\n", res.Strategy)
+	fmt.Printf("simulated %.1fs of cluster time, %d tasks measured\n",
+		res.SimulatedSeconds, res.Tasks)
+	fmt.Printf("task latency:   median=%.3fms  p95=%.3fms  p99=%.3fms\n",
+		metrics.Millis(res.TaskLatency.Median),
+		metrics.Millis(res.TaskLatency.P95),
+		metrics.Millis(res.TaskLatency.P99))
+	fmt.Printf("mean server utilization: %.1f%%\n", res.MeanUtilization*100)
+}

@@ -1,0 +1,110 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/engine"
+)
+
+func smallConfig() engine.Config {
+	cfg := engine.Defaults()
+	cfg.Tasks = 3000
+	cfg.Keys = 5000
+	return cfg
+}
+
+func TestAllSelectorsComplete(t *testing.T) {
+	for _, s := range []engine.Strategy{
+		New(Random{}),
+		New(NewRoundRobin()),
+		New(NewLeastOutstanding()),
+		NewPriority(core.EqualMax{}, NewLeastOutstanding()),
+	} {
+		res, err := engine.Run(smallConfig(), s)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.TaskLatency.Count == 0 {
+			t.Fatalf("%s: no tasks measured", s.Name())
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := New(Random{}).Name(); got != "Oblivious-Random" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := NewPriority(core.EqualMax{}, NewLeastOutstanding()).Name(); got != "EqualMax-LeastOutstanding" {
+		t.Fatalf("name = %q", got)
+	}
+	s := New(Random{})
+	s.Label = "custom"
+	if s.Name() != "custom" {
+		t.Fatalf("label override failed: %q", s.Name())
+	}
+}
+
+func TestDeterministicWithRandomSelector(t *testing.T) {
+	// Even the random selector draws from the seeded strategy RNG, so
+	// identical configs replay identically.
+	a, err := engine.Run(smallConfig(), New(Random{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(smallConfig(), New(Random{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TaskLatency != b.TaskLatency {
+		t.Fatal("random-selector runs diverged across identical seeds")
+	}
+}
+
+func TestLeastOutstandingBeatsRandomAtTail(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Tasks = 20000
+	rnd, err := engine.Run(cfg, New(Random{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lor, err := engine.Run(cfg, New(NewLeastOutstanding()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lor.TaskLatency.P99 >= rnd.TaskLatency.P99*12/10 {
+		t.Fatalf("LOR p99 %d not better than random p99 %d", lor.TaskLatency.P99, rnd.TaskLatency.P99)
+	}
+}
+
+func TestPriorityVariantImprovesMedian(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Tasks = 20000
+	fifo, err := engine.Run(cfg, New(NewLeastOutstanding()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prio, err := engine.Run(cfg, NewPriority(core.EqualMax{}, NewLeastOutstanding()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.TaskLatency.Median >= fifo.TaskLatency.Median {
+		t.Fatalf("EqualMax priorities median %d not better than FIFO %d",
+			prio.TaskLatency.Median, fifo.TaskLatency.Median)
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	// Selection must rotate through the replica set for a fixed group.
+	cfg := smallConfig()
+	rr := NewRoundRobin()
+	strat := New(rr)
+	if _, err := engine.Run(cfg, strat); err != nil {
+		t.Fatal(err)
+	}
+	// After a run, internal counters exist for visited (client, group)
+	// pairs; the map must not be empty.
+	if len(rr.next) == 0 {
+		t.Fatal("round-robin never selected anything")
+	}
+}

@@ -1,0 +1,141 @@
+package c3
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/engine"
+	"github.com/brb-repro/brb/internal/sim"
+)
+
+func smallConfig() engine.Config {
+	cfg := engine.Defaults()
+	cfg.Tasks = 3000
+	cfg.Keys = 5000
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	s := New(Options{})
+	res, err := engine.Run(smallConfig(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskLatency.Count == 0 {
+		t.Fatal("no tasks measured")
+	}
+	if res.Strategy != "C3" {
+		t.Fatalf("name = %q", res.Strategy)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := engine.Run(smallConfig(), New(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(smallConfig(), New(Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TaskLatency != b.TaskLatency {
+		t.Fatal("C3 runs diverged across identical seeds")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Alpha != 0.9 || o.Beta != 0.2 {
+		t.Fatalf("alpha/beta = %v/%v", o.Alpha, o.Beta)
+	}
+	if o.RateInterval != 20*sim.Millisecond {
+		t.Fatalf("RateInterval = %v", o.RateInterval)
+	}
+	if o.SMax != 200 || o.CubicC != 0.000004 {
+		t.Fatalf("SMax/CubicC = %v/%v", o.SMax, o.CubicC)
+	}
+}
+
+func TestScorePenalizesQueues(t *testing.T) {
+	cfg := smallConfig()
+	s := New(Options{})
+	// Run briefly to get a context, then inspect scoring directly.
+	if _, err := engine.Run(cfg, s); err != nil {
+		t.Fatal(err)
+	}
+	// After the run s.ctx is populated. Outstanding load must raise the
+	// score (make the server less attractive).
+	base := s.score(0, 0)
+	s.state[0][0].outstand += 10
+	loaded := s.score(0, 0)
+	if loaded <= base {
+		t.Fatalf("score with outstanding=10 (%v) not above base (%v)", loaded, base)
+	}
+	s.state[0][0].outstand = 0
+	s.state[0][0].qEWMA += 20
+	queued := s.score(0, 0)
+	if queued <= base {
+		t.Fatalf("score with qEWMA+20 (%v) not above base (%v)", queued, base)
+	}
+}
+
+func TestSelectionAvoidsLoadedReplica(t *testing.T) {
+	// Under steady load, C3 must distribute across replicas rather than
+	// herding onto one. Check server utilization spread.
+	cfg := smallConfig()
+	cfg.Tasks = 20000
+	s := New(Options{})
+	res, err := engine.Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanUtilization < 0.5 {
+		t.Fatalf("utilization %v too low — selection is broken", res.MeanUtilization)
+	}
+	// A herding selector would drive MaxServerQueue enormous.
+	if res.MaxServerQueue > 2000 {
+		t.Fatalf("max queue %d suggests herding", res.MaxServerQueue)
+	}
+}
+
+func TestRateControlDefersUnderOverload(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Tasks = 20000
+	cfg.Load = 1.05 // transient overload forces rate limiting
+	s := New(Options{SMax: 40})
+	if _, err := engine.Run(cfg, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Defers() == 0 {
+		t.Fatal("rate control never engaged under overload")
+	}
+}
+
+func TestPerRequestModeCompletes(t *testing.T) {
+	s := New(Options{PerRequest: true})
+	res, err := engine.Run(smallConfig(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskLatency.Count == 0 {
+		t.Fatal("no tasks measured in per-request mode")
+	}
+}
+
+func TestFeedbackUpdatesEWMA(t *testing.T) {
+	cfg := smallConfig()
+	s := New(Options{})
+	if _, err := engine.Run(cfg, s); err != nil {
+		t.Fatal(err)
+	}
+	touched := 0
+	for c := range s.state {
+		for sv := range s.state[c] {
+			if s.state[c][sv].haveData {
+				touched++
+			}
+		}
+	}
+	if touched == 0 {
+		t.Fatal("no replica state ever received feedback")
+	}
+}

@@ -1,0 +1,156 @@
+// Package cluster models the data-store topology of the paper's system
+// model (§2): a set S of flexible servers and R replica groups, where every
+// server belongs to R groups and can serve requests for any group it is
+// part of. A replica group is the set of servers holding a replica of one
+// data partition; keys hash to partitions.
+//
+// Placement follows the ring scheme used by Cassandra/Riak-style stores:
+// partition p is replicated on servers p, p+1, ..., p+R-1 (mod N), which
+// yields exactly R group memberships per server when there are as many
+// partitions as servers.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ServerID identifies a backend server, in [0, NumServers).
+type ServerID int
+
+// GroupID identifies a replica group (= a data partition), in
+// [0, NumPartitions).
+type GroupID int
+
+// Topology is an immutable description of servers, partitions and replica
+// placement. Build one with New; methods are safe for concurrent use.
+type Topology struct {
+	numServers    int
+	numPartitions int
+	replication   int
+	groupServers  [][]ServerID // group -> ordered replica servers
+	serverGroups  [][]GroupID  // server -> groups it belongs to
+}
+
+// Config configures a Topology.
+type Config struct {
+	// Servers is the number of backend servers (the paper uses 9).
+	Servers int
+	// Partitions is the number of data partitions / replica groups.
+	// Zero means one partition per server (the ring-balanced default).
+	Partitions int
+	// Replication is the replication factor R (the paper takes R as both
+	// the number of groups each server belongs to and the replication
+	// factor; reads touch 1 of R replicas). Default 3.
+	Replication int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Partitions == 0 {
+		c.Partitions = c.Servers
+	}
+	if c.Replication == 0 {
+		c.Replication = 3
+	}
+	return c
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c Config) Validate() error {
+	c = c.withDefaults()
+	if c.Servers <= 0 {
+		return fmt.Errorf("cluster: Servers %d must be positive", c.Servers)
+	}
+	if c.Partitions <= 0 {
+		return fmt.Errorf("cluster: Partitions %d must be positive", c.Partitions)
+	}
+	if c.Replication <= 0 || c.Replication > c.Servers {
+		return fmt.Errorf("cluster: Replication %d must be in [1,%d]", c.Replication, c.Servers)
+	}
+	return nil
+}
+
+// New builds a Topology with ring placement.
+func New(c Config) (*Topology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	t := &Topology{
+		numServers:    c.Servers,
+		numPartitions: c.Partitions,
+		replication:   c.Replication,
+		groupServers:  make([][]ServerID, c.Partitions),
+		serverGroups:  make([][]GroupID, c.Servers),
+	}
+	for g := 0; g < c.Partitions; g++ {
+		replicas := make([]ServerID, 0, c.Replication)
+		for r := 0; r < c.Replication; r++ {
+			s := ServerID((g + r) % c.Servers)
+			replicas = append(replicas, s)
+			t.serverGroups[s] = append(t.serverGroups[s], GroupID(g))
+		}
+		t.groupServers[g] = replicas
+	}
+	return t, nil
+}
+
+// MustNew is New but panics on error; for tests and fixed experiment
+// configurations that are known valid.
+func MustNew(c Config) *Topology {
+	t, err := New(c)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NumServers returns the number of servers.
+func (t *Topology) NumServers() int { return t.numServers }
+
+// NumPartitions returns the number of partitions (= replica groups).
+func (t *Topology) NumPartitions() int { return t.numPartitions }
+
+// Replication returns the replication factor R.
+func (t *Topology) Replication() int { return t.replication }
+
+// Replicas returns the servers of a replica group, in ring order. The
+// returned slice must not be modified.
+func (t *Topology) Replicas(g GroupID) []ServerID {
+	return t.groupServers[int(g)%t.numPartitions]
+}
+
+// Groups returns the replica groups a server belongs to. The returned slice
+// must not be modified.
+func (t *Topology) Groups(s ServerID) []GroupID {
+	return t.serverGroups[int(s)%t.numServers]
+}
+
+// GroupOfKey maps a key to its replica group by FNV-1a hash — stable across
+// runs so traces replay identically.
+func (t *Topology) GroupOfKey(key string) GroupID {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return GroupID(h.Sum64() % uint64(t.numPartitions))
+}
+
+// GroupOfKeyID maps an integer key (trace generators use dense key IDs) to
+// its replica group.
+func (t *Topology) GroupOfKeyID(key uint64) GroupID {
+	// splitmix-style scramble so consecutive key IDs spread over groups.
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return GroupID(z % uint64(t.numPartitions))
+}
+
+// HasReplica reports whether server s holds a replica of group g.
+func (t *Topology) HasReplica(s ServerID, g GroupID) bool {
+	for _, r := range t.Replicas(g) {
+		if r == s {
+			return true
+		}
+	}
+	return false
+}

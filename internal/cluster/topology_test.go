@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func paperTopology(t *testing.T) *Topology {
+	t.Helper()
+	top, err := New(Config{Servers: 9, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestPaperConfig(t *testing.T) {
+	top := paperTopology(t)
+	if top.NumServers() != 9 || top.NumPartitions() != 9 || top.Replication() != 3 {
+		t.Fatalf("topology dims = %d/%d/%d", top.NumServers(), top.NumPartitions(), top.Replication())
+	}
+}
+
+func TestEveryServerInRGroups(t *testing.T) {
+	// The paper: "every server belongs to R replica groups".
+	top := paperTopology(t)
+	for s := 0; s < top.NumServers(); s++ {
+		if got := len(top.Groups(ServerID(s))); got != top.Replication() {
+			t.Fatalf("server %d belongs to %d groups, want %d", s, got, top.Replication())
+		}
+	}
+}
+
+func TestEveryGroupHasRReplicas(t *testing.T) {
+	top := paperTopology(t)
+	for g := 0; g < top.NumPartitions(); g++ {
+		replicas := top.Replicas(GroupID(g))
+		if len(replicas) != top.Replication() {
+			t.Fatalf("group %d has %d replicas", g, len(replicas))
+		}
+		seen := map[ServerID]bool{}
+		for _, s := range replicas {
+			if seen[s] {
+				t.Fatalf("group %d has duplicate replica %d", g, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingPlacement(t *testing.T) {
+	top := paperTopology(t)
+	reps := top.Replicas(GroupID(7))
+	want := []ServerID{7, 8, 0}
+	for i, s := range reps {
+		if s != want[i] {
+			t.Fatalf("group 7 replicas = %v, want %v", reps, want)
+		}
+	}
+}
+
+func TestMembershipConsistency(t *testing.T) {
+	top := paperTopology(t)
+	for g := 0; g < top.NumPartitions(); g++ {
+		for _, s := range top.Replicas(GroupID(g)) {
+			if !top.HasReplica(s, GroupID(g)) {
+				t.Fatalf("HasReplica(%d,%d) = false for listed replica", s, g)
+			}
+			found := false
+			for _, gg := range top.Groups(s) {
+				if gg == GroupID(g) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("server %d's group list omits group %d", s, g)
+			}
+		}
+	}
+}
+
+func TestHasReplicaNegative(t *testing.T) {
+	top := paperTopology(t)
+	if top.HasReplica(ServerID(4), GroupID(7)) {
+		t.Fatal("server 4 should not replicate group 7 under ring placement")
+	}
+}
+
+func TestGroupOfKeyStable(t *testing.T) {
+	top := paperTopology(t)
+	if top.GroupOfKey("playlist:123") != top.GroupOfKey("playlist:123") {
+		t.Fatal("GroupOfKey not deterministic")
+	}
+}
+
+func TestGroupOfKeyIDSpread(t *testing.T) {
+	top := paperTopology(t)
+	counts := make([]int, top.NumPartitions())
+	const n = 90000
+	for k := uint64(0); k < n; k++ {
+		counts[top.GroupOfKeyID(k)]++
+	}
+	for g, c := range counts {
+		if c < n/top.NumPartitions()/2 || c > n/top.NumPartitions()*2 {
+			t.Fatalf("group %d got %d keys of %d — poor spread", g, c, n)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Config{
+		{Servers: 0},
+		{Servers: -3},
+		{Servers: 3, Replication: 4},
+		{Servers: 3, Replication: -1},
+		{Servers: 3, Partitions: -1},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("New(%+v) succeeded, want error", c)
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	top, err := New(Config{Servers: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumPartitions() != 5 || top.Replication() != 3 {
+		t.Fatalf("defaults = %d partitions, R=%d", top.NumPartitions(), top.Replication())
+	}
+}
+
+func TestReplicationOne(t *testing.T) {
+	top := MustNew(Config{Servers: 4, Replication: 1})
+	for g := 0; g < 4; g++ {
+		if len(top.Replicas(GroupID(g))) != 1 {
+			t.Fatalf("R=1 group %d has %d replicas", g, len(top.Replicas(GroupID(g))))
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with bad config did not panic")
+		}
+	}()
+	MustNew(Config{Servers: 0})
+}
+
+func TestMorePartitionsThanServers(t *testing.T) {
+	top := MustNew(Config{Servers: 3, Partitions: 12, Replication: 2})
+	if top.NumPartitions() != 12 {
+		t.Fatalf("partitions = %d", top.NumPartitions())
+	}
+	// Group membership lists grow accordingly: 12*2/3 = 8 per server.
+	for s := 0; s < 3; s++ {
+		if got := len(top.Groups(ServerID(s))); got != 8 {
+			t.Fatalf("server %d in %d groups, want 8", s, got)
+		}
+	}
+}
+
+// Property: for arbitrary valid configs, every group has exactly R distinct
+// replicas and the server<->group maps agree.
+func TestQuickPlacementInvariants(t *testing.T) {
+	f := func(sRaw, rRaw uint8) bool {
+		servers := int(sRaw%30) + 1
+		repl := int(rRaw%uint8(servers)) + 1
+		top, err := New(Config{Servers: servers, Replication: repl})
+		if err != nil {
+			return false
+		}
+		total := 0
+		for g := 0; g < top.NumPartitions(); g++ {
+			reps := top.Replicas(GroupID(g))
+			if len(reps) != repl {
+				return false
+			}
+			seen := map[ServerID]bool{}
+			for _, s := range reps {
+				if seen[s] || !top.HasReplica(s, GroupID(g)) {
+					return false
+				}
+				seen[s] = true
+			}
+			total += len(reps)
+		}
+		// Total memberships must equal partitions × R.
+		sum := 0
+		for s := 0; s < servers; s++ {
+			sum += len(top.Groups(ServerID(s)))
+		}
+		return sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

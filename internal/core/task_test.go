@@ -1,0 +1,362 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+func mkTask(costsByGroup map[cluster.GroupID][]int64) *Task {
+	t := &Task{ID: 1}
+	var id uint64
+	// Deterministic order: groups in ascending order of first appearance
+	// is what Decompose promises; we insert group by group.
+	for g := cluster.GroupID(0); int(g) < 100; g++ {
+		costs, ok := costsByGroup[g]
+		if !ok {
+			continue
+		}
+		for _, c := range costs {
+			t.Requests = append(t.Requests, &Request{ID: id, TaskID: 1, Group: g, EstCost: c})
+			id++
+		}
+	}
+	return t
+}
+
+func TestDecomposeGroups(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{
+		0: {100, 200},
+		3: {50},
+		7: {10, 20, 30},
+	})
+	subs := Decompose(task)
+	if len(subs) != 3 {
+		t.Fatalf("got %d sub-tasks, want 3", len(subs))
+	}
+	costs := map[cluster.GroupID]int64{}
+	counts := map[cluster.GroupID]int{}
+	for _, s := range subs {
+		costs[s.Group] = s.Cost
+		counts[s.Group] = len(s.Requests)
+	}
+	if costs[0] != 300 || costs[3] != 50 || costs[7] != 60 {
+		t.Fatalf("sub-task costs = %v", costs)
+	}
+	if counts[0] != 2 || counts[3] != 1 || counts[7] != 3 {
+		t.Fatalf("sub-task sizes = %v", counts)
+	}
+}
+
+func TestDecomposeEmpty(t *testing.T) {
+	if subs := Decompose(&Task{}); subs != nil {
+		t.Fatalf("Decompose(empty) = %v, want nil", subs)
+	}
+}
+
+func TestDecomposePreservesOrder(t *testing.T) {
+	task := &Task{}
+	for i := 0; i < 10; i++ {
+		task.Requests = append(task.Requests, &Request{ID: uint64(i), Group: cluster.GroupID(i % 2)})
+	}
+	subs := Decompose(task)
+	for _, s := range subs {
+		for i := 1; i < len(s.Requests); i++ {
+			if s.Requests[i].ID < s.Requests[i-1].ID {
+				t.Fatal("Decompose reordered requests within a sub-task")
+			}
+		}
+	}
+	// First-occurrence order: group 0 was seen first.
+	if subs[0].Group != 0 || subs[1].Group != 1 {
+		t.Fatalf("sub-task order = %v,%v", subs[0].Group, subs[1].Group)
+	}
+}
+
+func TestBottleneck(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100, 200}, 1: {250}, 2: {10}})
+	subs := Decompose(task)
+	if b := Bottleneck(subs); b != 300 {
+		t.Fatalf("Bottleneck = %d, want 300", b)
+	}
+	if Bottleneck(nil) != 0 {
+		t.Fatal("Bottleneck(nil) != 0")
+	}
+}
+
+func TestEqualMax(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100, 200}, 1: {250}, 2: {10}})
+	Prepare(task, EqualMax{})
+	for _, r := range task.Requests {
+		if r.Priority != 300 {
+			t.Fatalf("EqualMax priority = %d, want bottleneck 300", r.Priority)
+		}
+	}
+}
+
+func TestUnifIncr(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100, 200}, 1: {250}, 2: {10}})
+	Prepare(task, UnifIncr{})
+	for _, r := range task.Requests {
+		if want := 300 - r.EstCost; r.Priority != want {
+			t.Fatalf("UnifIncr priority = %d, want %d", r.Priority, want)
+		}
+	}
+}
+
+func TestUnifIncrSubBottleneckHasZeroSlack(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{4: {500}, 5: {100}})
+	subs := Prepare(task, UnifIncrSub{})
+	b := Bottleneck(subs)
+	if b != 500 {
+		t.Fatalf("bottleneck = %d", b)
+	}
+	for _, r := range task.Requests {
+		if r.Group == 4 && r.Priority != 0 {
+			t.Fatalf("bottleneck sub-task slack = %d, want 0", r.Priority)
+		}
+	}
+}
+
+func TestUnifIncrSub(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100, 200}, 1: {250}, 2: {10}})
+	Prepare(task, UnifIncrSub{})
+	want := map[cluster.GroupID]int64{0: 0, 1: 50, 2: 290}
+	for _, r := range task.Requests {
+		if r.Priority != want[r.Group] {
+			t.Fatalf("UnifIncrSub group %d priority = %d, want %d", r.Group, r.Priority, want[r.Group])
+		}
+	}
+}
+
+func TestOblivious(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100}, 1: {250}})
+	Prepare(task, Oblivious{})
+	for _, r := range task.Requests {
+		if r.Priority != 0 {
+			t.Fatalf("Oblivious priority = %d", r.Priority)
+		}
+	}
+}
+
+func TestSJFReq(t *testing.T) {
+	task := mkTask(map[cluster.GroupID][]int64{0: {100}, 1: {250}})
+	Prepare(task, SJFReq{})
+	for _, r := range task.Requests {
+		if r.Priority != r.EstCost {
+			t.Fatalf("SJFReq priority = %d, want %d", r.Priority, r.EstCost)
+		}
+	}
+}
+
+func TestEqualMaxOrdersTasksByBottleneck(t *testing.T) {
+	// Two tasks: T1 bottleneck 300, T2 bottleneck 80. Every T2 request
+	// must carry a smaller priority value than every T1 request.
+	t1 := mkTask(map[cluster.GroupID][]int64{0: {100, 200}, 1: {50}})
+	t2 := mkTask(map[cluster.GroupID][]int64{2: {80}, 3: {30}})
+	Prepare(t1, EqualMax{})
+	Prepare(t2, EqualMax{})
+	for _, r2 := range t2.Requests {
+		for _, r1 := range t1.Requests {
+			if r2.Priority >= r1.Priority {
+				t.Fatalf("T2 request prio %d not ahead of T1 prio %d", r2.Priority, r1.Priority)
+			}
+		}
+	}
+}
+
+func TestNewAssigner(t *testing.T) {
+	for _, name := range []string{"EqualMax", "UnifIncr", "UnifIncrSub", "Oblivious", "SJFReq"} {
+		a, err := NewAssigner(name)
+		if err != nil {
+			t.Fatalf("NewAssigner(%q): %v", name, err)
+		}
+		if a.Name() != name {
+			t.Fatalf("Name() = %q, want %q", a.Name(), name)
+		}
+	}
+	if _, err := NewAssigner("bogus"); err == nil {
+		t.Fatal("NewAssigner(bogus) succeeded")
+	}
+	if len(Assigners()) != 5 {
+		t.Fatalf("Assigners() = %d entries", len(Assigners()))
+	}
+}
+
+func TestCostModelEstimate(t *testing.T) {
+	m := CostModel{BaseNanos: 1000, PerBytePico: 2500} // 2.5ns/byte
+	if got := m.Estimate(1000); got != 1000+2500 {
+		t.Fatalf("Estimate(1000) = %d, want 3500", got)
+	}
+	if got := m.Estimate(0); got != 1000 {
+		t.Fatalf("Estimate(0) = %d", got)
+	}
+	if got := m.Estimate(-5); got != 1000 {
+		t.Fatalf("Estimate(-5) = %d, want clamped base", got)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	if err := (CostModel{BaseNanos: 100, PerBytePico: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []CostModel{{}, {BaseNanos: -1, PerBytePico: 100}, {BaseNanos: 100, PerBytePico: -1}} {
+		if err := m.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil", m)
+		}
+	}
+}
+
+func TestCalibrateCostModel(t *testing.T) {
+	// 3500 req/s/core => mean 285714 ns; mean size 4096 B; 30% base.
+	m := CalibrateCostModel(285714, 4096, 0.3)
+	got := m.Estimate(4096)
+	if relDiff(got, 285714) > 0.01 {
+		t.Fatalf("calibrated Estimate(meanSize) = %d, want ~285714", got)
+	}
+	base := m.Estimate(0)
+	baseFrac := 0.3
+	wantBase := int64(baseFrac * 285714)
+	if relDiff(base, wantBase) > 0.02 {
+		t.Fatalf("base = %d, want ~%d", base, wantBase)
+	}
+}
+
+func TestCalibrateClampsFraction(t *testing.T) {
+	m := CalibrateCostModel(1000, 100, 2.0) // clamped to 1: all base
+	if m.PerBytePico != 0 || m.BaseNanos != 1000 {
+		t.Fatalf("clamp high: %+v", m)
+	}
+	m = CalibrateCostModel(1000, 100, -1) // clamped to 0: all per-byte
+	if m.BaseNanos != 0 {
+		t.Fatalf("clamp low: %+v", m)
+	}
+}
+
+func relDiff(a, b int64) float64 {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if b == 0 {
+		return float64(d)
+	}
+	return float64(d) / float64(b)
+}
+
+// Property: Decompose partitions the requests — every request appears in
+// exactly one sub-task, and sub-task costs sum to total cost.
+func TestQuickDecomposePartition(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%40) + 1
+		r := randx.New(seed)
+		task := &Task{}
+		var total int64
+		for i := 0; i < n; i++ {
+			c := int64(r.Intn(1000) + 1)
+			total += c
+			task.Requests = append(task.Requests, &Request{
+				ID:      uint64(i),
+				Group:   cluster.GroupID(r.Intn(6)),
+				EstCost: c,
+			})
+		}
+		subs := Decompose(task)
+		seen := map[uint64]bool{}
+		var sum int64
+		groups := map[cluster.GroupID]bool{}
+		for _, s := range subs {
+			if groups[s.Group] {
+				return false // duplicate group
+			}
+			groups[s.Group] = true
+			var subSum int64
+			for _, req := range s.Requests {
+				if seen[req.ID] || req.Group != s.Group {
+					return false
+				}
+				seen[req.ID] = true
+				subSum += req.EstCost
+			}
+			if subSum != s.Cost {
+				return false
+			}
+			sum += s.Cost
+		}
+		return len(seen) == n && sum == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for every assigner, priorities are non-negative and EqualMax
+// assigns a single uniform value per task equal to the bottleneck.
+func TestQuickAssignInvariants(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%30) + 1
+		r := randx.New(seed)
+		for _, a := range Assigners() {
+			task := &Task{}
+			for i := 0; i < n; i++ {
+				task.Requests = append(task.Requests, &Request{
+					ID:      uint64(i),
+					Group:   cluster.GroupID(r.Intn(5)),
+					EstCost: int64(r.Intn(10000) + 1),
+				})
+			}
+			subs := Prepare(task, a)
+			b := Bottleneck(subs)
+			for _, req := range task.Requests {
+				if req.Priority < 0 {
+					return false
+				}
+				if req.Priority > b {
+					return false // no assigner exceeds the bottleneck value
+				}
+			}
+			if a.Name() == "EqualMax" {
+				for _, req := range task.Requests {
+					if req.Priority != b {
+						return false
+					}
+				}
+			}
+			if a.Name() == "UnifIncrSub" {
+				// The bottleneck sub-task must have zero slack.
+				for i := range subs {
+					if subs[i].Cost == b && len(subs[i].Requests) > 0 &&
+						subs[i].Requests[0].Priority != 0 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPrepare(b *testing.B) {
+	r := randx.New(1)
+	tasks := make([]*Task, 256)
+	for i := range tasks {
+		task := &Task{}
+		n := r.Intn(16) + 2
+		for j := 0; j < n; j++ {
+			task.Requests = append(task.Requests, &Request{
+				Group:   cluster.GroupID(r.Intn(9)),
+				EstCost: int64(r.Intn(500000) + 1000),
+			})
+		}
+		tasks[i] = task
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prepare(tasks[i&255], UnifIncr{})
+	}
+}

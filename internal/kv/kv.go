@@ -1,0 +1,105 @@
+// Package kv is the in-memory key-value engine behind the networked BRB
+// store (internal/netstore): a sharded, mutex-striped map with value-size
+// metadata, so clients and servers can forecast service costs from sizes
+// the way BRB's cost model assumes ("based on the size of the value they
+// are requesting").
+package kv
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+const defaultShards = 64
+
+// Store is a sharded in-memory key-value store, safe for concurrent use.
+type Store struct {
+	shards []shard
+}
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// New returns a store with the given shard count (0 = 64). More shards
+// reduce lock contention under concurrent goroutines.
+func New(shards int) *Store {
+	if shards <= 0 {
+		shards = defaultShards
+	}
+	s := &Store{shards: make([]shard, shards)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string][]byte)
+	}
+	return s
+}
+
+func (s *Store) shardOf(key string) *shard {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return &s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Set stores a copy of value under key.
+func (s *Store) Set(key string, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	sh.m[key] = cp
+	sh.mu.Unlock()
+}
+
+// Get returns the value for key. The returned slice must not be modified.
+func (s *Store) Get(key string) ([]byte, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// SizeOf returns the stored value's size without copying it — the cheap
+// metadata lookup cost estimation uses.
+func (s *Store) SizeOf(key string) (int64, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return int64(len(v)), ok
+}
+
+// Delete removes key. Deleting a missing key is a no-op.
+func (s *Store) Delete(key string) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// Len returns the total number of keys.
+func (s *Store) Len() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		n += len(s.shards[i].m)
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Keys calls fn for every key until fn returns false. Iteration order is
+// unspecified; concurrent mutations may or may not be observed.
+func (s *Store) Keys(fn func(key string) bool) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for k := range s.shards[i].m {
+			if !fn(k) {
+				s.shards[i].mu.RUnlock()
+				return
+			}
+		}
+		s.shards[i].mu.RUnlock()
+	}
+}

@@ -1,0 +1,163 @@
+package kv
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetGet(t *testing.T) {
+	s := New(0)
+	s.Set("a", []byte("hello"))
+	v, ok := s.Get("a")
+	if !ok || string(v) != "hello" {
+		t.Fatalf("Get = %q,%v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestSetCopies(t *testing.T) {
+	s := New(0)
+	buf := []byte("abc")
+	s.Set("k", buf)
+	buf[0] = 'X'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Set did not copy the value")
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s := New(4)
+	s.Set("k", []byte("v1"))
+	s.Set("k", []byte("v2"))
+	if v, _ := s.Get("k"); string(v) != "v2" {
+		t.Fatalf("overwrite failed: %q", v)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestSizeOf(t *testing.T) {
+	s := New(0)
+	s.Set("k", make([]byte, 12345))
+	n, ok := s.SizeOf("k")
+	if !ok || n != 12345 {
+		t.Fatalf("SizeOf = %d,%v", n, ok)
+	}
+	if _, ok := s.SizeOf("nope"); ok {
+		t.Fatal("SizeOf found missing key")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("v"))
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	s.Delete("k") // no-op
+}
+
+func TestLenAndKeys(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), []byte{byte(i)})
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	seen := map[string]bool{}
+	s.Keys(func(k string) bool {
+		seen[k] = true
+		return true
+	})
+	if len(seen) != 100 {
+		t.Fatalf("Keys visited %d", len(seen))
+	}
+	// Early-stop path.
+	count := 0
+	s.Keys(func(string) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i%50)
+				s.Set(key, []byte{byte(i)})
+				s.Get(key)
+				s.SizeOf(key)
+				if i%10 == 0 {
+					s.Delete(key)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: after Set(k, v), Get(k) returns v and SizeOf(k) = len(v).
+func TestQuickSetGetConsistency(t *testing.T) {
+	s := New(32)
+	f := func(key string, val []byte) bool {
+		s.Set(key, val)
+		got, ok := s.Get(key)
+		if !ok || len(got) != len(val) {
+			return false
+		}
+		for i := range val {
+			if got[i] != val[i] {
+				return false
+			}
+		}
+		n, ok := s.SizeOf(key)
+		return ok && n == int64(len(val))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := New(0)
+	for i := 0; i < 1024; i++ {
+		s.Set(fmt.Sprintf("key-%d", i), make([]byte, 128))
+	}
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get(keys[i&1023])
+	}
+}
+
+func BenchmarkSetParallel(b *testing.B) {
+	s := New(0)
+	val := make([]byte, 256)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			s.Set(fmt.Sprintf("key-%d", i&4095), val)
+			i++
+		}
+	})
+}

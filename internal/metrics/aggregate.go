@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SeedSet aggregates per-seed Summaries the way the paper reports results:
+// "read latencies averaged across experiments for different percentiles"
+// with "largely negligible" standard deviation, which we also compute so
+// EXPERIMENTS.md can verify the negligibility claim.
+type SeedSet struct {
+	summaries []Summary
+}
+
+// Add appends one seed's summary.
+func (s *SeedSet) Add(sum Summary) { s.summaries = append(s.summaries, sum) }
+
+// Len returns the number of seeds added.
+func (s *SeedSet) Len() int { return len(s.summaries) }
+
+// MeanStd holds a cross-seed mean and standard deviation in nanoseconds.
+type MeanStd struct {
+	Mean float64
+	Std  float64
+}
+
+func meanStd(vals []float64) MeanStd {
+	if len(vals) == 0 {
+		return MeanStd{}
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	m := sum / float64(len(vals))
+	if len(vals) == 1 {
+		return MeanStd{Mean: m}
+	}
+	ss := 0.0
+	for _, v := range vals {
+		d := v - m
+		ss += d * d
+	}
+	return MeanStd{Mean: m, Std: math.Sqrt(ss / float64(len(vals)-1))}
+}
+
+func (s *SeedSet) collect(f func(Summary) float64) MeanStd {
+	vals := make([]float64, 0, len(s.summaries))
+	for _, sum := range s.summaries {
+		vals = append(vals, f(sum))
+	}
+	return meanStd(vals)
+}
+
+// Median returns the cross-seed mean and std of the per-seed medians.
+func (s *SeedSet) Median() MeanStd {
+	return s.collect(func(x Summary) float64 { return float64(x.Median) })
+}
+
+// P95 returns the cross-seed mean and std of the per-seed 95th percentiles.
+func (s *SeedSet) P95() MeanStd { return s.collect(func(x Summary) float64 { return float64(x.P95) }) }
+
+// P99 returns the cross-seed mean and std of the per-seed 99th percentiles.
+func (s *SeedSet) P99() MeanStd { return s.collect(func(x Summary) float64 { return float64(x.P99) }) }
+
+// Mean returns the cross-seed mean and std of the per-seed means.
+func (s *SeedSet) Mean() MeanStd { return s.collect(func(x Summary) float64 { return x.Mean }) }
+
+// Row is one line of a result table: a labeled strategy with aggregated
+// percentiles, in milliseconds.
+type Row struct {
+	Label     string
+	MedianMS  float64
+	P95MS     float64
+	P99MS     float64
+	MedianStd float64
+	P95Std    float64
+	P99Std    float64
+	Seeds     int
+}
+
+// RowFrom builds a Row from a SeedSet.
+func RowFrom(label string, s *SeedSet) Row {
+	med, p95, p99 := s.Median(), s.P95(), s.P99()
+	return Row{
+		Label:     label,
+		MedianMS:  med.Mean / 1e6,
+		P95MS:     p95.Mean / 1e6,
+		P99MS:     p99.Mean / 1e6,
+		MedianStd: med.Std / 1e6,
+		P95Std:    p95.Std / 1e6,
+		P99Std:    p99.Std / 1e6,
+		Seeds:     s.Len(),
+	}
+}
+
+// Table formats rows the way the paper's Figure 2 presents them: one row
+// per strategy, columns Median / 95th / 99th (ms).
+type Table struct {
+	Title string
+	Rows  []Row
+}
+
+// Add appends a row.
+func (t *Table) Add(r Row) { t.Rows = append(t.Rows, r) }
+
+// SortByP99 orders rows by ascending 99th percentile (best first).
+func (t *Table) SortByP99() {
+	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i].P99MS < t.Rows[j].P99MS })
+}
+
+// String renders an aligned text table.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	width := 8
+	for _, r := range t.Rows {
+		if len(r.Label) > width {
+			width = len(r.Label)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %12s  %12s  %12s  %s\n", width, "strategy", "median(ms)", "p95(ms)", "p99(ms)", "seeds")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s  %12.3f  %12.3f  %12.3f  %d\n",
+			width, r.Label, r.MedianMS, r.P95MS, r.P99MS, r.Seeds)
+	}
+	return b.String()
+}
+
+// Ratio returns how many times larger a is than b at each percentile; used
+// by EXPERIMENTS.md to report "within 38% of ideal" and "factor of 2 over
+// C3" style comparisons.
+func Ratio(a, b Row) (median, p95, p99 float64) {
+	div := func(x, y float64) float64 {
+		if y == 0 {
+			return math.Inf(1)
+		}
+		return x / y
+	}
+	return div(a.MedianMS, b.MedianMS), div(a.P95MS, b.P95MS), div(a.P99MS, b.P99MS)
+}

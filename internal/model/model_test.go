@@ -1,0 +1,103 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/credits"
+	"github.com/brb-repro/brb/internal/engine"
+)
+
+func smallConfig() engine.Config {
+	cfg := engine.Defaults()
+	cfg.Tasks = 3000
+	cfg.Keys = 5000
+	return cfg
+}
+
+func TestRunCompletes(t *testing.T) {
+	s := New(core.EqualMax{})
+	res, err := engine.Run(smallConfig(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskLatency.Count == 0 {
+		t.Fatal("no tasks measured")
+	}
+	if res.Strategy != "EqualMax-Model" {
+		t.Fatalf("name = %q", res.Strategy)
+	}
+	if s.QueuedRequests() != 0 {
+		t.Fatalf("%d requests left in global queues after run", s.QueuedRequests())
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := engine.Run(smallConfig(), New(core.UnifIncr{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := engine.Run(smallConfig(), New(core.UnifIncr{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TaskLatency != b.TaskLatency {
+		t.Fatal("model runs diverged across identical seeds")
+	}
+}
+
+func TestModelIsLowerBound(t *testing.T) {
+	// The unrealizable global-queue model must not lose to the credits
+	// realization of the same assigner (paper: credits is within 38% of
+	// model, i.e. model is the better one).
+	cfg := smallConfig()
+	cfg.Tasks = 25000
+	resModel, err := engine.Run(cfg, New(core.EqualMax{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resCredits, err := engine.Run(cfg, credits.New(core.EqualMax{}, credits.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resModel.TaskLatency.P99 > resCredits.TaskLatency.P99*11/10 {
+		t.Fatalf("model p99 %d worse than credits p99 %d — ideal bound violated",
+			resModel.TaskLatency.P99, resCredits.TaskLatency.P99)
+	}
+	if resModel.TaskLatency.Median > resCredits.TaskLatency.Median*11/10 {
+		t.Fatalf("model median %d worse than credits median %d",
+			resModel.TaskLatency.Median, resCredits.TaskLatency.Median)
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// In the model, no server may idle while its groups have queued
+	// work. Global utilization must therefore match offered load tightly.
+	cfg := smallConfig()
+	cfg.Tasks = 20000
+	res, err := engine.Run(cfg, New(core.EqualMax{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanUtilization < 0.60 || res.MeanUtilization > 0.85 {
+		t.Fatalf("utilization %v far from offered 0.7", res.MeanUtilization)
+	}
+}
+
+func TestPriorityOrderRespected(t *testing.T) {
+	// With one group and one single-core server, requests must be served
+	// in priority order regardless of arrival order. Build it manually.
+	cfg := smallConfig()
+	cfg.Servers = 1
+	cfg.Clients = 1
+	cfg.Cores = 1
+	cfg.Replication = 1
+	cfg.Tasks = 500
+	res, err := engine.Run(cfg, New(core.EqualMax{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskLatency.Count == 0 {
+		t.Fatal("no tasks measured")
+	}
+}

@@ -1,0 +1,374 @@
+package netstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// ClientOptions configure a task-aware client.
+type ClientOptions struct {
+	// Topology maps keys to replica groups and groups to server indexes
+	// (into the address list handed to Dial). Required.
+	Topology *cluster.Topology
+	// Assigner is the priority-assignment algorithm (default EqualMax).
+	Assigner core.Assigner
+	// CostModel forecasts per-key service cost from the value size
+	// (default: 1 µs + 1 ns/byte — only relative order matters for
+	// scheduling).
+	CostModel core.CostModel
+	// DefaultSize is the assumed size for keys not yet seen (sizes are
+	// learned from responses). Default 1024.
+	DefaultSize int64
+	// Client identifies this client to the credits controller.
+	Client int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o ClientOptions) withDefaults() ClientOptions {
+	if o.Assigner == nil {
+		o.Assigner = core.EqualMax{}
+	}
+	if o.CostModel == (core.CostModel{}) {
+		o.CostModel = core.CostModel{BaseNanos: 1000, PerBytePico: 1000}
+	}
+	if o.DefaultSize <= 0 {
+		o.DefaultSize = 1024
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Client is a task-aware data-store client: it decomposes multi-key tasks
+// into sub-tasks per replica group, forecasts costs from learned value
+// sizes, stamps BRB priorities, selects replicas load-awarely, and issues
+// batched reads.
+type Client struct {
+	opts  ClientOptions
+	conns []*serverConn
+
+	// sizes caches learned value sizes for cost forecasting.
+	sizes sync.Map // string -> int64
+
+	// outstanding[s] is the estimated in-flight service time (ns) at
+	// server s from this client.
+	outstanding []atomic.Int64
+
+	// credits are granted by the controller (nil without one).
+	credits *creditGate
+
+	taskSeq atomic.Uint64
+}
+
+// Dial connects to every server address. addrs[i] must be the server
+// hosting replica index i of the topology.
+func Dial(addrs []string, opts ClientOptions) (*Client, error) {
+	opts = opts.withDefaults()
+	if opts.Topology == nil {
+		return nil, errors.New("netstore: ClientOptions.Topology is required")
+	}
+	if len(addrs) != opts.Topology.NumServers() {
+		return nil, fmt.Errorf("netstore: %d addresses for %d servers", len(addrs), opts.Topology.NumServers())
+	}
+	c := &Client{opts: opts, outstanding: make([]atomic.Int64, len(addrs))}
+	for _, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netstore: dial %s: %w", addr, err)
+		}
+		sc := newServerConn(conn)
+		c.conns = append(c.conns, sc)
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Client) Close() {
+	for _, sc := range c.conns {
+		if sc != nil {
+			sc.close()
+		}
+	}
+	if c.credits != nil {
+		c.credits.close()
+	}
+}
+
+// Set writes a key to every replica of its group.
+func (c *Client) Set(key string, value []byte) error {
+	g := c.opts.Topology.GroupOfKey(key)
+	for _, sid := range c.opts.Topology.Replicas(g) {
+		if err := c.conns[sid].set(key, value); err != nil {
+			return err
+		}
+	}
+	c.sizes.Store(key, int64(len(value)))
+	return nil
+}
+
+// TaskResult is the outcome of one batched task.
+type TaskResult struct {
+	// Values are the read values, parallel to the requested keys;
+	// missing keys yield nil.
+	Values [][]byte
+	// Found marks which keys existed.
+	Found []bool
+	// Latency is the task's completion time (issue → last sub-task
+	// response).
+	Latency time.Duration
+	// Bottleneck is the task's forecasted bottleneck cost in
+	// nanoseconds.
+	Bottleneck int64
+}
+
+// Task performs one batched read: the full BRB client pipeline.
+func (c *Client) Task(keys []string) (*TaskResult, error) {
+	if len(keys) == 0 {
+		return &TaskResult{}, nil
+	}
+	start := time.Now()
+	topo := c.opts.Topology
+
+	// Build the task with forecasted costs.
+	task := &core.Task{ID: c.taskSeq.Add(1), Client: c.opts.Client}
+	for i, k := range keys {
+		size := c.opts.DefaultSize
+		if v, ok := c.sizes.Load(k); ok {
+			size = v.(int64)
+		}
+		task.Requests = append(task.Requests, &core.Request{
+			ID:      uint64(i),
+			TaskID:  task.ID,
+			Client:  c.opts.Client,
+			Group:   topo.GroupOfKey(k),
+			Size:    size,
+			EstCost: c.opts.CostModel.Estimate(size),
+		})
+	}
+	subs := core.Prepare(task, c.opts.Assigner)
+	bottleneck := core.Bottleneck(subs)
+
+	// Replica selection per request (spatial optimization): pick the
+	// replica with the most headroom, batching contiguous picks per
+	// server.
+	type outBatch struct {
+		keys  []string
+		prios []int64
+		idx   []int
+	}
+	batches := map[cluster.ServerID]*outBatch{}
+	for _, sub := range subs {
+		reps := topo.Replicas(sub.Group)
+		for _, r := range sub.Requests {
+			best := c.pickReplica(reps)
+			b := batches[best]
+			if b == nil {
+				b = &outBatch{}
+				batches[best] = b
+			}
+			b.keys = append(b.keys, keys[r.ID])
+			b.prios = append(b.prios, r.Priority)
+			b.idx = append(b.idx, int(r.ID))
+			c.outstanding[best].Add(r.EstCost)
+			if c.credits != nil {
+				c.credits.spend(int(best), float64(r.EstCost))
+			}
+		}
+	}
+
+	res := &TaskResult{
+		Values:     make([][]byte, len(keys)),
+		Found:      make([]bool, len(keys)),
+		Bottleneck: bottleneck,
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(batches))
+	for sid, b := range batches {
+		sid, b := sid, b
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := c.conns[sid].batch(task.ID, b.keys, b.prios)
+			if err != nil {
+				errCh <- err
+				return
+			}
+			for i, orig := range b.idx {
+				res.Values[orig] = resp.Values[i]
+				res.Found[orig] = resp.Found[i]
+				if resp.Found[i] {
+					c.sizes.Store(b.keys[i], int64(len(resp.Values[i])))
+				}
+			}
+			var est int64
+			for _, orig := range b.idx {
+				est += task.Requests[orig].EstCost
+			}
+			c.outstanding[sid].Add(-est)
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+// pickReplica chooses the replica with the most scheduling headroom:
+// credit balance (when a controller is attached) minus outstanding
+// forecasted work.
+func (c *Client) pickReplica(reps []cluster.ServerID) cluster.ServerID {
+	best := reps[0]
+	bestH := c.headroom(best)
+	for _, cand := range reps[1:] {
+		if h := c.headroom(cand); h > bestH {
+			best, bestH = cand, h
+		}
+	}
+	return best
+}
+
+func (c *Client) headroom(s cluster.ServerID) float64 {
+	h := -float64(c.outstanding[s].Load())
+	if c.credits != nil {
+		h += c.credits.balance(int(s))
+	}
+	return h
+}
+
+// Outstanding returns the client's estimated in-flight work at server s
+// (test hook).
+func (c *Client) Outstanding(s cluster.ServerID) int64 { return c.outstanding[s].Load() }
+
+// serverConn multiplexes batches over one TCP connection.
+type serverConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+
+	mu       sync.Mutex
+	nextID   uint64
+	pending  map[uint64]chan *wire.BatchResp
+	pendSet  map[uint64]chan struct{}
+	closed   bool
+	closeErr error
+}
+
+func newServerConn(conn net.Conn) *serverConn {
+	sc := &serverConn{
+		conn:    conn,
+		pending: make(map[uint64]chan *wire.BatchResp),
+		pendSet: make(map[uint64]chan struct{}),
+	}
+	go sc.readLoop()
+	return sc
+}
+
+func (sc *serverConn) readLoop() {
+	r := bufio.NewReaderSize(sc.conn, 64<<10)
+	for {
+		msg, err := wire.ReadMessage(r)
+		if err != nil {
+			sc.mu.Lock()
+			sc.closed = true
+			sc.closeErr = err
+			for _, ch := range sc.pending {
+				close(ch)
+			}
+			for _, ch := range sc.pendSet {
+				close(ch)
+			}
+			sc.pending = map[uint64]chan *wire.BatchResp{}
+			sc.pendSet = map[uint64]chan struct{}{}
+			sc.mu.Unlock()
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.BatchResp:
+			sc.mu.Lock()
+			ch := sc.pending[m.Batch]
+			delete(sc.pending, m.Batch)
+			sc.mu.Unlock()
+			if ch != nil {
+				ch <- m
+			}
+		case *wire.SetResp:
+			sc.mu.Lock()
+			ch := sc.pendSet[m.Seq]
+			delete(sc.pendSet, m.Seq)
+			sc.mu.Unlock()
+			if ch != nil {
+				close(ch)
+			}
+		}
+	}
+}
+
+func (sc *serverConn) write(m wire.Message) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return wire.WriteMessage(sc.conn, m)
+}
+
+func (sc *serverConn) batch(taskID uint64, keys []string, prios []int64) (*wire.BatchResp, error) {
+	ch := make(chan *wire.BatchResp, 1)
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("netstore: connection closed: %v", sc.closeErr)
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.pending[id] = ch
+	sc.mu.Unlock()
+
+	if err := sc.write(&wire.BatchReq{Batch: id, TaskID: taskID, Priority: prios, Keys: keys}); err != nil {
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		return nil, errors.New("netstore: connection closed awaiting batch")
+	}
+	return resp, nil
+}
+
+func (sc *serverConn) set(key string, value []byte) error {
+	ch := make(chan struct{})
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return fmt.Errorf("netstore: connection closed: %v", sc.closeErr)
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.pendSet[id] = ch
+	sc.mu.Unlock()
+	if err := sc.write(&wire.Set{Seq: id, Key: key, Value: value}); err != nil {
+		sc.mu.Lock()
+		delete(sc.pendSet, id)
+		sc.mu.Unlock()
+		return err
+	}
+	<-ch
+	return nil
+}
+
+func (sc *serverConn) close() {
+	_ = sc.conn.Close()
+}

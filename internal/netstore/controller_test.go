@@ -1,0 +1,193 @@
+package netstore
+
+import (
+	"bufio"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// rawControllerClient speaks the controller protocol directly so tests
+// can inject exact demand vectors.
+type rawControllerClient struct {
+	t    *testing.T
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialController(t *testing.T, addr string) *rawControllerClient {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rawControllerClient{t: t, conn: conn, r: bufio.NewReader(conn)}
+}
+
+func (c *rawControllerClient) report(client uint32, demand []float64) {
+	c.t.Helper()
+	if err := wire.WriteMessage(c.conn, &wire.Report{Client: client, Demand: demand}); err != nil {
+		c.t.Fatal(err)
+	}
+}
+
+func (c *rawControllerClient) nextGrant(timeout time.Duration) *wire.Grant {
+	c.t.Helper()
+	_ = c.conn.SetReadDeadline(time.Now().Add(timeout))
+	msg, err := wire.ReadMessage(c.r)
+	if err != nil {
+		return nil
+	}
+	g, _ := msg.(*wire.Grant)
+	return g
+}
+
+func (c *rawControllerClient) close() { _ = c.conn.Close() }
+
+func startController(t *testing.T, opts ControllerOptions) (*ControllerServer, string) {
+	t.Helper()
+	ctrl := NewControllerServer(opts)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = ctrl.Serve(ln) }()
+	return ctrl, ln.Addr().String()
+}
+
+func TestControllerProportionalGrants(t *testing.T) {
+	ctrl, addr := startController(t, ControllerOptions{
+		Clients: 2, Servers: 1, CapacityPerNano: 4, Interval: 15 * time.Millisecond,
+	})
+	defer ctrl.Close()
+
+	heavy := dialController(t, addr)
+	defer heavy.close()
+	light := dialController(t, addr)
+	defer light.close()
+
+	// Feed a steady 3:1 demand ratio for several intervals.
+	deadline := time.Now().Add(3 * time.Second)
+	var gHeavy, gLight *wire.Grant
+	for time.Now().Before(deadline) {
+		heavy.report(0, []float64{3_000_000})
+		light.report(1, []float64{1_000_000})
+		gh := heavy.nextGrant(50 * time.Millisecond)
+		gl := light.nextGrant(50 * time.Millisecond)
+		if gh != nil {
+			gHeavy = gh
+		}
+		if gl != nil {
+			gLight = gl
+		}
+		if gHeavy != nil && gLight != nil && gHeavy.Alloc[0] > gLight.Alloc[0]*11/10 {
+			break
+		}
+	}
+	if gHeavy == nil || gLight == nil {
+		t.Fatal("no grants received")
+	}
+	if gHeavy.Alloc[0] <= gLight.Alloc[0] {
+		t.Fatalf("heavy-demand client granted %v <= light client %v",
+			gHeavy.Alloc[0], gLight.Alloc[0])
+	}
+	// Grants must sum to no more than server capacity per interval
+	// (4 work-ns per ns × 15 ms).
+	capacity := 4.0 * 15e6
+	if total := gHeavy.Alloc[0] + gLight.Alloc[0]; total > capacity*1.01 {
+		t.Fatalf("grants sum %v exceeds capacity %v", total, capacity)
+	}
+}
+
+func TestControllerIgnoresOutOfRangeClient(t *testing.T) {
+	ctrl, addr := startController(t, ControllerOptions{
+		Clients: 1, Servers: 1, CapacityPerNano: 2, Interval: 10 * time.Millisecond,
+	})
+	defer ctrl.Close()
+	c := dialController(t, addr)
+	defer c.close()
+	// Out-of-range client id: must not crash the controller, and no
+	// grants are addressed to it (it never registered a valid id).
+	c.report(99, []float64{1000})
+	time.Sleep(50 * time.Millisecond)
+	// A valid client still works afterwards.
+	c.report(0, []float64{1000})
+	if g := c.nextGrant(time.Second); g == nil {
+		t.Fatal("controller stopped granting after out-of-range report")
+	}
+}
+
+func TestControllerPing(t *testing.T) {
+	ctrl, addr := startController(t, ControllerOptions{
+		Clients: 1, Servers: 1, CapacityPerNano: 1, Interval: time.Hour, // no grant noise
+	})
+	defer ctrl.Close()
+	c := dialController(t, addr)
+	defer c.close()
+	if err := wire.WriteMessage(c.conn, &wire.Ping{Nonce: 7}); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	msg, err := wire.ReadMessage(c.r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pong, ok := msg.(*wire.Pong)
+	if !ok || pong.Nonce != 7 {
+		t.Fatalf("got %+v, want Pong{7}", msg)
+	}
+}
+
+func TestServerPing(t *testing.T) {
+	addrs, _, stop := startCluster(t, 1, ServerOptions{})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteMessage(conn, &wire.Ping{Nonce: 3}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(bufio.NewReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pong, ok := msg.(*wire.Pong); !ok || pong.Nonce != 3 {
+		t.Fatalf("got %+v, want Pong{3}", msg)
+	}
+}
+
+func TestServerSurvivesGarbage(t *testing.T) {
+	addrs, servers, stop := startCluster(t, 1, ServerOptions{})
+	defer stop()
+	conn, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A frame that decodes to an unknown type: server should drop the
+	// connection or ignore it, but keep serving others.
+	_, _ = conn.Write([]byte{0, 0, 0, 2, 0xFF, 0x01})
+	_ = conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	// The server must still answer a fresh, well-formed connection.
+	conn2, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	servers[0].Store().Set("x", []byte("1"))
+	if err := wire.WriteMessage(conn2, &wire.BatchReq{Batch: 1, Priority: []int64{0}, Keys: []string{"x"}}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.ReadMessage(bufio.NewReader(conn2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := msg.(*wire.BatchResp)
+	if !ok || !resp.Found[0] {
+		t.Fatalf("server unhealthy after garbage: %+v", msg)
+	}
+}

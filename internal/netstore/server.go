@@ -1,0 +1,388 @@
+// Package netstore is the real, goroutine-based implementation of a
+// BRB-scheduled data store: a TCP key-value server whose request scheduler
+// drains a priority queue with a bounded worker pool (one goroutine per
+// core), a task-aware client library sharing the priority-assignment code
+// (internal/core) with the simulator, and a credits controller speaking
+// the same wire protocol.
+//
+// It is the artifact a downstream user would deploy: the simulator
+// validates the algorithms at scale, netstore validates that they are
+// implementable with the signals a real deployment has (value sizes from
+// store metadata, demand from client counters, priorities on the wire).
+package netstore
+
+import (
+	"bufio"
+	"container/heap"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// Discipline selects the server's scheduling queue.
+type Discipline int
+
+// Disciplines.
+const (
+	// Priority serves the lowest-priority-value pending key first (BRB).
+	Priority Discipline = iota
+	// FIFO serves keys in arrival order (task-oblivious baseline).
+	FIFO
+)
+
+// ServerOptions configure a Server.
+type ServerOptions struct {
+	// Workers is the number of service goroutines ("cores"). Default 4,
+	// the paper's concurrency level.
+	Workers int
+	// Discipline selects priority (default) or FIFO scheduling.
+	Discipline Discipline
+	// ServiceDelay, when non-nil, adds an artificial per-key service
+	// time as a function of the value size — used by validation
+	// experiments to recreate the simulator's size-dependent service
+	// costs on fast hardware. nil means no added delay.
+	ServiceDelay func(valueSize int64) time.Duration
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	return o
+}
+
+// Server is a networked key-value server with task-aware scheduling.
+type Server struct {
+	opts  ServerOptions
+	store *kv.Store
+	sched *scheduler
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	served uint64
+}
+
+// NewServer creates a server over the given store.
+func NewServer(store *kv.Store, opts ServerOptions) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		store: store,
+		sched: newScheduler(opts.Discipline),
+		conns: make(map[net.Conn]struct{}),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store exposes the underlying KV store (loaders use it in-process).
+func (s *Server) Store() *kv.Store { return s.store }
+
+// Serve accepts connections on ln until Close. It returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("netstore: server closed")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+// ListenAndServe listens on addr and serves.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the listener address (after Serve started).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting, closes connections, and stops workers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.sched.close()
+	s.wg.Wait()
+}
+
+// QueueLen returns the current scheduler backlog.
+func (s *Server) QueueLen() int { return s.sched.len() }
+
+// connState serializes writes to one connection.
+type connState struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (cs *connState) send(m wire.Message) error {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	return wire.WriteMessage(cs.conn, m)
+}
+
+// batchState assembles a batch's results as its keys finish service.
+type batchState struct {
+	mu        sync.Mutex
+	remaining int
+	resp      *wire.BatchResp
+	enqueued  time.Time
+	cs        *connState
+}
+
+// workItem is one key awaiting service.
+type workItem struct {
+	key      string
+	priority int64
+	index    int // position within the batch
+	batch    *batchState
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	cs := &connState{conn: conn}
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		msg, err := wire.ReadMessage(r)
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Ping:
+			if cs.send(&wire.Pong{Nonce: m.Nonce}) != nil {
+				return
+			}
+		case *wire.Set:
+			s.store.Set(m.Key, m.Value)
+			if cs.send(&wire.SetResp{Seq: m.Seq}) != nil {
+				return
+			}
+		case *wire.BatchReq:
+			s.enqueueBatch(cs, m)
+		default:
+			// Unknown-but-decodable messages are ignored; the protocol
+			// is forward-compatible for clients, not servers.
+		}
+	}
+}
+
+// enqueueBatch splits a batch into per-key work items. All items enter
+// the scheduler before workers are woken, so priority decisions see the
+// whole batch (the simultaneous-arrival semantics of Figure 1).
+func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq) {
+	n := len(m.Keys)
+	bs := &batchState{
+		remaining: n,
+		enqueued:  time.Now(),
+		cs:        cs,
+		resp: &wire.BatchResp{
+			Batch:  m.Batch,
+			Values: make([][]byte, n),
+			Found:  make([]bool, n),
+		},
+	}
+	if n == 0 {
+		_ = cs.send(bs.resp)
+		return
+	}
+	items := make([]*workItem, n)
+	for i := range m.Keys {
+		items[i] = &workItem{key: m.Keys[i], priority: m.Priority[i], index: i, batch: bs}
+	}
+	s.sched.pushAll(items)
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		it, qlen, ok := s.sched.pop()
+		if !ok {
+			return
+		}
+		v, found := s.store.Get(it.key)
+		if s.opts.ServiceDelay != nil {
+			time.Sleep(s.opts.ServiceDelay(int64(len(v))))
+		}
+		bs := it.batch
+		bs.mu.Lock()
+		bs.resp.Values[it.index] = v
+		bs.resp.Found[it.index] = found
+		bs.remaining--
+		done := bs.remaining == 0
+		if done {
+			bs.resp.QueueLen = uint32(qlen)
+			bs.resp.WaitNanos = time.Since(bs.enqueued).Nanoseconds()
+		}
+		bs.mu.Unlock()
+		if done {
+			_ = bs.cs.send(bs.resp)
+		}
+	}
+}
+
+// scheduler is the server's scheduling queue: a stable min-priority heap
+// (or FIFO) drained by the worker pool.
+type scheduler struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	disc   Discipline
+	heap   itemHeap
+	fifo   []*workItem
+	seq    uint64
+	closed bool
+}
+
+func newScheduler(d Discipline) *scheduler {
+	s := &scheduler{disc: d}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+type heapEntry struct {
+	it   *workItem
+	prio int64
+	seq  uint64
+}
+
+type itemHeap []heapEntry
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = heapEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// pushAll enqueues a batch atomically and wakes workers.
+func (s *scheduler) pushAll(items []*workItem) {
+	s.mu.Lock()
+	for _, it := range items {
+		if s.disc == FIFO {
+			s.fifo = append(s.fifo, it)
+		} else {
+			heap.Push(&s.heap, heapEntry{it: it, prio: it.priority, seq: s.seq})
+			s.seq++
+		}
+	}
+	s.mu.Unlock()
+	for range items {
+		s.cond.Signal()
+	}
+}
+
+// pop blocks until an item is available (returning it and the remaining
+// queue length) or the scheduler is closed.
+func (s *scheduler) pop() (*workItem, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.disc == FIFO && len(s.fifo) > 0 {
+			it := s.fifo[0]
+			s.fifo[0] = nil
+			s.fifo = s.fifo[1:]
+			return it, len(s.fifo), true
+		}
+		if s.disc != FIFO && s.heap.Len() > 0 {
+			e := heap.Pop(&s.heap).(heapEntry)
+			return e.it, s.heap.Len(), true
+		}
+		if s.closed {
+			return nil, 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+func (s *scheduler) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.disc == FIFO {
+		return len(s.fifo)
+	}
+	return s.heap.Len()
+}
+
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// String implements fmt.Stringer for Discipline.
+func (d Discipline) String() string {
+	switch d {
+	case Priority:
+		return "priority"
+	case FIFO:
+		return "fifo"
+	}
+	return fmt.Sprintf("Discipline(%d)", int(d))
+}

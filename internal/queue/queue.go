@@ -1,0 +1,175 @@
+// Package queue provides the scheduling disciplines servers use to decide
+// "what request to serve next" (paper §2.1): plain FIFO for task-oblivious
+// baselines and a stable min-priority queue for BRB, where lower priority
+// values are served first and ties break FIFO so equal-priority requests
+// are never reordered.
+package queue
+
+import "container/heap"
+
+// Item is anything that can sit in a scheduling queue.
+type Item interface {
+	// SchedPriority is the scheduling key: lower is served sooner.
+	SchedPriority() int64
+}
+
+// Discipline is a server scheduling queue.
+type Discipline interface {
+	// Push enqueues an item.
+	Push(Item)
+	// Pop dequeues the next item to serve, or nil when empty.
+	Pop() Item
+	// Peek returns the next item without removing it, or nil when empty.
+	Peek() Item
+	// Len returns the number of queued items.
+	Len() int
+}
+
+// FIFO is a first-in-first-out discipline (what Cassandra-style stores and
+// the C3 baseline use). The zero value is ready to use.
+//
+// It is implemented as a growable ring buffer so sustained
+// enqueue/dequeue does not leak memory the way a naive slice-head approach
+// would.
+type FIFO struct {
+	buf        []Item
+	head, size int
+}
+
+// NewFIFO returns an empty FIFO queue.
+func NewFIFO() *FIFO { return &FIFO{} }
+
+// Push enqueues an item at the tail.
+func (q *FIFO) Push(it Item) {
+	if it == nil {
+		panic("queue: Push(nil)")
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = it
+	q.size++
+}
+
+func (q *FIFO) grow() {
+	n := len(q.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	nb := make([]Item, n)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = nb
+	q.head = 0
+}
+
+// Pop dequeues from the head, or returns nil when empty.
+func (q *FIFO) Pop() Item {
+	if q.size == 0 {
+		return nil
+	}
+	it := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	return it
+}
+
+// Peek returns the head item without removing it.
+func (q *FIFO) Peek() Item {
+	if q.size == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// Len returns the number of queued items.
+func (q *FIFO) Len() int { return q.size }
+
+// Priority is a stable min-priority discipline: Pop returns the item with
+// the smallest SchedPriority; among equal priorities, the earliest-pushed
+// wins (FIFO tie-break). This is the per-server priority queue of the
+// credits strategy and the building block of the ideal model's global
+// queue.
+type Priority struct {
+	h   prioHeap
+	seq uint64
+}
+
+// NewPriority returns an empty priority queue.
+func NewPriority() *Priority { return &Priority{} }
+
+type prioEntry struct {
+	item Item
+	prio int64
+	seq  uint64
+}
+
+type prioHeap []prioEntry
+
+func (h prioHeap) Len() int { return len(h) }
+func (h prioHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+func (h prioHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *prioHeap) Push(x any)   { *h = append(*h, x.(prioEntry)) }
+func (h *prioHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = prioEntry{}
+	*h = old[:n-1]
+	return e
+}
+
+// Push enqueues an item. The priority is captured at push time; later
+// mutations of the item's priority do not re-order the queue.
+func (q *Priority) Push(it Item) {
+	if it == nil {
+		panic("queue: Push(nil)")
+	}
+	heap.Push(&q.h, prioEntry{item: it, prio: it.SchedPriority(), seq: q.seq})
+	q.seq++
+}
+
+// Pop dequeues the lowest-priority-value item, or nil when empty.
+func (q *Priority) Pop() Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(prioEntry).item
+}
+
+// Peek returns the next item without removing it.
+func (q *Priority) Peek() Item {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0].item
+}
+
+// Len returns the number of queued items.
+func (q *Priority) Len() int { return len(q.h) }
+
+// PeekPriority returns the priority of the head item; ok is false when
+// empty. Used by work-pulling servers to pick the best of several queues.
+func (q *Priority) PeekPriority() (prio int64, ok bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].prio, true
+}
+
+// Factory constructs a fresh Discipline; servers take one so strategies can
+// choose FIFO vs priority scheduling.
+type Factory func() Discipline
+
+// FIFOFactory builds FIFO queues.
+func FIFOFactory() Discipline { return NewFIFO() }
+
+// PriorityFactory builds priority queues.
+func PriorityFactory() Discipline { return NewPriority() }

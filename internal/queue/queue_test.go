@@ -1,0 +1,266 @@
+package queue
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+type testItem struct {
+	prio int64
+	id   int
+}
+
+func (t *testItem) SchedPriority() int64 { return t.prio }
+
+func TestFIFOOrder(t *testing.T) {
+	q := NewFIFO()
+	for i := 0; i < 100; i++ {
+		q.Push(&testItem{prio: int64(100 - i), id: i})
+	}
+	for i := 0; i < 100; i++ {
+		it := q.Pop().(*testItem)
+		if it.id != i {
+			t.Fatalf("FIFO popped id %d at position %d", it.id, i)
+		}
+	}
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty FIFO != nil")
+	}
+}
+
+func TestFIFOInterleaved(t *testing.T) {
+	q := NewFIFO()
+	next := 0
+	pushed := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			q.Push(&testItem{id: pushed})
+			pushed++
+		}
+		for i := 0; i < 2; i++ {
+			it := q.Pop().(*testItem)
+			if it.id != next {
+				t.Fatalf("interleaved FIFO order broken: got %d want %d", it.id, next)
+			}
+			next++
+		}
+	}
+	if q.Len() != pushed-next {
+		t.Fatalf("Len = %d, want %d", q.Len(), pushed-next)
+	}
+}
+
+func TestFIFOPeek(t *testing.T) {
+	q := NewFIFO()
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty != nil")
+	}
+	q.Push(&testItem{id: 1})
+	q.Push(&testItem{id: 2})
+	if q.Peek().(*testItem).id != 1 {
+		t.Fatal("Peek != head")
+	}
+	if q.Len() != 2 {
+		t.Fatal("Peek consumed an item")
+	}
+}
+
+func TestPriorityOrder(t *testing.T) {
+	q := NewPriority()
+	prios := []int64{5, 3, 9, 1, 7}
+	for i, p := range prios {
+		q.Push(&testItem{prio: p, id: i})
+	}
+	want := []int64{1, 3, 5, 7, 9}
+	for _, w := range want {
+		it := q.Pop().(*testItem)
+		if it.prio != w {
+			t.Fatalf("priority pop = %d, want %d", it.prio, w)
+		}
+	}
+}
+
+func TestPriorityFIFOTieBreak(t *testing.T) {
+	q := NewPriority()
+	for i := 0; i < 50; i++ {
+		q.Push(&testItem{prio: 42, id: i})
+	}
+	for i := 0; i < 50; i++ {
+		it := q.Pop().(*testItem)
+		if it.id != i {
+			t.Fatalf("equal-priority items reordered: got %d at %d", it.id, i)
+		}
+	}
+}
+
+func TestPriorityCapturedAtPush(t *testing.T) {
+	q := NewPriority()
+	a := &testItem{prio: 10, id: 0}
+	b := &testItem{prio: 20, id: 1}
+	q.Push(a)
+	q.Push(b)
+	b.prio = 1 // must not reorder
+	if got := q.Pop().(*testItem); got.id != 0 {
+		t.Fatal("mutating priority after push reordered the queue")
+	}
+}
+
+func TestPriorityPeekPriority(t *testing.T) {
+	q := NewPriority()
+	if _, ok := q.PeekPriority(); ok {
+		t.Fatal("PeekPriority on empty reported ok")
+	}
+	q.Push(&testItem{prio: 7})
+	q.Push(&testItem{prio: 3})
+	if p, ok := q.PeekPriority(); !ok || p != 3 {
+		t.Fatalf("PeekPriority = %d,%v want 3,true", p, ok)
+	}
+	if q.Len() != 2 {
+		t.Fatal("PeekPriority consumed an item")
+	}
+}
+
+func TestPushNilPanics(t *testing.T) {
+	for _, d := range []Discipline{NewFIFO(), NewPriority()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%T: Push(nil) did not panic", d)
+				}
+			}()
+			d.Push(nil)
+		}()
+	}
+}
+
+func TestFactories(t *testing.T) {
+	if _, ok := FIFOFactory().(*FIFO); !ok {
+		t.Fatal("FIFOFactory wrong type")
+	}
+	if _, ok := PriorityFactory().(*Priority); !ok {
+		t.Fatal("PriorityFactory wrong type")
+	}
+}
+
+// Property: Priority pops in non-decreasing priority order and preserves
+// push order among equal priorities.
+func TestQuickPriorityStableOrder(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		r := randx.New(seed)
+		q := NewPriority()
+		for i := 0; i < n; i++ {
+			q.Push(&testItem{prio: int64(r.Intn(10)), id: i})
+		}
+		lastPrio := int64(-1)
+		lastIDForPrio := map[int64]int{}
+		for q.Len() > 0 {
+			it := q.Pop().(*testItem)
+			if it.prio < lastPrio {
+				return false
+			}
+			if prev, ok := lastIDForPrio[it.prio]; ok && it.id < prev {
+				return false // FIFO violated within a priority class
+			}
+			lastIDForPrio[it.prio] = it.id
+			lastPrio = it.prio
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO preserves exact insertion order under arbitrary
+// interleavings of pushes and pops.
+func TestQuickFIFOOrder(t *testing.T) {
+	f := func(seed uint64, opsRaw uint8) bool {
+		ops := int(opsRaw) + 10
+		r := randx.New(seed)
+		q := NewFIFO()
+		nextPush, nextPop := 0, 0
+		for i := 0; i < ops; i++ {
+			if r.Float64() < 0.6 || q.Len() == 0 {
+				q.Push(&testItem{id: nextPush})
+				nextPush++
+			} else {
+				it := q.Pop().(*testItem)
+				if it.id != nextPop {
+					return false
+				}
+				nextPop++
+			}
+		}
+		for q.Len() > 0 {
+			it := q.Pop().(*testItem)
+			if it.id != nextPop {
+				return false
+			}
+			nextPop++
+		}
+		return nextPop == nextPush
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Len always equals pushes minus pops for both disciplines.
+func TestQuickLenInvariant(t *testing.T) {
+	f := func(seed uint64, usePrio bool) bool {
+		r := randx.New(seed)
+		var q Discipline
+		if usePrio {
+			q = NewPriority()
+		} else {
+			q = NewFIFO()
+		}
+		pushed, popped := 0, 0
+		for i := 0; i < 500; i++ {
+			if r.Float64() < 0.55 {
+				q.Push(&testItem{prio: int64(r.Intn(100))})
+				pushed++
+			} else if q.Pop() != nil {
+				popped++
+			}
+			if q.Len() != pushed-popped {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFIFO(b *testing.B) {
+	q := NewFIFO()
+	it := &testItem{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(it)
+		q.Pop()
+	}
+}
+
+func BenchmarkPriority(b *testing.B) {
+	q := NewPriority()
+	r := randx.New(1)
+	items := make([]*testItem, 1024)
+	for i := range items {
+		items[i] = &testItem{prio: int64(r.Intn(1 << 20))}
+	}
+	// Keep a standing population of 512 so heap depth is realistic.
+	for i := 0; i < 512; i++ {
+		q.Push(items[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(items[i&1023])
+		q.Pop()
+	}
+}

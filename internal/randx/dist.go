@@ -1,0 +1,156 @@
+package randx
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pareto samples a (Type-I) Pareto distribution with shape alpha and scale
+// xm (the minimum value). Mean is alpha*xm/(alpha-1) for alpha > 1.
+type Pareto struct {
+	Alpha float64 // tail index; smaller = heavier tail
+	Xm    float64 // scale (minimum)
+}
+
+// Sample draws one value.
+func (p Pareto) Sample(r *RNG) float64 {
+	u := r.Float64Open()
+	return p.Xm / math.Pow(u, 1/p.Alpha)
+}
+
+// Mean returns the analytic mean, or +Inf when alpha <= 1.
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.Xm / (p.Alpha - 1)
+}
+
+// BoundedPareto samples a Pareto distribution truncated to [L, H] by
+// inverse-CDF. Used for value sizes: the Atikoglu et al. Memcached study
+// reports heavy-tailed value sizes well fit by a (generalized) Pareto, and
+// real stores cap values (we bound at H, e.g. 1 MiB).
+type BoundedPareto struct {
+	Alpha float64
+	L, H  float64
+}
+
+// Validate reports whether the parameters define a proper distribution.
+func (b BoundedPareto) Validate() error {
+	if !(b.Alpha > 0) {
+		return fmt.Errorf("randx: BoundedPareto alpha %v must be > 0", b.Alpha)
+	}
+	if !(b.L > 0) || !(b.H > b.L) {
+		return fmt.Errorf("randx: BoundedPareto bounds L=%v H=%v invalid", b.L, b.H)
+	}
+	return nil
+}
+
+// Sample draws one value in [L, H].
+func (b BoundedPareto) Sample(r *RNG) float64 {
+	u := r.Float64Open()
+	la := math.Pow(b.L, b.Alpha)
+	ha := math.Pow(b.H, b.Alpha)
+	// Inverse CDF of the truncated Pareto.
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/b.Alpha)
+	if x < b.L {
+		x = b.L
+	}
+	if x > b.H {
+		x = b.H
+	}
+	return x
+}
+
+// Mean returns the analytic mean of the bounded Pareto.
+func (b BoundedPareto) Mean() float64 {
+	a := b.Alpha
+	if a == 1 {
+		return (b.H * b.L / (b.H - b.L)) * math.Log(b.H/b.L)
+	}
+	la := math.Pow(b.L, a)
+	return la / (1 - math.Pow(b.L/b.H, a)) * (a / (a - 1)) *
+		(1/math.Pow(b.L, a-1) - 1/math.Pow(b.H, a-1))
+}
+
+// Zipf samples ranks in [0, N) with probability proportional to
+// 1/(rank+1)^S. A small precomputed CDF with binary search keeps sampling
+// O(log N) and allocation-free after construction.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with exponent s >= 0
+// (s = 0 degenerates to uniform). It panics if n <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: NewZipf with non-positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against FP drift
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of items.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N); rank 0 is the most popular.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// PoissonProcess generates event times of a homogeneous Poisson process with
+// the given rate (events per second). Times are returned in nanoseconds.
+type PoissonProcess struct {
+	MeanGapNanos float64
+}
+
+// NewPoissonProcess returns a process with the given rate in events/second.
+// It panics if rate <= 0.
+func NewPoissonProcess(rate float64) *PoissonProcess {
+	if !(rate > 0) {
+		panic("randx: PoissonProcess rate must be positive")
+	}
+	return &PoissonProcess{MeanGapNanos: 1e9 / rate}
+}
+
+// NextGap draws the next exponential inter-arrival gap in nanoseconds
+// (always >= 1 so that successive events have distinct timestamps).
+func (p *PoissonProcess) NextGap(r *RNG) int64 {
+	g := int64(r.Exp(p.MeanGapNanos))
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// Geometric samples the number of trials until the first success (support
+// {1, 2, ...}) with success probability p in (0, 1]. Mean is 1/p.
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 1
+	}
+	if p <= 0 {
+		panic("randx: Geometric with non-positive p")
+	}
+	u := r.Float64Open()
+	return 1 + int(math.Floor(math.Log(u)/math.Log(1-p)))
+}

@@ -1,0 +1,141 @@
+// Package randx provides a deterministic, seedable random number generator
+// and the statistical distributions used by the BRB workload and service
+// models: exponential inter-arrivals (Poisson processes), bounded Pareto
+// value sizes (Atikoglu et al., SIGMETRICS '12), Zipf key popularity, and
+// LogNormal service-time noise.
+//
+// All randomness in the repository flows through *randx.RNG so that every
+// experiment is exactly reproducible from its seed, and so that independent
+// sub-streams (arrivals, sizes, keys, ...) can be derived from one master
+// seed without correlation.
+package randx
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256**, seeded via SplitMix64). The zero value is not usable; use
+// New. RNG is not safe for concurrent use; derive one per goroutine with
+// Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG seeded from seed. Two RNGs created with the same seed
+// produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm = splitmix64(&sm)
+		r.s[i] = sm
+	}
+	// Avoid the all-zero state, which is a fixed point of xoshiro.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives an independent child generator. The child's stream is a
+// deterministic function of the parent's current state, and advancing the
+// child does not advance the parent.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64() ^ 0xd1342543de82ef95)
+}
+
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Float64Open returns a uniform value in (0, 1), never exactly zero — safe
+// to pass to log() and inverse-CDF transforms.
+func (r *RNG) Float64Open() float64 {
+	for {
+		v := r.Float64()
+		if v > 0 {
+			return v
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("randx: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle randomly permutes n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Exp returns an exponentially distributed value with the given mean
+// (mean = 1/rate). Used for Poisson inter-arrival times and memoryless
+// service components.
+func (r *RNG) Exp(mean float64) float64 {
+	return -mean * math.Log(r.Float64Open())
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64Open()
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)). Note mu and sigma are the
+// parameters of the underlying normal, not the mean of the result; the mean
+// of the result is exp(mu + sigma^2/2).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}

@@ -1,0 +1,409 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("stream diverged at %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical values", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	r := New(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 99 {
+		t.Fatalf("seed 0 produced only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Advancing the child must not perturb the parent's future stream.
+	want := make([]uint64, 10)
+	probe := New(7)
+	probe.Split() // consume the same split draw
+	for i := range want {
+		want[i] = probe.Uint64()
+	}
+	for i := 0; i < 1000; i++ {
+		child.Uint64()
+	}
+	for i := range want {
+		if got := parent.Uint64(); got != want[i] {
+			t.Fatalf("parent stream perturbed by child at %d", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64OpenNeverZero(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 100000; i++ {
+		if v := r.Float64Open(); v <= 0 || v >= 1 {
+			t.Fatalf("Float64Open out of (0,1): %v", v)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Intn(10)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Intn(10) bucket %d has count %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for n := 1; n <= 20; n++ {
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(13)
+	const mean = 250.0
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v < 0 {
+			t.Fatalf("Exp returned negative %v", v)
+		}
+		sum += v
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Fatalf("Exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(17)
+	const mu, sd, n = 5.0, 2.0, 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(mu, sd)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-mu) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~%v", mean, mu)
+	}
+	if math.Abs(math.Sqrt(variance)-sd) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ~%v", math.Sqrt(variance), sd)
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	r := New(19)
+	mu, sigma := 0.0, 0.5
+	want := math.Exp(mu + sigma*sigma/2)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.LogNormal(mu, sigma)
+	}
+	got := sum / n
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("LogNormal mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestParetoTail(t *testing.T) {
+	r := New(23)
+	p := Pareto{Alpha: 2.5, Xm: 100}
+	sum := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		v := p.Sample(r)
+		if v < p.Xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, p.Xm)
+		}
+		sum += v
+	}
+	got, want := sum/n, p.Mean()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("Pareto mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestBoundedParetoBounds(t *testing.T) {
+	r := New(29)
+	b := BoundedPareto{Alpha: 0.8, L: 16, H: 1 << 20}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200000; i++ {
+		v := b.Sample(r)
+		if v < b.L || v > b.H {
+			t.Fatalf("BoundedPareto sample %v outside [%v,%v]", v, b.L, b.H)
+		}
+	}
+}
+
+func TestBoundedParetoMean(t *testing.T) {
+	r := New(31)
+	for _, b := range []BoundedPareto{
+		{Alpha: 1.5, L: 10, H: 10000},
+		{Alpha: 0.5, L: 32, H: 1 << 20},
+		{Alpha: 2.2, L: 1, H: 100},
+	} {
+		sum := 0.0
+		const n = 400000
+		for i := 0; i < n; i++ {
+			sum += b.Sample(r)
+		}
+		got, want := sum/n, b.Mean()
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("BoundedPareto%+v mean = %v, want ~%v", b, got, want)
+		}
+	}
+}
+
+func TestBoundedParetoValidate(t *testing.T) {
+	for _, b := range []BoundedPareto{
+		{Alpha: 0, L: 1, H: 2},
+		{Alpha: 1, L: 0, H: 2},
+		{Alpha: 1, L: 2, H: 2},
+		{Alpha: -1, L: 1, H: 5},
+	} {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("Validate(%+v) = nil, want error", b)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(37)
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[50] {
+		t.Fatalf("Zipf rank 0 (%d) not more popular than rank 50 (%d)", counts[0], counts[50])
+	}
+	// Rank 0 should get roughly 1/H(100) ≈ 19% of draws at s=1.
+	frac := float64(counts[0]) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("Zipf rank-0 share = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(41)
+	z := NewZipf(10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Fatalf("Zipf(s=0) bucket %d = %d, want ~10000", i, c)
+		}
+	}
+}
+
+func TestPoissonProcessRate(t *testing.T) {
+	r := New(43)
+	p := NewPoissonProcess(1000) // 1000 events/s => mean gap 1ms
+	var total int64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(r)
+		if g < 1 {
+			t.Fatalf("gap %d < 1ns", g)
+		}
+		total += g
+	}
+	meanGap := float64(total) / n
+	if math.Abs(meanGap-1e6)/1e6 > 0.02 {
+		t.Fatalf("Poisson mean gap = %vns, want ~1e6ns", meanGap)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(47)
+	const p = 0.2
+	sum := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.Geometric(p)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	got, want := float64(sum)/n, 1/p
+	if math.Abs(got-want)/want > 0.03 {
+		t.Fatalf("Geometric mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestGeometricEdgeCases(t *testing.T) {
+	r := New(53)
+	if v := r.Geometric(1.0); v != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	r.Geometric(0)
+}
+
+// Property: every seed yields samples inside the declared support.
+func TestQuickBoundedParetoSupport(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		b := BoundedPareto{Alpha: 1.2, L: 8, H: 4096}
+		for i := 0; i < 200; i++ {
+			v := b.Sample(r)
+			if v < b.L || v > b.H {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Zipf samples always fall in [0, N).
+func TestQuickZipfSupport(t *testing.T) {
+	z := NewZipf(37, 0.9)
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 200; i++ {
+			if v := z.Sample(r); v < 0 || v >= 37 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Shuffle preserves the multiset.
+func TestQuickShufflePreserves(t *testing.T) {
+	f := func(seed uint64, raw []byte) bool {
+		r := New(seed)
+		vals := make([]int, len(raw))
+		for i, b := range raw {
+			vals[i] = int(b)
+		}
+		before := map[int]int{}
+		for _, v := range vals {
+			before[v]++
+		}
+		r.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		after := map[int]int{}
+		for _, v := range vals {
+			after[v]++
+		}
+		if len(before) != len(after) {
+			return false
+		}
+		for k, c := range before {
+			if after[k] != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkBoundedPareto(b *testing.B) {
+	r := New(1)
+	bp := BoundedPareto{Alpha: 0.9, L: 16, H: 1 << 20}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += bp.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkZipf(b *testing.B) {
+	r := New(1)
+	z := NewZipf(1024, 0.99)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += z.Sample(r)
+	}
+	_ = sink
+}

@@ -1,0 +1,198 @@
+// Package sim implements a deterministic discrete-event simulation engine:
+// a virtual clock, a cancellable event heap, and helpers for periodic
+// processes. It is the substrate on which the BRB evaluation (clients,
+// servers, network, controller) runs.
+//
+// The engine is single-threaded by design: determinism matters more than
+// parallelism for a scheduling study, and events at equal timestamps are
+// executed in scheduling order (FIFO tie-break) so runs replay bit-for-bit
+// from a seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a simulated instant in nanoseconds since the start of the run.
+type Time = int64
+
+// Common durations in nanoseconds, for readable configuration.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Event is a scheduled callback. It may be cancelled before it fires.
+type Event struct {
+	at     Time
+	seq    uint64
+	index  int // heap index; -1 when not in the heap
+	fn     func()
+	cancel bool
+}
+
+// At returns the time the event is (or was) scheduled to fire.
+func (e *Event) At() Time { return e.at }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancel }
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now      Time
+	seq      uint64
+	events   eventHeap
+	executed uint64
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far (for throughput
+// accounting and tests).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t. Scheduling in the past (t <
+// Now) panics: it would silently reorder causality. Scheduling at exactly
+// Now is allowed and runs after currently queued same-time events.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil function")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn, index: -1}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now. Negative d panics.
+func (e *Engine) After(d Time, fn func()) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.cancel {
+		return
+	}
+	ev.cancel = true
+	if ev.index >= 0 {
+		heap.Remove(&e.events, ev.index)
+	}
+}
+
+// Step executes the single earliest pending event. It reports whether an
+// event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until none remain.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// t. Events scheduled after t remain pending.
+func (e *Engine) RunUntil(t Time) {
+	for len(e.events) > 0 {
+		next := e.events[0]
+		if next.cancel {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Every schedules fn to run at now+d, now+2d, ... until the returned stop
+// function is called. d must be positive.
+func (e *Engine) Every(d Time, fn func()) (stop func()) {
+	if d <= 0 {
+		panic("sim: Every with non-positive period")
+	}
+	stopped := false
+	var ev *Event
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			ev = e.After(d, tick)
+		}
+	}
+	ev = e.After(d, tick)
+	return func() {
+		stopped = true
+		e.Cancel(ev)
+	}
+}
+
+// Duration renders a simulated duration using time.Duration formatting,
+// e.g. for log output.
+func Duration(t Time) time.Duration { return time.Duration(t) }
+
+// eventHeap is a min-heap ordered by (at, seq): earliest first, FIFO among
+// equal timestamps.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,321 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(0, func() { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("event at t=0 did not fire")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(30, func() { order = append(order, 3) })
+	e.At(10, func() { order = append(order, 1) })
+	e.At(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired in order %v, want [1 2 3]", order)
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	var e Engine
+	var seen []Time
+	e.At(5, func() { seen = append(seen, e.Now()) })
+	e.At(17, func() { seen = append(seen, e.Now()) })
+	e.Run()
+	if seen[0] != 5 || seen[1] != 17 {
+		t.Fatalf("Now() inside events = %v, want [5 17]", seen)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	var e Engine
+	var at Time
+	e.At(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After(50) from t=100 fired at %d, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func() {})
+	})
+	e.Run()
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil fn did not panic")
+		}
+	}()
+	e.At(0, nil)
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.At(10, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelIdempotent(t *testing.T) {
+	var e Engine
+	ev := e.At(10, func() {})
+	e.Cancel(ev)
+	e.Cancel(ev) // must not panic
+	e.Cancel(nil)
+	e.Run()
+}
+
+func TestCancelDuringRun(t *testing.T) {
+	var e Engine
+	fired := false
+	var victim *Event
+	e.At(1, func() { e.Cancel(victim) })
+	victim = e.At(2, func() { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled at t=1 still fired at t=2")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	var fired []Time
+	for _, ts := range []Time{10, 20, 30, 40} {
+		ts := ts
+		e.At(ts, func() { fired = append(fired, ts) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil(25) fired %v, want 2 events", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now() = %d after RunUntil(25)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("Run after RunUntil fired %v", fired)
+	}
+}
+
+func TestRunUntilBoundaryInclusive(t *testing.T) {
+	var e Engine
+	fired := false
+	e.At(25, func() { fired = true })
+	e.RunUntil(25)
+	if !fired {
+		t.Fatal("event exactly at boundary did not fire")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	var e Engine
+	var ticks []Time
+	var stop func()
+	stop = e.Every(10, func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) == 3 {
+			stop()
+		}
+	})
+	e.Run()
+	if len(ticks) != 3 || ticks[0] != 10 || ticks[1] != 20 || ticks[2] != 30 {
+		t.Fatalf("Every(10) ticks = %v, want [10 20 30]", ticks)
+	}
+}
+
+func TestEveryStopBeforeFirstTick(t *testing.T) {
+	var e Engine
+	n := 0
+	stop := e.Every(10, func() { n++ })
+	stop()
+	e.Run()
+	if n != 0 {
+		t.Fatalf("stopped periodic task ticked %d times", n)
+	}
+}
+
+func TestEveryNonPositivePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	e.Every(0, func() {})
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	var e Engine
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestExecutedCount(t *testing.T) {
+	var e Engine
+	for i := Time(0); i < 10; i++ {
+		e.At(i, func() {})
+	}
+	ev := e.At(100, func() {})
+	e.Cancel(ev)
+	e.Run()
+	if e.Executed() != 10 {
+		t.Fatalf("Executed() = %d, want 10 (cancelled events don't count)", e.Executed())
+	}
+}
+
+func TestCascadingEvents(t *testing.T) {
+	var e Engine
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 1000 {
+			e.After(1, recurse)
+		}
+	}
+	e.At(0, recurse)
+	e.Run()
+	if depth != 1000 {
+		t.Fatalf("cascade depth = %d, want 1000", depth)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("Now() = %d, want 999", e.Now())
+	}
+}
+
+// Property: for any batch of (time, id) pairs, execution order is sorted by
+// time with FIFO tie-break — i.e. a stable sort of the schedule order.
+func TestQuickExecutionOrderIsStableSort(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		r := randx.New(seed)
+		var e Engine
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var fired []rec
+		for i := 0; i < n; i++ {
+			at := Time(r.Intn(20)) // force many ties
+			i := i
+			e.At(at, func() { fired = append(fired, rec{at, i}) })
+		}
+		e.Run()
+		if len(fired) != n {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			a, b := fired[i-1], fired[i]
+			if a.at > b.at {
+				return false
+			}
+			if a.at == b.at && a.seq > b.seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling an arbitrary subset leaves exactly the complement to
+// fire.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%50) + 1
+		r := randx.New(seed)
+		var e Engine
+		firedCount := 0
+		var evs []*Event
+		cancelled := map[int]bool{}
+		for i := 0; i < n; i++ {
+			evs = append(evs, e.At(Time(r.Intn(1000)), func() { firedCount++ }))
+		}
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.5 {
+				cancelled[i] = true
+				e.Cancel(evs[i])
+			}
+		}
+		e.Run()
+		return firedCount == n-len(cancelled)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	var e Engine
+	r := randx.New(1)
+	// Self-sustaining event population: each event reschedules itself.
+	const population = 1024
+	remaining := b.N
+	var spin func()
+	spin = func() {
+		if remaining <= 0 {
+			return
+		}
+		remaining--
+		e.After(Time(r.Intn(1000)+1), spin)
+	}
+	for i := 0; i < population && i < b.N; i++ {
+		e.At(Time(i), spin)
+	}
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,187 @@
+// Package trace serializes workload traces to a compact binary format so
+// experiments can be replayed bit-identically across machines and shared
+// the way the paper's (proprietary) SoundCloud trace was used internally:
+// generate once, evaluate every strategy on the same file.
+//
+// Format: a magic header, the task count, then per task: id, client,
+// arrival, fan-out, and per request: key, group, size, estimated cost,
+// service demand. All integers are varint-encoded (traces compress ~3×
+// vs fixed width).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/workload"
+)
+
+// magic identifies trace files (format version 1).
+var magic = []byte("BRBTRACE1")
+
+// ErrBadMagic is returned when a file is not a BRB trace.
+var ErrBadMagic = errors.New("trace: bad magic (not a BRB trace file)")
+
+// Write serializes a trace.
+func Write(w io.Writer, tr *workload.Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	putVarint := func(v int64) error {
+		n := binary.PutVarint(buf[:], v)
+		_, err := bw.Write(buf[:n])
+		return err
+	}
+	if err := putUvarint(uint64(len(tr.Tasks))); err != nil {
+		return err
+	}
+	var prevArrive int64
+	for _, t := range tr.Tasks {
+		if err := putUvarint(t.ID); err != nil {
+			return err
+		}
+		if err := putUvarint(uint64(t.Client)); err != nil {
+			return err
+		}
+		// Delta-encode arrivals: they are sorted, so deltas are small.
+		if err := putUvarint(uint64(t.ArriveAt - prevArrive)); err != nil {
+			return err
+		}
+		prevArrive = t.ArriveAt
+		if err := putUvarint(uint64(len(t.Requests))); err != nil {
+			return err
+		}
+		for _, r := range t.Requests {
+			if err := putUvarint(r.ID); err != nil {
+				return err
+			}
+			if err := putUvarint(r.Key); err != nil {
+				return err
+			}
+			if err := putUvarint(uint64(r.Group)); err != nil {
+				return err
+			}
+			if err := putVarint(r.Size); err != nil {
+				return err
+			}
+			if err := putVarint(r.EstCost); err != nil {
+				return err
+			}
+			if err := putVarint(r.Service); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (*workload.Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != string(magic) {
+		return nil, ErrBadMagic
+	}
+	nTasks, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	const maxTasks = 100_000_000
+	if nTasks > maxTasks {
+		return nil, fmt.Errorf("trace: %d tasks exceeds limit", nTasks)
+	}
+	tr := &workload.Trace{Tasks: make([]*core.Task, 0, nTasks)}
+	var prevArrive int64
+	for i := uint64(0); i < nTasks; i++ {
+		t := &core.Task{}
+		if t.ID, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t.Client = int(c)
+		delta, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		t.ArriveAt = prevArrive + int64(delta)
+		prevArrive = t.ArriveAt
+		fan, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if fan > 1<<20 {
+			return nil, fmt.Errorf("trace: fan-out %d exceeds limit", fan)
+		}
+		t.Requests = make([]*core.Request, 0, fan)
+		for j := uint64(0); j < fan; j++ {
+			req := &core.Request{TaskID: t.ID, Client: t.Client}
+			if req.ID, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+			if req.Key, err = binary.ReadUvarint(br); err != nil {
+				return nil, err
+			}
+			g, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			req.Group = cluster.GroupID(g)
+			if req.Size, err = binary.ReadVarint(br); err != nil {
+				return nil, err
+			}
+			if req.EstCost, err = binary.ReadVarint(br); err != nil {
+				return nil, err
+			}
+			if req.Service, err = binary.ReadVarint(br); err != nil {
+				return nil, err
+			}
+			t.Requests = append(t.Requests, req)
+		}
+		tr.TotalRequests += len(t.Requests)
+		tr.Tasks = append(tr.Tasks, t)
+		tr.Horizon = t.ArriveAt
+	}
+	return tr, nil
+}
+
+// Save writes a trace to a file.
+func Save(path string, tr *workload.Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, tr); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace from a file.
+func Load(path string) (*workload.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/credits"
+	"github.com/brb-repro/brb/internal/engine"
+	"github.com/brb-repro/brb/internal/workload"
+)
+
+func genTrace(t *testing.T, tasks int, seed uint64) (*workload.Trace, *cluster.Topology) {
+	t.Helper()
+	cfg := engine.Defaults()
+	cfg.Tasks = tasks
+	cfg.Keys = 5000
+	cfg.Seed = seed
+	topo := cluster.MustNew(cluster.Config{Servers: cfg.Servers, Replication: cfg.Replication})
+	tr, err := workload.Generate(cfg.WorkloadConfig(), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr, topo
+}
+
+func tracesEqual(a, b *workload.Trace) bool {
+	if len(a.Tasks) != len(b.Tasks) || a.TotalRequests != b.TotalRequests || a.Horizon != b.Horizon {
+		return false
+	}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.ID != tb.ID || ta.Client != tb.Client || ta.ArriveAt != tb.ArriveAt || len(ta.Requests) != len(tb.Requests) {
+			return false
+		}
+		for j := range ta.Requests {
+			ra, rb := ta.Requests[j], tb.Requests[j]
+			if ra.ID != rb.ID || ra.Key != rb.Key || ra.Group != rb.Group ||
+				ra.Size != rb.Size || ra.EstCost != rb.EstCost || ra.Service != rb.Service ||
+				ra.TaskID != rb.TaskID || ra.Client != rb.Client {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr, _ := genTrace(t, 2000, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("trace round trip mismatch")
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	tr, _ := genTrace(t, 1000, 2)
+	path := filepath.Join(t.TempDir(), "w.trace")
+	if err := Save(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tracesEqual(tr, got) {
+		t.Fatal("save/load mismatch")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOTATRACE"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	tr, _ := genTrace(t, 100, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{5, len(magic), len(magic) + 1, len(data) / 2, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReplayedTraceGivesIdenticalResults(t *testing.T) {
+	// A saved+loaded trace must produce byte-identical simulation
+	// results via RunTrace.
+	tr, topo := genTrace(t, 3000, 4)
+	cfg := engine.Defaults()
+	cfg.Tasks = 3000
+	cfg.Keys = 5000
+	cfg.Seed = 4
+
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res1, err := engine.RunTrace(cfg, credits.New(core.EqualMax{}, credits.Options{}), topo, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := engine.RunTrace(cfg, credits.New(core.EqualMax{}, credits.Options{}), topo, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.TaskLatency != res2.TaskLatency || res1.Events != res2.Events {
+		t.Fatal("replayed trace produced different results")
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	tr, _ := genTrace(t, 5000, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	perReq := float64(buf.Len()) / float64(tr.TotalRequests)
+	// Fixed-width encoding would be ≈44 B/request; varints should do
+	// much better.
+	if perReq > 30 {
+		t.Fatalf("trace encoding uses %.1f B/request, want < 30", perReq)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	cfg := engine.Defaults()
+	cfg.Tasks = 5000
+	cfg.Keys = 5000
+	topo := cluster.MustNew(cluster.Config{Servers: cfg.Servers, Replication: cfg.Replication})
+	tr, err := workload.Generate(cfg.WorkloadConfig(), topo)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

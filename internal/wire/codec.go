@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Message is any protocol message.
+type Message interface {
+	msgType() MsgType
+	encode(w *buffer)
+}
+
+func (m *BatchReq) msgType() MsgType { return TBatchReq }
+func (m *BatchReq) encode(w *buffer) {
+	w.u64(m.Batch)
+	w.u64(m.TaskID)
+	if len(m.Priority) != len(m.Keys) {
+		panic("wire: BatchReq Priority/Keys length mismatch")
+	}
+	w.u32(uint32(len(m.Keys)))
+	for i, k := range m.Keys {
+		w.i64(m.Priority[i])
+		w.key(k)
+	}
+}
+
+func decodeBatchReq(r *reader) (*BatchReq, error) {
+	m := &BatchReq{Batch: r.u64(), TaskID: r.u64()}
+	n := int(r.u32())
+	if r.err == nil && n > MaxFrame/3 {
+		return nil, ErrFrameTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Priority = append(m.Priority, r.i64())
+		m.Keys = append(m.Keys, r.key())
+	}
+	return m, r.done()
+}
+
+func (m *BatchResp) msgType() MsgType { return TBatchResp }
+func (m *BatchResp) encode(w *buffer) {
+	w.u64(m.Batch)
+	w.u32(m.QueueLen)
+	w.i64(m.WaitNanos)
+	if len(m.Values) != len(m.Found) {
+		panic("wire: BatchResp Values/Found length mismatch")
+	}
+	w.u32(uint32(len(m.Values)))
+	for i, v := range m.Values {
+		if m.Found[i] {
+			w.u8(1)
+			w.val(v)
+		} else {
+			w.u8(0)
+		}
+	}
+}
+
+func decodeBatchResp(r *reader) (*BatchResp, error) {
+	m := &BatchResp{Batch: r.u64(), QueueLen: r.u32(), WaitNanos: r.i64()}
+	n := int(r.u32())
+	if r.err == nil && n > MaxFrame/2 {
+		return nil, ErrFrameTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		if r.u8() == 1 {
+			m.Values = append(m.Values, r.val())
+			m.Found = append(m.Found, true)
+		} else {
+			m.Values = append(m.Values, nil)
+			m.Found = append(m.Found, false)
+		}
+	}
+	return m, r.done()
+}
+
+func (m *Set) msgType() MsgType { return TSet }
+func (m *Set) encode(w *buffer) {
+	w.u64(m.Seq)
+	w.key(m.Key)
+	w.val(m.Value)
+}
+
+func decodeSet(r *reader) (*Set, error) {
+	m := &Set{Seq: r.u64(), Key: r.key(), Value: r.val()}
+	return m, r.done()
+}
+
+func (m *SetResp) msgType() MsgType { return TSetResp }
+func (m *SetResp) encode(w *buffer) { w.u64(m.Seq) }
+
+func decodeSetResp(r *reader) (*SetResp, error) {
+	m := &SetResp{Seq: r.u64()}
+	return m, r.done()
+}
+
+func (m *Report) msgType() MsgType { return TReport }
+func (m *Report) encode(w *buffer) {
+	w.u32(m.Client)
+	w.u32(uint32(len(m.Demand)))
+	for _, d := range m.Demand {
+		w.f64(d)
+	}
+}
+
+func decodeReport(r *reader) (*Report, error) {
+	m := &Report{Client: r.u32()}
+	n := int(r.u32())
+	if r.err == nil && n > 1<<20 {
+		return nil, ErrFrameTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Demand = append(m.Demand, r.f64())
+	}
+	return m, r.done()
+}
+
+func (m *Grant) msgType() MsgType { return TGrant }
+func (m *Grant) encode(w *buffer) {
+	w.u32(uint32(len(m.Alloc)))
+	for _, a := range m.Alloc {
+		w.f64(a)
+	}
+}
+
+func decodeGrant(r *reader) (*Grant, error) {
+	m := &Grant{}
+	n := int(r.u32())
+	if r.err == nil && n > 1<<20 {
+		return nil, ErrFrameTooLarge
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Alloc = append(m.Alloc, r.f64())
+	}
+	return m, r.done()
+}
+
+func (m *Ping) msgType() MsgType { return TPing }
+func (m *Ping) encode(w *buffer) { w.u64(m.Nonce) }
+
+func decodePing(r *reader) (*Ping, error) {
+	m := &Ping{Nonce: r.u64()}
+	return m, r.done()
+}
+
+func (m *Pong) msgType() MsgType { return TPong }
+func (m *Pong) encode(w *buffer) { w.u64(m.Nonce) }
+
+func decodePong(r *reader) (*Pong, error) {
+	m := &Pong{Nonce: r.u64()}
+	return m, r.done()
+}
+
+// Encode serializes a message into a framed byte slice.
+func Encode(m Message) []byte {
+	var w buffer
+	w.b = make([]byte, 5, 64) // length placeholder + type
+	w.b[4] = byte(m.msgType())
+	m.encode(&w)
+	binary.BigEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
+	return w.b
+}
+
+// Decode parses one frame payload (type byte + body, without the length
+// prefix).
+func Decode(frame []byte) (Message, error) {
+	if len(frame) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	r := &reader{b: frame[1:]}
+	switch MsgType(frame[0]) {
+	case TBatchReq:
+		return decodeBatchReq(r)
+	case TBatchResp:
+		return decodeBatchResp(r)
+	case TSet:
+		return decodeSet(r)
+	case TSetResp:
+		return decodeSetResp(r)
+	case TReport:
+		return decodeReport(r)
+	case TGrant:
+		return decodeGrant(r)
+	case TPing:
+		return decodePing(r)
+	case TPong:
+		return decodePong(r)
+	}
+	return nil, fmt.Errorf("wire: unknown message type %d", frame[0])
+}
+
+// WriteMessage frames and writes a message.
+func WriteMessage(w io.Writer, m Message) error {
+	_, err := w.Write(Encode(m))
+	return err
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	frame := make([]byte, n)
+	if _, err := io.ReadFull(r, frame); err != nil {
+		return nil, err
+	}
+	return Decode(frame)
+}

@@ -1,0 +1,209 @@
+// Package wire defines the binary protocol of the networked BRB store:
+// length-prefixed frames carrying batched read requests with task-aware
+// priorities, responses, and the demand-report / credit-grant messages
+// spoken with the credits controller.
+//
+// Frame layout: 4-byte big-endian payload length, 1-byte message type,
+// payload. All integers are big-endian; strings and byte slices are
+// length-prefixed (uint16 for keys, uint32 for values).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates frame payloads.
+type MsgType uint8
+
+// Message types.
+const (
+	// TBatchReq is a client→server batched read: all requests of one
+	// sub-task destined for this server, carrying per-key priorities.
+	TBatchReq MsgType = 1
+	// TBatchResp is the server→client response to a TBatchReq.
+	TBatchResp MsgType = 2
+	// TSet is a client→server write (used by loaders and examples).
+	TSet MsgType = 3
+	// TSetResp acknowledges a TSet.
+	TSetResp MsgType = 4
+	// TReport is a client→controller demand report.
+	TReport MsgType = 5
+	// TGrant is a controller→client credit assignment.
+	TGrant MsgType = 6
+	// TPing/TPong are liveness probes.
+	TPing MsgType = 7
+	TPong MsgType = 8
+)
+
+// MaxFrame bounds frame payloads (16 MiB) to fail fast on corrupt length
+// prefixes.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned for frames exceeding MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+
+// BatchReq is one sub-task's worth of reads for a single server.
+type BatchReq struct {
+	// Batch identifies the batch within the issuing client connection.
+	Batch uint64
+	// TaskID is the end-user task the batch belongs to (telemetry).
+	TaskID uint64
+	// Priority is the task-aware scheduling priority of each key (lower
+	// is served sooner), parallel to Keys.
+	Priority []int64
+	// Keys are the keys to read.
+	Keys []string
+}
+
+// BatchResp answers a BatchReq.
+type BatchResp struct {
+	Batch uint64
+	// Values are the read results, parallel to the request's Keys; a
+	// missing key yields a nil value and Found[i] == false.
+	Values [][]byte
+	Found  []bool
+	// QueueLen and WaitNanos piggyback server state for client-side
+	// feedback (queue length at service start of the batch's last key,
+	// aggregate time the batch waited).
+	QueueLen  uint32
+	WaitNanos int64
+}
+
+// Set writes one key.
+type Set struct {
+	Seq   uint64
+	Key   string
+	Value []byte
+}
+
+// SetResp acknowledges a Set.
+type SetResp struct {
+	Seq uint64
+}
+
+// Report is a client's demand report: estimated service nanoseconds sent
+// to each server since the last report.
+type Report struct {
+	Client uint32
+	// Demand[i] is the demand toward server i (dense by server index).
+	Demand []float64
+}
+
+// Grant is the controller's credit assignment for the next interval.
+type Grant struct {
+	// Alloc[i] is the client's credit grant at server i, in estimated
+	// service nanoseconds per measurement interval.
+	Alloc []float64
+}
+
+// Ping is a liveness probe.
+type Ping struct{ Nonce uint64 }
+
+// Pong answers a Ping.
+type Pong struct{ Nonce uint64 }
+
+// --- encoding helpers ---
+
+type buffer struct{ b []byte }
+
+func (w *buffer) u8(v uint8)    { w.b = append(w.b, v) }
+func (w *buffer) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *buffer) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *buffer) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
+func (w *buffer) i64(v int64)   { w.u64(uint64(v)) }
+func (w *buffer) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *buffer) key(s string) {
+	if len(s) > 0xffff {
+		panic("wire: key longer than 64 KiB")
+	}
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *buffer) val(v []byte) {
+	w.u32(uint32(len(v)))
+	w.b = append(w.b, v...)
+}
+
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+func (r *reader) u8() uint8 {
+	s := r.need(1)
+	if s == nil {
+		return 0
+	}
+	return s[0]
+}
+func (r *reader) u16() uint16 {
+	s := r.need(2)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(s)
+}
+func (r *reader) u32() uint32 {
+	s := r.need(4)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s)
+}
+func (r *reader) u64() uint64 {
+	s := r.need(8)
+	if s == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(s)
+}
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) key() string {
+	n := int(r.u16())
+	s := r.need(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+func (r *reader) val() []byte {
+	n := int(r.u32())
+	if r.err == nil && n > MaxFrame {
+		r.err = ErrFrameTooLarge
+		return nil
+	}
+	s := r.need(n)
+	if s == nil {
+		return nil
+	}
+	cp := make([]byte, n)
+	copy(cp, s)
+	return cp
+}
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
+	}
+	return nil
+}

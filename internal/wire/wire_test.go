@@ -1,0 +1,237 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	enc := Encode(m)
+	got, err := Decode(enc[4:])
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", m, err)
+	}
+	return got
+}
+
+func TestBatchReqRoundTrip(t *testing.T) {
+	m := &BatchReq{
+		Batch:    42,
+		TaskID:   7,
+		Priority: []int64{100, -5, 0},
+		Keys:     []string{"track:1", "track:2", ""},
+	}
+	got := roundTrip(t, m).(*BatchReq)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", m, got)
+	}
+}
+
+func TestBatchRespRoundTrip(t *testing.T) {
+	m := &BatchResp{
+		Batch:     42,
+		Values:    [][]byte{[]byte("abc"), nil, {}},
+		Found:     []bool{true, false, true},
+		QueueLen:  9,
+		WaitNanos: 12345,
+	}
+	got := roundTrip(t, m).(*BatchResp)
+	if got.Batch != 42 || got.QueueLen != 9 || got.WaitNanos != 12345 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !got.Found[0] || got.Found[1] || !got.Found[2] {
+		t.Fatalf("found mismatch: %v", got.Found)
+	}
+	if string(got.Values[0]) != "abc" || got.Values[1] != nil || len(got.Values[2]) != 0 {
+		t.Fatalf("values mismatch: %q", got.Values)
+	}
+}
+
+func TestSetRoundTrip(t *testing.T) {
+	m := &Set{Seq: 1, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
+	got := roundTrip(t, m).(*Set)
+	if got.Seq != 1 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
+		t.Fatal("set mismatch")
+	}
+	ack := roundTrip(t, &SetResp{Seq: 5}).(*SetResp)
+	if ack.Seq != 5 {
+		t.Fatal("setresp mismatch")
+	}
+}
+
+func TestReportGrantRoundTrip(t *testing.T) {
+	r := &Report{Client: 3, Demand: []float64{1.5, 0, math.Pi, 1e12}}
+	got := roundTrip(t, r).(*Report)
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("report mismatch: %+v vs %+v", r, got)
+	}
+	g := &Grant{Alloc: []float64{0.25, 7e9}}
+	gotG := roundTrip(t, g).(*Grant)
+	if !reflect.DeepEqual(g, gotG) {
+		t.Fatalf("grant mismatch")
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	if got := roundTrip(t, &Ping{Nonce: 99}).(*Ping); got.Nonce != 99 {
+		t.Fatal("ping mismatch")
+	}
+	if got := roundTrip(t, &Pong{Nonce: 100}).(*Pong); got.Nonce != 100 {
+		t.Fatal("pong mismatch")
+	}
+}
+
+func TestUnknownType(t *testing.T) {
+	if _, err := Decode([]byte{0xFF, 0, 0}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestEmptyFrame(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	enc := Encode(&BatchReq{Batch: 1, TaskID: 2, Priority: []int64{1}, Keys: []string{"abc"}})
+	for cut := 5; cut < len(enc)-1; cut++ {
+		if _, err := Decode(enc[4:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	enc := Encode(&Ping{Nonce: 1})
+	frame := append(enc[4:], 0xEE)
+	if _, err := Decode(frame); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestStreamReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []Message{
+		&Ping{Nonce: 1},
+		&BatchReq{Batch: 2, TaskID: 3, Priority: []int64{9}, Keys: []string{"x"}},
+		&Grant{Alloc: []float64{1, 2, 3}},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for i, want := range msgs {
+		got, err := ReadMessage(r)
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("msg %d mismatch: %+v vs %+v", i, got, want)
+		}
+	}
+	if _, err := ReadMessage(r); err == nil {
+		t.Fatal("read past end succeeded")
+	}
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF}) // absurd length
+	buf.WriteByte(byte(TPing))
+	if _, err := ReadMessage(bufio.NewReader(&buf)); err != ErrFrameTooLarge {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestMismatchedBatchReqPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Priority/Keys did not panic")
+		}
+	}()
+	Encode(&BatchReq{Priority: []int64{1}, Keys: nil})
+}
+
+// Property: BatchReq round-trips for arbitrary keys and priorities.
+func TestQuickBatchReqRoundTrip(t *testing.T) {
+	f := func(batch, task uint64, prios []int64, rawKeys [][]byte) bool {
+		n := len(prios)
+		if len(rawKeys) < n {
+			n = len(rawKeys)
+		}
+		m := &BatchReq{Batch: batch, TaskID: task}
+		for i := 0; i < n; i++ {
+			k := rawKeys[i]
+			if len(k) > 0xffff {
+				k = k[:0xffff]
+			}
+			m.Priority = append(m.Priority, prios[i])
+			m.Keys = append(m.Keys, string(k))
+		}
+		enc := Encode(m)
+		got, err := Decode(enc[4:])
+		if err != nil {
+			return false
+		}
+		gb := got.(*BatchReq)
+		if gb.Batch != m.Batch || gb.TaskID != m.TaskID || len(gb.Keys) != len(m.Keys) {
+			return false
+		}
+		for i := range m.Keys {
+			if gb.Keys[i] != m.Keys[i] || gb.Priority[i] != m.Priority[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random byte garbage never panics the decoder.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	f := func(frame []byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Error("decoder panicked")
+			}
+		}()
+		_, _ = Decode(frame)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncodeBatchReq(b *testing.B) {
+	m := &BatchReq{Batch: 1, TaskID: 2,
+		Priority: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Keys:     []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(m)
+	}
+}
+
+func BenchmarkDecodeBatchReq(b *testing.B) {
+	m := &BatchReq{Batch: 1, TaskID: 2,
+		Priority: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+		Keys:     []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
+	enc := Encode(m)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,399 @@
+// Package workload generates the evaluation workload of paper §2.2: a
+// SoundCloud-like trace of ~500,000 tasks with an average fan-out of 8.6
+// requests per task, value sizes from a Pareto distribution following the
+// Atikoglu et al. Facebook Memcached study, and Poisson task arrivals whose
+// mean rate is a configurable fraction (70% in the paper) of system
+// capacity.
+//
+// The production trace itself is proprietary; this package is the
+// substitution documented in DESIGN.md §5 — a parametric generator that
+// matches every statistic the paper discloses and exposes the rest
+// (fan-out dispersion, key skew) as parameters for sensitivity sweeps.
+package workload
+
+import (
+	"fmt"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+// Config parameterizes trace generation. NewConfig returns the paper's
+// defaults.
+type Config struct {
+	// Tasks is the number of tasks to generate (paper: ~500,000; the
+	// harness defaults lower for iteration speed, see engine.Config).
+	Tasks int
+	// Clients is the number of application servers issuing tasks
+	// (paper: 18). Tasks are assigned to clients uniformly.
+	Clients int
+	// MeanFanout is the mean number of requests per task (paper: 8.6,
+	// including the burst component below).
+	MeanFanout float64
+	// MaxFanout truncates the geometric (non-burst) fan-out
+	// distribution (0 = 64).
+	MaxFanout int
+	// BurstProb is the probability a task is a "playlist burst" with
+	// fan-out Uniform[BurstMin, BurstMax] — the paper's motivation is
+	// fan-outs of "tens to thousands" of accesses, and rare huge tasks
+	// are what floods FIFO queues. The geometric component's mean is
+	// solved so the overall mean stays MeanFanout. Defaults: 0.5%,
+	// 50–256.
+	BurstProb          float64
+	BurstMin, BurstMax int
+	// Keys is the key-space size; keys are drawn Zipf(ZipfS) within
+	// their partition.
+	Keys int
+	// ZipfS is the within-partition key-popularity Zipf exponent
+	// (0 = uniform).
+	ZipfS float64
+	// GroupZipfS skews popularity across partitions (replica groups):
+	// request groups are drawn Zipf(GroupZipfS) over a scattered rank
+	// order, modelling the sustained hot partitions of production
+	// workloads ("skewed workload patterns exacerbate the challenge").
+	// 0 = uniform partitions. Popularity ranks are scattered (bit-
+	// reversal style) so consecutive ring positions don't concentrate
+	// on the same servers.
+	GroupZipfS float64
+	// SizeDist generates value sizes in bytes (paper: Pareto per the
+	// Atikoglu study; bounded at 1 MiB).
+	SizeDist randx.BoundedPareto
+	// CostModel forecasts service times from sizes; also used (with
+	// noise) to draw actual service demands.
+	CostModel core.CostModel
+	// ServiceNoiseSigma is the sigma of the multiplicative LogNormal
+	// service-time noise (mean 1). Zero disables noise.
+	ServiceNoiseSigma float64
+	// ArrivalRate is the mean task arrival rate in tasks/second across
+	// all clients (Poisson process).
+	ArrivalRate float64
+	// Seed drives all randomness; identical configs with identical
+	// seeds generate identical traces.
+	Seed uint64
+}
+
+// DefaultSizeDist is the value-size distribution used throughout: a
+// bounded Pareto (the paper generates sizes "using a Pareto distribution
+// based on [the Atikoglu et al.] study"). Parameters are chosen so that
+// (a) the tail is heavy enough that a request's service time can exceed
+// the mean by ~10-20× — the skew task-aware scheduling exploits — and
+// (b) the largest value (128 KiB) keeps per-request service in the
+// single-millisecond range, matching the 0-15 ms axis of Figure 2.
+// Mean ≈ 5.0 KiB; P(size > 64 KiB) ≈ 1.2%.
+func DefaultSizeDist() randx.BoundedPareto {
+	return randx.BoundedPareto{Alpha: 1.0, L: 1024, H: 128 << 10}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Tasks <= 0 {
+		return fmt.Errorf("workload: Tasks %d must be positive", c.Tasks)
+	}
+	if c.Clients <= 0 {
+		return fmt.Errorf("workload: Clients %d must be positive", c.Clients)
+	}
+	if !(c.MeanFanout >= 1) {
+		return fmt.Errorf("workload: MeanFanout %v must be >= 1", c.MeanFanout)
+	}
+	if c.Keys <= 0 {
+		return fmt.Errorf("workload: Keys %d must be positive", c.Keys)
+	}
+	if err := c.SizeDist.Validate(); err != nil {
+		return err
+	}
+	if err := c.CostModel.Validate(); err != nil {
+		return err
+	}
+	if !(c.ArrivalRate > 0) {
+		return fmt.Errorf("workload: ArrivalRate %v must be positive", c.ArrivalRate)
+	}
+	return nil
+}
+
+// Trace is a generated workload: tasks sorted by arrival time, with all
+// randomness (sizes, service demands) resolved so every scheduling strategy
+// replays identical demands.
+type Trace struct {
+	Tasks []*core.Task
+	// TotalRequests is the sum of fan-outs.
+	TotalRequests int
+	// Horizon is the arrival time of the last task.
+	Horizon int64
+}
+
+// MeanFanout returns the realized mean fan-out of the trace.
+func (tr *Trace) MeanFanout() float64 {
+	if len(tr.Tasks) == 0 {
+		return 0
+	}
+	return float64(tr.TotalRequests) / float64(len(tr.Tasks))
+}
+
+// Generate builds a trace for the given topology.
+func Generate(cfg Config, topo *cluster.Topology) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxFanout <= 0 {
+		cfg.MaxFanout = 64
+	}
+	if cfg.BurstProb < 0 {
+		cfg.BurstProb = 0
+	}
+	if cfg.BurstMin <= 0 {
+		cfg.BurstMin = 50
+	}
+	if cfg.BurstMax < cfg.BurstMin {
+		cfg.BurstMax = 400
+	}
+	master := randx.New(cfg.Seed)
+	arrivalRNG := master.Split()
+	fanoutRNG := master.Split()
+	keyRNG := master.Split()
+	sizeRNG := master.Split()
+	noiseRNG := master.Split()
+	clientRNG := master.Split()
+
+	arrivals := randx.NewPoissonProcess(cfg.ArrivalRate)
+
+	// Bucket the key space by partition so requests can be drawn with
+	// explicit partition-level skew while keys still map to groups via
+	// the topology's hash (traces stay consistent with GroupOfKeyID).
+	groupKeys := make([][]uint64, topo.NumPartitions())
+	for k := uint64(0); k < uint64(cfg.Keys); k++ {
+		g := topo.GroupOfKeyID(k)
+		groupKeys[g] = append(groupKeys[g], k)
+	}
+	// Partition popularity: Zipf over a scattered rank order so hot
+	// partitions do not land on adjacent ring positions.
+	groupZipf := randx.NewZipf(topo.NumPartitions(), cfg.GroupZipfS)
+	rankToGroup := scatterRanks(topo.NumPartitions())
+	// Within-partition key popularity.
+	keyZipfs := make([]*randx.Zipf, topo.NumPartitions())
+	for g := range keyZipfs {
+		if n := len(groupKeys[g]); n > 0 {
+			keyZipfs[g] = randx.NewZipf(n, cfg.ZipfS)
+		}
+	}
+	// Geometric parameter: the burst mixture contributes
+	// BurstProb × E[Uniform[BurstMin,BurstMax]] to the mean; the
+	// geometric component supplies the rest, solved on the truncated-
+	// geometric mean by bisection.
+	burstMean := cfg.BurstProb * float64(cfg.BurstMin+cfg.BurstMax) / 2
+	geoTarget := (cfg.MeanFanout - burstMean) / (1 - cfg.BurstProb)
+	if geoTarget < 1 {
+		return nil, fmt.Errorf("workload: burst component mean %.2f exceeds MeanFanout %.2f", burstMean, cfg.MeanFanout)
+	}
+	p := solveGeometricP(geoTarget, cfg.MaxFanout)
+
+	// LogNormal noise with mean 1: mu = -sigma^2/2.
+	sigma := cfg.ServiceNoiseSigma
+	mu := -sigma * sigma / 2
+
+	tr := &Trace{Tasks: make([]*core.Task, 0, cfg.Tasks)}
+	var now int64
+	var reqID uint64
+	for i := 0; i < cfg.Tasks; i++ {
+		now += arrivals.NextGap(arrivalRNG)
+		var fan int
+		if cfg.BurstProb > 0 && fanoutRNG.Float64() < cfg.BurstProb {
+			fan = cfg.BurstMin + fanoutRNG.Intn(cfg.BurstMax-cfg.BurstMin+1)
+		} else {
+			fan = fanoutRNG.Geometric(p)
+			if fan > cfg.MaxFanout {
+				fan = cfg.MaxFanout
+			}
+		}
+		task := &core.Task{
+			ID:       uint64(i),
+			Client:   clientRNG.Intn(cfg.Clients),
+			ArriveAt: now,
+			Requests: make([]*core.Request, 0, fan),
+		}
+		for j := 0; j < fan; j++ {
+			g := rankToGroup[groupZipf.Sample(keyRNG)]
+			for keyZipfs[g] == nil {
+				// Empty partition (tiny key spaces): fall back to
+				// the next scattered rank.
+				g = (g + 1) % len(keyZipfs)
+			}
+			key := groupKeys[g][keyZipfs[g].Sample(keyRNG)]
+			size := int64(cfg.SizeDist.Sample(sizeRNG))
+			est := cfg.CostModel.Estimate(size)
+			service := est
+			if sigma > 0 {
+				service = int64(float64(est) * noiseRNG.LogNormal(mu, sigma))
+			}
+			if service < 1 {
+				service = 1
+			}
+			task.Requests = append(task.Requests, &core.Request{
+				ID:      reqID,
+				TaskID:  task.ID,
+				Client:  task.Client,
+				Key:     key,
+				Group:   topo.GroupOfKeyID(key),
+				Size:    size,
+				EstCost: est,
+				Service: service,
+			})
+			reqID++
+		}
+		tr.TotalRequests += fan
+		tr.Tasks = append(tr.Tasks, task)
+	}
+	tr.Horizon = now
+	return tr, nil
+}
+
+// scatterRanks maps popularity rank -> group so that successive ranks are
+// spread across the ring (stride by roughly n/φ), preventing the hottest
+// partitions from sharing replica servers under ring placement.
+func scatterRanks(n int) []int {
+	out := make([]int, n)
+	used := make([]bool, n)
+	stride := int(float64(n)*0.618) | 1
+	g := 0
+	for r := 0; r < n; r++ {
+		for used[g] {
+			g = (g + 1) % n
+		}
+		out[r] = g
+		used[g] = true
+		g = (g + stride) % n
+	}
+	return out
+}
+
+// solveGeometricP finds p such that E[min(Geom(p), max)] = target, by
+// bisection on the truncated-geometric mean.
+func solveGeometricP(target float64, max int) float64 {
+	if target <= 1 {
+		return 1
+	}
+	mean := func(p float64) float64 {
+		// E[min(G,max)] = sum_{k=1..max} P(G>=k) = sum (1-p)^(k-1)
+		q := 1 - p
+		sum := 0.0
+		pow := 1.0
+		for k := 1; k <= max; k++ {
+			sum += pow
+			pow *= q
+		}
+		return sum
+	}
+	lo, hi := 1e-6, 1.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if mean(mid) > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// CapacityRequestsPerSec computes the backend tier's aggregate service
+// capacity in requests/second given the cost model and mean value size:
+// servers × cores / meanServiceSeconds.
+func CapacityRequestsPerSec(servers, cores int, cm core.CostModel, meanSize float64) float64 {
+	meanServiceNanos := float64(cm.Estimate(int64(meanSize)))
+	if meanServiceNanos <= 0 {
+		return 0
+	}
+	return float64(servers*cores) * 1e9 / meanServiceNanos
+}
+
+// ArrivalRateForLoad returns the task arrival rate (tasks/s) that drives
+// the backend at the given utilization (the paper sets mean rate to match
+// 70% of system capacity).
+func ArrivalRateForLoad(load float64, servers, cores int, cm core.CostModel, meanSize, meanFanout float64) float64 {
+	cap := CapacityRequestsPerSec(servers, cores, cm, meanSize)
+	return load * cap / meanFanout
+}
+
+// Stats summarizes a trace for documentation and sanity tests.
+type Stats struct {
+	Tasks         int
+	Requests      int
+	MeanFanout    float64
+	MaxFanout     int
+	MeanSize      float64
+	MeanService   float64
+	HorizonSec    float64
+	TaskRatePerS  float64
+	GroupShare    []float64 // fraction of requests per replica group
+	ClientShare   []float64 // fraction of tasks per client
+	MeanEstErrPct float64   // mean |service-est|/est ×100
+}
+
+// ComputeStats scans the trace.
+func ComputeStats(tr *Trace, topo *cluster.Topology, clients int) Stats {
+	st := Stats{Tasks: len(tr.Tasks), Requests: tr.TotalRequests}
+	if st.Tasks == 0 {
+		return st
+	}
+	st.MeanFanout = tr.MeanFanout()
+	groupCount := make([]int, topo.NumPartitions())
+	clientCount := make([]int, clients)
+	var sizeSum, svcSum float64
+	var errSum float64
+	for _, t := range tr.Tasks {
+		clientCount[t.Client]++
+		if t.Fanout() > st.MaxFanout {
+			st.MaxFanout = t.Fanout()
+		}
+		for _, r := range t.Requests {
+			groupCount[r.Group]++
+			sizeSum += float64(r.Size)
+			svcSum += float64(r.Service)
+			if r.EstCost > 0 {
+				d := float64(r.Service-r.EstCost) / float64(r.EstCost)
+				if d < 0 {
+					d = -d
+				}
+				errSum += d
+			}
+		}
+	}
+	st.MeanSize = sizeSum / float64(st.Requests)
+	st.MeanService = svcSum / float64(st.Requests)
+	st.HorizonSec = float64(tr.Horizon) / 1e9
+	if st.HorizonSec > 0 {
+		st.TaskRatePerS = float64(st.Tasks) / st.HorizonSec
+	}
+	st.GroupShare = make([]float64, len(groupCount))
+	for i, c := range groupCount {
+		st.GroupShare[i] = float64(c) / float64(st.Requests)
+	}
+	st.ClientShare = make([]float64, len(clientCount))
+	for i, c := range clientCount {
+		st.ClientShare[i] = float64(c) / float64(st.Tasks)
+	}
+	st.MeanEstErrPct = errSum / float64(st.Requests) * 100
+	return st
+}
+
+// MeanTruncatedGeometric is exported for tests: the analytic mean of
+// min(Geometric(p), max).
+func MeanTruncatedGeometric(p float64, max int) float64 {
+	q := 1 - p
+	sum, pow := 0.0, 1.0
+	for k := 1; k <= max; k++ {
+		sum += pow
+		pow *= q
+	}
+	return sum
+}
+
+// EffectiveLoad returns the utilization the trace imposes on a backend
+// tier: requestRate × meanService / (servers × cores).
+func EffectiveLoad(st Stats, servers, cores int) float64 {
+	if st.HorizonSec <= 0 {
+		return 0
+	}
+	reqRate := float64(st.Requests) / st.HorizonSec
+	return reqRate * (st.MeanService / 1e9) / float64(servers*cores)
+}

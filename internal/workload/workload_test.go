@@ -1,0 +1,365 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+)
+
+func testConfig(tasks int, seed uint64) Config {
+	sizeDist := DefaultSizeDist()
+	cm := core.CalibrateCostModel(1e9/3500, sizeDist.Mean(), 0.3)
+	return Config{
+		Tasks:             tasks,
+		Clients:           18,
+		MeanFanout:        8.6,
+		Keys:              100000,
+		ZipfS:             0.9,
+		SizeDist:          sizeDist,
+		CostModel:         cm,
+		ServiceNoiseSigma: 0.3,
+		ArrivalRate:       ArrivalRateForLoad(0.7, 9, 4, cm, sizeDist.Mean(), 8.6),
+		Seed:              seed,
+	}
+}
+
+func testTopo(t *testing.T) *cluster.Topology {
+	t.Helper()
+	return cluster.MustNew(cluster.Config{Servers: 9, Replication: 3})
+}
+
+func TestGenerateBasic(t *testing.T) {
+	tr, err := Generate(testConfig(5000, 1), testTopo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tasks) != 5000 {
+		t.Fatalf("tasks = %d", len(tr.Tasks))
+	}
+	if tr.TotalRequests == 0 || tr.Horizon == 0 {
+		t.Fatal("empty trace stats")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	topo := testTopo(t)
+	a, err := Generate(testConfig(2000, 7), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testConfig(2000, 7), topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalRequests != b.TotalRequests || a.Horizon != b.Horizon {
+		t.Fatal("same seed produced different traces")
+	}
+	for i := range a.Tasks {
+		ta, tb := a.Tasks[i], b.Tasks[i]
+		if ta.ArriveAt != tb.ArriveAt || ta.Client != tb.Client || ta.Fanout() != tb.Fanout() {
+			t.Fatalf("task %d differs across identical seeds", i)
+		}
+		for j := range ta.Requests {
+			if ta.Requests[j].Service != tb.Requests[j].Service ||
+				ta.Requests[j].Size != tb.Requests[j].Size ||
+				ta.Requests[j].Key != tb.Requests[j].Key {
+				t.Fatalf("request %d/%d differs across identical seeds", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	topo := testTopo(t)
+	a, _ := Generate(testConfig(1000, 1), topo)
+	b, _ := Generate(testConfig(1000, 2), topo)
+	if a.Horizon == b.Horizon && a.TotalRequests == b.TotalRequests {
+		t.Fatal("different seeds produced suspiciously identical traces")
+	}
+}
+
+func TestMeanFanout(t *testing.T) {
+	tr, err := Generate(testConfig(40000, 3), testTopo(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.MeanFanout()
+	if math.Abs(got-8.6)/8.6 > 0.03 {
+		t.Fatalf("mean fan-out = %v, want ~8.6 (paper)", got)
+	}
+}
+
+func TestArrivalsSorted(t *testing.T) {
+	tr, _ := Generate(testConfig(5000, 4), testTopo(t))
+	for i := 1; i < len(tr.Tasks); i++ {
+		if tr.Tasks[i].ArriveAt <= tr.Tasks[i-1].ArriveAt {
+			t.Fatal("task arrivals not strictly increasing")
+		}
+	}
+}
+
+func TestArrivalRateMatchesLoad(t *testing.T) {
+	cfg := testConfig(60000, 5)
+	topo := testTopo(t)
+	tr, _ := Generate(cfg, topo)
+	st := ComputeStats(tr, topo, cfg.Clients)
+	// Realized task rate within 3% of configured.
+	if math.Abs(st.TaskRatePerS-cfg.ArrivalRate)/cfg.ArrivalRate > 0.03 {
+		t.Fatalf("task rate = %v, want ~%v", st.TaskRatePerS, cfg.ArrivalRate)
+	}
+	// Effective utilization of 9×4 cores near 0.7.
+	load := EffectiveLoad(st, 9, 4)
+	if math.Abs(load-0.7) > 0.06 {
+		t.Fatalf("effective load = %v, want ~0.7", load)
+	}
+}
+
+func TestServiceNoiseUnbiased(t *testing.T) {
+	cfg := testConfig(30000, 6)
+	topo := testTopo(t)
+	tr, _ := Generate(cfg, topo)
+	var est, svc float64
+	for _, task := range tr.Tasks {
+		for _, r := range task.Requests {
+			est += float64(r.EstCost)
+			svc += float64(r.Service)
+		}
+	}
+	if math.Abs(svc-est)/est > 0.05 {
+		t.Fatalf("mean service %v vs mean estimate %v — noise is biased", svc, est)
+	}
+}
+
+func TestNoNoiseMeansExact(t *testing.T) {
+	cfg := testConfig(1000, 6)
+	cfg.ServiceNoiseSigma = 0
+	tr, _ := Generate(cfg, testTopo(t))
+	for _, task := range tr.Tasks {
+		for _, r := range task.Requests {
+			if r.Service != r.EstCost {
+				t.Fatalf("sigma=0 but service %d != est %d", r.Service, r.EstCost)
+			}
+		}
+	}
+}
+
+func TestGroupsMatchTopology(t *testing.T) {
+	topo := testTopo(t)
+	tr, _ := Generate(testConfig(2000, 8), topo)
+	for _, task := range tr.Tasks {
+		for _, r := range task.Requests {
+			if r.Group != topo.GroupOfKeyID(r.Key) {
+				t.Fatal("request group does not match topology mapping")
+			}
+		}
+	}
+}
+
+func TestGroupZipfSkewsGroupShare(t *testing.T) {
+	topo := testTopo(t)
+	cfg := testConfig(30000, 9)
+	cfg.GroupZipfS = 1.0
+	tr, _ := Generate(cfg, topo)
+	st := ComputeStats(tr, topo, cfg.Clients)
+	min, max := 1.0, 0.0
+	for _, s := range st.GroupShare {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max/min < 2 {
+		t.Fatalf("GroupZipfS=1 did not skew group load: min=%v max=%v", min, max)
+	}
+}
+
+func TestNoGroupSkewWhenZero(t *testing.T) {
+	topo := testTopo(t)
+	cfg := testConfig(30000, 9)
+	cfg.GroupZipfS = 0
+	tr, _ := Generate(cfg, topo)
+	st := ComputeStats(tr, topo, cfg.Clients)
+	for g, s := range st.GroupShare {
+		if s < 0.08 || s > 0.15 {
+			t.Fatalf("group %d share %v, want ~1/9", g, s)
+		}
+	}
+}
+
+func TestScatterRanksIsPermutation(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		p := scatterRanks(n)
+		seen := make([]bool, n)
+		for _, g := range p {
+			if g < 0 || g >= n || seen[g] {
+				t.Fatalf("scatterRanks(%d) = %v not a permutation", n, p)
+			}
+			seen[g] = true
+		}
+	}
+	// Top ranks should not be ring-adjacent for the paper's 9 partitions.
+	p := scatterRanks(9)
+	d := p[0] - p[1]
+	if d < 0 {
+		d = -d
+	}
+	if d == 1 || d == 8 {
+		t.Fatalf("scatterRanks(9) put top-2 ranks on adjacent ring slots: %v", p)
+	}
+}
+
+func TestBurstMixture(t *testing.T) {
+	topo := testTopo(t)
+	cfg := testConfig(40000, 12)
+	cfg.BurstProb = 0.01
+	cfg.BurstMin, cfg.BurstMax = 50, 400
+	tr, err := Generate(cfg, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts := 0
+	for _, task := range tr.Tasks {
+		if task.Fanout() >= 50 {
+			bursts++
+		}
+	}
+	frac := float64(bursts) / float64(len(tr.Tasks))
+	if frac < 0.005 || frac > 0.02 {
+		t.Fatalf("burst fraction = %v, want ~0.01", frac)
+	}
+	// Overall mean must still match MeanFanout.
+	if got := tr.MeanFanout(); math.Abs(got-cfg.MeanFanout)/cfg.MeanFanout > 0.06 {
+		t.Fatalf("mean fan-out with bursts = %v, want ~%v", got, cfg.MeanFanout)
+	}
+}
+
+func TestBurstExceedingMeanRejected(t *testing.T) {
+	cfg := testConfig(100, 1)
+	cfg.BurstProb = 0.5 // 0.5 × ~225 ≈ 112 ≫ 8.6
+	if _, err := Generate(cfg, testTopo(t)); err == nil {
+		t.Fatal("impossible burst mixture accepted")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	good := testConfig(100, 1)
+	mutations := []func(*Config){
+		func(c *Config) { c.Tasks = 0 },
+		func(c *Config) { c.Clients = 0 },
+		func(c *Config) { c.MeanFanout = 0.5 },
+		func(c *Config) { c.Keys = 0 },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.SizeDist.Alpha = 0 },
+		func(c *Config) { c.CostModel = core.CostModel{} },
+	}
+	for i, mut := range mutations {
+		c := good
+		mut(&c)
+		if _, err := Generate(c, testTopo(t)); err == nil {
+			t.Fatalf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestMaxFanoutRespected(t *testing.T) {
+	cfg := testConfig(20000, 10)
+	cfg.MaxFanout = 16
+	tr, _ := Generate(cfg, testTopo(t))
+	for _, task := range tr.Tasks {
+		if task.Fanout() > 16 {
+			t.Fatalf("fan-out %d exceeds MaxFanout 16", task.Fanout())
+		}
+	}
+}
+
+func TestSolveGeometricP(t *testing.T) {
+	for _, target := range []float64{2, 8.6, 20} {
+		p := solveGeometricP(target, 64)
+		got := MeanTruncatedGeometric(p, 64)
+		if math.Abs(got-target)/target > 0.01 {
+			t.Fatalf("solveGeometricP(%v): realized mean %v", target, got)
+		}
+	}
+	if solveGeometricP(1, 64) != 1 {
+		t.Fatal("target 1 should give p=1")
+	}
+}
+
+func TestCapacityComputation(t *testing.T) {
+	cm := core.CostModel{BaseNanos: 285714, PerBytePico: 0}
+	cap := CapacityRequestsPerSec(9, 4, cm, 0)
+	want := 9.0 * 4 * 3500
+	if math.Abs(cap-want)/want > 0.01 {
+		t.Fatalf("capacity = %v, want %v", cap, want)
+	}
+	rate := ArrivalRateForLoad(0.7, 9, 4, cm, 0, 8.6)
+	if math.Abs(rate-0.7*want/8.6)/(0.7*want/8.6) > 0.01 {
+		t.Fatalf("arrival rate = %v", rate)
+	}
+}
+
+func TestRequestIDsUnique(t *testing.T) {
+	tr, _ := Generate(testConfig(3000, 11), testTopo(t))
+	seen := map[uint64]bool{}
+	for _, task := range tr.Tasks {
+		for _, r := range task.Requests {
+			if seen[r.ID] {
+				t.Fatalf("duplicate request ID %d", r.ID)
+			}
+			seen[r.ID] = true
+			if r.TaskID != task.ID || r.Client != task.Client {
+				t.Fatal("request/task linkage broken")
+			}
+		}
+	}
+}
+
+// Property: generation never produces non-positive service times, sizes
+// outside the distribution bounds, or fan-out < 1.
+func TestQuickTraceInvariants(t *testing.T) {
+	topo := cluster.MustNew(cluster.Config{Servers: 9, Replication: 3})
+	f := func(seed uint64) bool {
+		cfg := testConfig(300, seed)
+		tr, err := Generate(cfg, topo)
+		if err != nil {
+			return false
+		}
+		for _, task := range tr.Tasks {
+			if task.Fanout() < 1 {
+				return false
+			}
+			for _, r := range task.Requests {
+				if r.Service < 1 || r.EstCost < 1 {
+					return false
+				}
+				if float64(r.Size) < cfg.SizeDist.L || float64(r.Size) > cfg.SizeDist.H {
+					return false
+				}
+				if int(r.Group) >= topo.NumPartitions() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	topo := cluster.MustNew(cluster.Config{Servers: 9, Replication: 3})
+	cfg := testConfig(10000, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Generate(cfg, topo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

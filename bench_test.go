@@ -134,6 +134,24 @@ func BenchmarkReplicationSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkClusterSweep is ablation A7: the sharded-cluster scenario.
+// Partition counts above the server count model the netstore cluster
+// layer's finer shards (every server belongs to many replica groups, and
+// each task scatters over more, smaller sub-task batches).
+func BenchmarkClusterSweep(b *testing.B) {
+	strategies := experiments.Figure2Strategies()
+	for _, p := range []int{9, 27, 81} {
+		for _, name := range []string{"EqualMax-Credits", "C3"} {
+			factory := strategies[name]
+			cfg := benchConfig()
+			cfg.Partitions = p
+			b.Run(name+"/partitions="+itoa(p), func(b *testing.B) {
+				runStrategy(b, cfg, factory)
+			})
+		}
+	}
+}
+
 // BenchmarkVariants is ablation A5: priority-assignment variants.
 func BenchmarkVariants(b *testing.B) {
 	for _, a := range core.Assigners() {

@@ -2,9 +2,15 @@
 // controller: clients stream demand reports and receive per-interval
 // credit grants proportional to demand (paper §2.2).
 //
-// Usage:
+// Usage (flat server tier):
 //
 //	brb-controller -listen :7080 -clients 18 -servers 9 -capacity 4 -interval 100ms
+//
+// Sharded cluster (server count derived from the shard layout; demand
+// vectors and grants are indexed by the same dense shard·R+replica order
+// netstore.DialCluster uses):
+//
+//	brb-controller -listen :7080 -clients 18 -shards 3 -replicas 2
 package main
 
 import (
@@ -18,14 +24,20 @@ import (
 func main() {
 	listen := flag.String("listen", ":7080", "listen address")
 	clients := flag.Int("clients", 18, "number of clients")
-	servers := flag.Int("servers", 9, "number of storage servers")
+	servers := flag.Int("servers", 9, "number of storage servers (flat tier)")
+	shards := flag.Int("shards", 0, "shard groups (sharded mode; overrides -servers with shards×replicas)")
+	replicas := flag.Int("replicas", 3, "replicas per shard (sharded mode)")
 	capacity := flag.Float64("capacity", 4, "per-server parallel capacity (worker count)")
 	interval := flag.Duration("interval", 0, "grant interval (default 100ms)")
 	flag.Parse()
 
+	n := *servers
+	if *shards > 0 {
+		n = *shards * *replicas
+	}
 	ctrl := netstore.NewControllerServer(netstore.ControllerOptions{
 		Clients:         *clients,
-		Servers:         *servers,
+		Servers:         n,
 		CapacityPerNano: *capacity,
 		Interval:        *interval,
 	})
@@ -33,7 +45,12 @@ func main() {
 	if err != nil {
 		log.Fatalf("brb-controller: %v", err)
 	}
-	log.Printf("brb-controller: listening on %s (%d clients × %d servers)", *listen, *clients, *servers)
+	if *shards > 0 {
+		log.Printf("brb-controller: listening on %s (%d clients × %d shards × %d replicas = %d servers)",
+			*listen, *clients, *shards, *replicas, n)
+	} else {
+		log.Printf("brb-controller: listening on %s (%d clients × %d servers)", *listen, *clients, n)
+	}
 	if err := ctrl.Serve(ln); err != nil {
 		log.Fatalf("brb-controller: %v", err)
 	}

@@ -7,6 +7,14 @@
 //	brb-load -servers 127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073 \
 //	         -replication 3 -keys 1000 -tasks 5000 -fanout 8.6 \
 //	         -assigner EqualMax [-controller 127.0.0.1:7080]
+//
+// Sharded-cluster mode (-shards > 0): addresses are dense shard·R+replica
+// order — replicas of shard 0 first, then shard 1, as launched by
+// `brb-server -shard s -group-listen ...` — keys consistent-hash across
+// shards, and each task scatter-gathers with C3 replica selection:
+//
+//	brb-load -shards 3 -replication 2 \
+//	         -servers :7071,:7072,:7073,:7074,:7075,:7076
 package main
 
 import (
@@ -28,7 +36,8 @@ import (
 func main() {
 	serversFlag := flag.String("servers", "127.0.0.1:7071,127.0.0.1:7072,127.0.0.1:7073", "comma-separated server addresses")
 	controller := flag.String("controller", "", "credits controller address (optional)")
-	replication := flag.Int("replication", 3, "replication factor")
+	shards := flag.Int("shards", 0, "shard groups (0 = flat single-tier store; >0 = sharded cluster, addresses in dense shard·R+replica order)")
+	replication := flag.Int("replication", 3, "replication factor (replicas per shard in sharded mode)")
 	keys := flag.Int("keys", 1000, "key-space size to load")
 	tasks := flag.Int("tasks", 5000, "tasks to issue")
 	clients := flag.Int("clients", 4, "concurrent client connections")
@@ -45,15 +54,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brb-load:", err)
 		os.Exit(2)
 	}
-	topo, err := cluster.New(cluster.Config{Servers: len(addrs), Replication: *replication})
+
+	// dialStore connects one workload client in the selected mode: a flat
+	// task-aware client, or the sharded replica-aware cluster client.
+	var topo *cluster.Topology
+	var shardMap *cluster.ShardMap
+	if *shards > 0 {
+		shardMap, err = cluster.NewShardMap(cluster.ShardConfig{Shards: *shards, Replicas: *replication})
+		if err == nil && shardMap.NumServers() != len(addrs) {
+			err = fmt.Errorf("%d addresses for %d shards × %d replicas", len(addrs), *shards, *replication)
+		}
+	} else {
+		topo, err = cluster.New(cluster.Config{Servers: len(addrs), Replication: *replication})
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brb-load:", err)
 		os.Exit(2)
 	}
+	type store interface {
+		Set(key string, value []byte) error
+		Close()
+	}
+	dialStore := func(client int) (store, func([]string) (*netstore.TaskResult, error), error) {
+		if shardMap != nil {
+			c, err := netstore.DialCluster(addrs, netstore.ClusterOptions{
+				Shards: shardMap, Client: client, Clients: *clients, Assigner: assigner,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			if *controller != "" {
+				if err := c.AttachController(*controller, 0); err != nil {
+					c.Close()
+					return nil, nil, err
+				}
+			}
+			return c, c.Multiget, nil
+		}
+		c, err := netstore.Dial(addrs, netstore.ClientOptions{
+			Topology: topo, Client: client, Assigner: assigner,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if *controller != "" {
+			if err := c.AttachController(*controller, 0); err != nil {
+				c.Close()
+				return nil, nil, err
+			}
+		}
+		return c, c.Task, nil
+	}
 
 	// Load phase: heavy-tailed value sizes.
 	if !*skipLoad {
-		loader, err := netstore.Dial(addrs, netstore.ClientOptions{Topology: topo})
+		loader, _, err := dialStore(0)
 		if err != nil {
 			log.Fatalf("brb-load: %v", err)
 		}
@@ -80,20 +135,12 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, err := netstore.Dial(addrs, netstore.ClientOptions{
-				Topology: topo, Client: w, Assigner: assigner,
-			})
+			c, issue, err := dialStore(w)
 			if err != nil {
 				log.Printf("brb-load: client %d: %v", w, err)
 				return
 			}
 			defer c.Close()
-			if *controller != "" {
-				if err := c.AttachController(*controller, 0); err != nil {
-					log.Printf("brb-load: client %d controller: %v", w, err)
-					return
-				}
-			}
 			rng := randx.New(*seed + uint64(w)*7919)
 			p := 1.0 / *fanout
 			if p > 1 {
@@ -108,7 +155,7 @@ func main() {
 				for j := range ks {
 					ks[j] = fmt.Sprintf("key:%d", rng.Intn(*keys))
 				}
-				res, err := c.Task(ks)
+				res, err := issue(ks)
 				if err != nil {
 					log.Printf("brb-load: client %d task: %v", w, err)
 					return

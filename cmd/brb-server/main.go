@@ -1,10 +1,21 @@
-// Command brb-server runs one networked BRB storage server: an in-memory
-// key-value store whose request scheduler drains a task-aware priority
-// queue with a bounded worker pool.
+// Command brb-server runs networked BRB storage servers: in-memory
+// key-value stores whose request schedulers drain task-aware priority
+// queues with bounded worker pools.
 //
-// Usage:
+// Single server:
 //
 //	brb-server -listen :7070 -workers 4 -discipline priority
+//
+// One replica of a sharded cluster (rejects batches routed to other
+// shards with a misrouted error instead of silently missing keys):
+//
+//	brb-server -listen :7071 -shard 0 -workers 4
+//
+// A whole shard group in one process (one server and one store per
+// address, all replicas of the same shard — the local-deployment unit
+// netstore.DialCluster addresses as s·R+r):
+//
+//	brb-server -shard 1 -group-listen :7073,:7074
 //
 // The -service-base/-service-perbyte flags inject artificial
 // size-dependent service time, recreating the simulator's cost model for
@@ -16,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/brb-repro/brb/internal/kv"
@@ -23,8 +35,10 @@ import (
 )
 
 func main() {
-	listen := flag.String("listen", ":7070", "listen address")
-	workers := flag.Int("workers", 4, "service workers (cores)")
+	listen := flag.String("listen", ":7070", "listen address (single-server mode)")
+	groupListen := flag.String("group-listen", "", "comma-separated addresses: launch one replica server per address, all in -shard (shard-group mode)")
+	shard := flag.Int("shard", -1, "shard group this server belongs to (-1 = unsharded, accept all batches)")
+	workers := flag.Int("workers", 4, "service workers (cores) per server")
 	discipline := flag.String("discipline", "priority", "scheduling discipline: priority | fifo")
 	base := flag.Duration("service-base", 0, "injected size-independent service time (0 = none)")
 	perByte := flag.Duration("service-perbyte", 0, "injected per-byte service time")
@@ -41,15 +55,38 @@ func main() {
 		os.Exit(2)
 	}
 	opts := netstore.ServerOptions{Workers: *workers, Discipline: disc}
+	if *shard >= 0 {
+		opts.Shard = *shard
+		opts.CheckShard = true
+	}
 	if *base > 0 || *perByte > 0 {
 		b, pb := *base, *perByte
 		opts.ServiceDelay = func(size int64) time.Duration {
 			return b + time.Duration(size)*pb
 		}
 	}
-	srv := netstore.NewServer(kv.New(0), opts)
-	log.Printf("brb-server: listening on %s (%d workers, %s scheduling)", *listen, *workers, disc)
-	if err := srv.ListenAndServe(*listen); err != nil {
+
+	addrs := []string{*listen}
+	if *groupListen != "" {
+		if *shard < 0 {
+			fmt.Fprintln(os.Stderr, "brb-server: -group-listen requires -shard")
+			os.Exit(2)
+		}
+		addrs = strings.Split(*groupListen, ",")
+	}
+
+	errCh := make(chan error, len(addrs))
+	for i, addr := range addrs {
+		srv := netstore.NewServer(kv.New(0), opts)
+		if *shard >= 0 {
+			log.Printf("brb-server: shard %d replica %d listening on %s (%d workers, %s scheduling)",
+				*shard, i, addr, *workers, disc)
+		} else {
+			log.Printf("brb-server: listening on %s (%d workers, %s scheduling)", addr, *workers, disc)
+		}
+		go func(addr string) { errCh <- srv.ListenAndServe(addr) }(addr)
+	}
+	if err := <-errCh; err != nil {
 		log.Fatalf("brb-server: %v", err)
 	}
 }

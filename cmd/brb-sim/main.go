@@ -9,6 +9,7 @@
 //	brb-sim intervalsweep [flags] # A3: adaptation-interval sensitivity
 //	brb-sim replicasweep [flags]  # A4: replication factor
 //	brb-sim variants  [flags]   # A5: assignment variants & baselines
+//	brb-sim partitionsweep [flags] # A7: sharded-cluster scenario
 //	brb-sim trace     [flags]   # workload statistics
 //	brb-sim run -strategy NAME [flags] # one run, full summary
 //
@@ -54,6 +55,7 @@ func main() {
 	sizeMin := fs.Float64("size-min", 0, "value-size minimum override (bytes)")
 	sizeMax := fs.Float64("size-max", 0, "value-size maximum override (bytes)")
 	maxFanout := fs.Int("max-fanout", 0, "fan-out truncation override")
+	partitions := fs.Int("partitions", 0, "data partitions / replica groups (0 = one per server; >servers = sharded-cluster scenario)")
 	groupZipf := fs.Float64("group-zipf", cfg.GroupZipfS, "partition-popularity Zipf exponent")
 	burstProb := fs.Float64("burst-prob", cfg.BurstProb, "playlist-burst task probability")
 	traceFile := fs.String("trace", "", "trace file for savetrace/run")
@@ -71,6 +73,7 @@ func main() {
 	cfg.SizeMin = *sizeMin
 	cfg.SizeMax = *sizeMax
 	cfg.MaxFanout = *maxFanout
+	cfg.Partitions = *partitions
 	cfg.GroupZipfS = *groupZipf
 	cfg.BurstProb = *burstProb
 
@@ -117,6 +120,12 @@ func main() {
 		if err == nil {
 			fmt.Print(tbl.String())
 		}
+	case "partitionsweep":
+		var tbl *metrics.Table
+		tbl, err = experiments.PartitionSweep(cfg, seedList, []int{cfg.Servers, 3 * cfg.Servers, 9 * cfg.Servers})
+		if err == nil {
+			fmt.Print(tbl.String())
+		}
 	case "noisesweep":
 		var tbl *metrics.Table
 		tbl, err = experiments.NoiseSweep(cfg, seedList, []float64{0, 0.3, 0.6, 1.0})
@@ -129,7 +138,7 @@ func main() {
 			break
 		}
 		var topo *cluster.Topology
-		topo, err = cluster.New(cluster.Config{Servers: cfg.Servers, Replication: cfg.Replication})
+		topo, err = cluster.New(cluster.Config{Servers: cfg.Servers, Partitions: cfg.Partitions, Replication: cfg.Replication})
 		if err != nil {
 			break
 		}
@@ -164,7 +173,7 @@ func main() {
 		var res engine.Result
 		if *traceFile != "" {
 			var topo *cluster.Topology
-			topo, err = cluster.New(cluster.Config{Servers: cfg.Servers, Replication: cfg.Replication})
+			topo, err = cluster.New(cluster.Config{Servers: cfg.Servers, Partitions: cfg.Partitions, Replication: cfg.Replication})
 			if err != nil {
 				break
 			}
@@ -196,5 +205,5 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: brb-sim <figure2|loadsweep|fanoutsweep|intervalsweep|replicasweep|variants|noisesweep|trace|savetrace|run> [flags]`)
+	fmt.Fprintln(os.Stderr, `usage: brb-sim <figure2|loadsweep|fanoutsweep|intervalsweep|replicasweep|variants|noisesweep|partitionsweep|trace|savetrace|run> [flags]`)
 }

@@ -5,8 +5,10 @@
 // The library lives under internal/: the task-aware scheduling core
 // (internal/core), a discrete-event simulation of the paper's evaluation
 // (internal/engine and friends), and a real goroutine-based networked data
-// store implementing the same scheduling (internal/netstore). The
-// benchmarks in bench_test.go regenerate every figure of the paper; see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for measured
-// results.
+// store implementing the same scheduling (internal/netstore), deployable
+// as a sharded, replica-aware cluster (netstore.Cluster over
+// cluster.ShardMap, with C3-scored replica selection from internal/c3).
+// The benchmarks in bench_test.go regenerate every figure of the paper;
+// see README.md for a quickstart, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for measured results.
 package brb

@@ -1,0 +1,136 @@
+// Clusterdemo: the sharded, replica-aware netstore cluster end to end, in
+// one process — 3 shard groups × 2 replicas (6 shard-checking servers
+// with injected size-dependent service times), a replica-aware client
+// consistent-hashing keys across shards, scatter-gathering multigets with
+// BRB task-aware priorities, and ranking replicas with C3 scores. Halfway
+// through, one replica of every shard is killed: the client fails over to
+// the surviving replicas and the workload keeps completing.
+//
+//	go run ./examples/clusterdemo
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/netstore"
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+func main() {
+	const (
+		shards   = 3
+		replicas = 2
+		keys     = 500
+		tasks    = 600
+	)
+	shardMap := cluster.MustNewShardMap(cluster.ShardConfig{Shards: shards, Replicas: replicas})
+
+	// Size-dependent service time, as in the simulator's cost model.
+	delay := func(size int64) time.Duration {
+		return 30*time.Microsecond + time.Duration(size)*20*time.Nanosecond
+	}
+
+	// Start 3 shard groups × 2 replicas on loopback, each replica a
+	// shard-checking server with its own store, in dense shard·R+replica
+	// address order.
+	addrs := make([]string, shardMap.NumServers())
+	servers := make([]*netstore.Server, shardMap.NumServers())
+	for s := 0; s < shards; s++ {
+		for r := 0; r < replicas; r++ {
+			srv := netstore.NewServer(kv.New(0), netstore.ServerOptions{
+				Workers:      2,
+				Discipline:   netstore.Priority,
+				ServiceDelay: delay,
+				Shard:        s,
+				CheckShard:   true,
+			})
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			defer srv.Close()
+			sid := shardMap.Server(s, r)
+			addrs[sid] = ln.Addr().String()
+			servers[sid] = srv
+		}
+	}
+	fmt.Printf("started %d shards × %d replicas: %v\n", shards, replicas, addrs)
+
+	// Replica-aware cluster client with EqualMax task priorities.
+	client, err := netstore.DialCluster(addrs, netstore.ClusterOptions{
+		Shards:        shardMap,
+		Assigner:      core.EqualMax{},
+		ServerWorkers: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Load tracks with heavy-tailed sizes (written to every replica).
+	sizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 32 << 10}
+	r := randx.New(7)
+	for i := 0; i < keys; i++ {
+		if err := client.Set(fmt.Sprintf("track:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	perShard := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		perShard[shardMap.ShardOfKey(fmt.Sprintf("track:%d", i))]++
+	}
+	fmt.Printf("loaded %d tracks, consistent-hashed per shard: %v\n", keys, perShard)
+
+	// Multiget workload; halfway through, kill the replica each shard's
+	// C3 scorer currently favors, forcing a failover.
+	killed := make([]int, shards)
+	hist := metrics.NewLatencyHistogram()
+	for i := 0; i < tasks; i++ {
+		if i == tasks/2 {
+			for s := 0; s < shards; s++ {
+				best := 0
+				for r := 1; r < replicas; r++ {
+					if client.ScoreOf(s, r) < client.ScoreOf(s, best) {
+						best = r
+					}
+				}
+				killed[s] = best
+				servers[shardMap.Server(s, best)].Close()
+			}
+			fmt.Printf("killed each shard's favored replica %v after %d tasks — failing over\n", killed, i)
+		}
+		fan := r.Geometric(1.0 / 8.6)
+		ks := make([]string, fan)
+		for j := range ks {
+			ks[j] = fmt.Sprintf("track:%d", r.Intn(keys))
+		}
+		res, err := client.Multiget(ks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hist.Record(res.Latency.Nanoseconds())
+		if i == 0 {
+			fmt.Printf("first multiget (%d tracks): %v, bottleneck forecast %v\n",
+				fan, res.Latency.Round(time.Microsecond), time.Duration(res.Bottleneck))
+		}
+	}
+	for s := 0; s < shards; s++ {
+		if client.ReplicaDown(s, killed[s]) {
+			fmt.Printf("shard %d failed over from replica %d\n", s, killed[s])
+		}
+	}
+	sum := hist.Summarize()
+	fmt.Printf("%d multigets across %d shards: p50=%v p95=%v p99=%v\n",
+		tasks, shards,
+		time.Duration(sum.Median).Round(time.Microsecond),
+		time.Duration(sum.P95).Round(time.Microsecond),
+		time.Duration(sum.P99).Round(time.Microsecond))
+}

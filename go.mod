@@ -1,0 +1,3 @@
+module github.com/brb-repro/brb
+
+go 1.22

@@ -181,18 +181,13 @@ func (s *Strategy) tickRate() {
 	}
 }
 
-// score computes C3's replica ranking function for client c and server sv.
+// score computes C3's replica ranking function for client c and server sv
+// via the shared Score formula; concurrency compensation uses the server
+// core count (a server with m cores drains m at once).
 func (s *Strategy) score(c int, sv int) float64 {
 	st := &s.state[c][sv]
-	mu := st.svcEWMA
-	if mu < 1 {
-		mu = 1
-	}
-	n := float64(s.ctx.Cfg.Clients)
-	qHat := 1 + float64(st.outstand)*n + st.qEWMA
-	// Concurrency compensation: a server with m cores drains m at once.
-	m := float64(s.ctx.Cfg.Cores)
-	return st.respEWMA - st.qEWMA*mu/m + math.Pow(qHat, 3)*mu/m
+	return Score(st.respEWMA, st.svcEWMA, st.qEWMA, st.outstand,
+		float64(s.ctx.Cfg.Clients), float64(s.ctx.Cfg.Cores))
 }
 
 // Submit implements engine.Strategy: C3 ranks replicas per sub-task batch

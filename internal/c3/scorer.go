@@ -1,0 +1,163 @@
+package c3
+
+import (
+	"math"
+	"sync"
+)
+
+// Score is C3's replica ranking function, shared verbatim by the
+// simulation strategy and the networked cluster client:
+//
+//	score = R̄ − q̄·µ̄/m + (1 + o·n + q̄)³ · µ̄/m
+//
+// with R̄ the response-time EWMA, q̄ the queue-length EWMA, µ̄ the
+// service-time EWMA (floored at 1 ns), o the caller's outstanding
+// requests, n the client count (extrapolating local knowledge to
+// cluster-wide pressure) and m the server's service concurrency. Lower
+// scores rank better.
+func Score(respEWMA, svcEWMA, qEWMA float64, outstanding int, clients, concurrency float64) float64 {
+	mu := svcEWMA
+	if mu < 1 {
+		mu = 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	qHat := 1 + float64(outstanding)*clients + qEWMA
+	return respEWMA - qEWMA*mu/concurrency + math.Pow(qHat, 3)*mu/concurrency
+}
+
+// ScorerOptions tune a Scorer; zero values take the published defaults.
+type ScorerOptions struct {
+	// Alpha is the EWMA smoothing factor (default 0.9, as in Strategy).
+	Alpha float64
+	// Clients is the cluster-wide client count n used to extrapolate the
+	// caller's outstanding requests to total server pressure (default 1).
+	Clients float64
+	// Concurrency is the server's parallel service capacity m — its
+	// worker count in netstore terms (default 1).
+	Concurrency float64
+}
+
+func (o ScorerOptions) withDefaults() ScorerOptions {
+	if o.Alpha <= 0 || o.Alpha >= 1 {
+		o.Alpha = 0.9
+	}
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 1
+	}
+	return o
+}
+
+// Scorer is the engine-independent half of C3: per-replica EWMA state fed
+// by real response feedback, ranked with Score. The simulation Strategy
+// keeps its own state arrays (it also runs cubic rate control, which a
+// real client delegates to the credits controller); the networked
+// cluster client (internal/netstore.Cluster) keeps one Scorer per shard.
+// Safe for concurrent use.
+type Scorer struct {
+	opts ScorerOptions
+
+	mu    sync.Mutex
+	state []scorerState
+}
+
+type scorerState struct {
+	respEWMA float64
+	svcEWMA  float64
+	qEWMA    float64
+	outstand int
+	haveData bool
+}
+
+// NewScorer builds a scorer over the given number of replicas.
+func NewScorer(replicas int, opts ScorerOptions) *Scorer {
+	return &Scorer{opts: opts.withDefaults(), state: make([]scorerState, replicas)}
+}
+
+// Replicas returns the number of replicas tracked.
+func (s *Scorer) Replicas() int { return len(s.state) }
+
+// ScoreOf returns the current score of one replica (lower is better).
+func (s *Scorer) ScoreOf(replica int) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scoreLocked(replica)
+}
+
+func (s *Scorer) scoreLocked(replica int) float64 {
+	st := &s.state[replica]
+	return Score(st.respEWMA, st.svcEWMA, st.qEWMA, st.outstand, s.opts.Clients, s.opts.Concurrency)
+}
+
+// Best returns the eligible replica with the lowest score, or -1 if
+// eligible admits none. A nil eligible admits every replica. Replicas
+// with no feedback yet rank by outstanding pressure alone (their EWMAs
+// are zero), so cold starts spread load instead of piling onto replica 0.
+func (s *Scorer) Best(eligible func(replica int) bool) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := -1
+	var bestScore float64
+	for r := range s.state {
+		if eligible != nil && !eligible(r) {
+			continue
+		}
+		sc := s.scoreLocked(r)
+		if best < 0 || sc < bestScore {
+			best, bestScore = r, sc
+		}
+	}
+	return best
+}
+
+// OnSend records n requests dispatched to a replica (outstanding grows).
+func (s *Scorer) OnSend(replica, n int) {
+	s.mu.Lock()
+	s.state[replica].outstand += n
+	s.mu.Unlock()
+}
+
+// OnError unwinds OnSend after a failed dispatch, without folding any
+// latency feedback (connection errors say nothing about service times).
+func (s *Scorer) OnError(replica, n int) {
+	s.mu.Lock()
+	st := &s.state[replica]
+	st.outstand -= n
+	if st.outstand < 0 {
+		st.outstand = 0
+	}
+	s.mu.Unlock()
+}
+
+// Observe folds one batch response into the replica's EWMAs: n requests
+// completed, respNanos end-to-end batch response time, svcNanos mean
+// per-request service time, queueLen the server's reported queue length.
+func (s *Scorer) Observe(replica, n int, respNanos, svcNanos float64, queueLen int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.state[replica]
+	st.outstand -= n
+	if st.outstand < 0 {
+		st.outstand = 0
+	}
+	if !st.haveData {
+		st.respEWMA, st.svcEWMA, st.qEWMA = respNanos, svcNanos, float64(queueLen)
+		st.haveData = true
+		return
+	}
+	a := s.opts.Alpha
+	st.respEWMA = a*st.respEWMA + (1-a)*respNanos
+	st.svcEWMA = a*st.svcEWMA + (1-a)*svcNanos
+	st.qEWMA = a*st.qEWMA + (1-a)*float64(queueLen)
+}
+
+// Outstanding returns the replica's outstanding request count (test hook).
+func (s *Scorer) Outstanding(replica int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state[replica].outstand
+}

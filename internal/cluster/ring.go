@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping keys to shards. Each shard owns
+// VirtualNodes points on a 64-bit ring; a key belongs to the shard owning
+// the first point clockwise from the key's hash. Adding a shard therefore
+// moves only ~1/(shards+1) of the keyspace — the property that makes
+// future rebalancing PRs incremental — while FNV-1a hashing keeps the
+// mapping stable across runs and processes (the same guarantee
+// Topology.GroupOfKey gives the simulator).
+type Ring struct {
+	shards int
+	points []ringPoint // sorted ascending by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultVirtualNodes is the per-shard vnode count when RingConfig leaves
+// it zero; 128 keeps shard imbalance within a few percent.
+const DefaultVirtualNodes = 128
+
+// NewRing builds a ring over the given number of shards with vnodes
+// virtual nodes per shard (0 means DefaultVirtualNodes).
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("cluster: ring needs a positive shard count, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	r := &Ring{
+		shards: shards,
+		points: make([]ringPoint, 0, shards*vnodes),
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Deterministic tie-break so equal hashes (vanishingly rare) sort
+		// stably regardless of insertion order.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard maps a key to its owning shard. The FNV-1a string hash is
+// scrambled with a splitmix finalizer: FNV alone is uniform enough for
+// modulo placement (Topology.GroupOfKey) but leaves enough structure in
+// the high bits to skew ring-arc lookups.
+func (r *Ring) Shard(key string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return r.owner(mix64(h.Sum64()))
+}
+
+// ShardOfID maps a dense integer key ID (trace generators) to its shard,
+// scrambling first so consecutive IDs spread over the ring.
+func (r *Ring) ShardOfID(id uint64) int {
+	return r.owner(mix64(id + 0x9e3779b97f4a7c15))
+}
+
+// mix64 is the splitmix64 finalizer, the same scramble Topology uses for
+// dense key IDs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// owner returns the shard owning the first vnode at or clockwise after h.
+func (r *Ring) owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around
+	}
+	return r.points[i].shard
+}
+
+// vnodeHash positions one virtual node. Two rounds of mix64 over a
+// golden-ratio combination of (shard, vnode) spread points uniformly;
+// hashing the raw pair with FNV leaves arcs so correlated that a
+// 3-shard ring can starve one shard entirely.
+func vnodeHash(shard, vnode int) uint64 {
+	z := uint64(shard)*0x9e3779b97f4a7c15 + uint64(vnode)*0xc2b2ae3d27d4eb4f
+	return mix64(mix64(z) + 0x165667b19e3779f9)
+}
+
+// ShardConfig configures a ShardMap.
+type ShardConfig struct {
+	// Shards is the number of shard groups (data partitions at the
+	// cluster level). Required.
+	Shards int
+	// Replicas is the number of replica servers per shard. Default 3,
+	// matching cluster.Config's replication default.
+	Replicas int
+	// VirtualNodes is the consistent-hash vnode count per shard
+	// (default DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	return c
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c ShardConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Shards <= 0 {
+		return fmt.Errorf("cluster: Shards %d must be positive", c.Shards)
+	}
+	if c.Replicas <= 0 {
+		return fmt.Errorf("cluster: Replicas %d must be positive", c.Replicas)
+	}
+	return nil
+}
+
+// ShardMap lays out a sharded, replicated cluster: Shards shard groups of
+// Replicas servers each, flattened into a dense server-index space the
+// way a deployment lists addresses. Replica r of shard s is server
+// s·Replicas+r (block placement: every server holds exactly one shard's
+// data, unlike Topology's overlapping ring placement where every server
+// belongs to R groups). Keys map to shards by consistent hashing.
+type ShardMap struct {
+	shards   int
+	replicas int
+	ring     *Ring
+}
+
+// NewShardMap builds a ShardMap.
+func NewShardMap(c ShardConfig) (*ShardMap, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	ring, err := NewRing(c.Shards, c.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardMap{shards: c.Shards, replicas: c.Replicas, ring: ring}, nil
+}
+
+// MustNewShardMap is NewShardMap but panics on error; for tests and fixed
+// deployments that are known valid.
+func MustNewShardMap(c ShardConfig) *ShardMap {
+	m, err := NewShardMap(c)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Shards returns the number of shard groups.
+func (m *ShardMap) Shards() int { return m.shards }
+
+// Replicas returns the replication factor.
+func (m *ShardMap) Replicas() int { return m.replicas }
+
+// NumServers returns the dense server count (Shards × Replicas).
+func (m *ShardMap) NumServers() int { return m.shards * m.replicas }
+
+// ShardOfKey maps a key to its shard group.
+func (m *ShardMap) ShardOfKey(key string) int { return m.ring.Shard(key) }
+
+// ShardOfKeyID maps a dense integer key ID to its shard group.
+func (m *ShardMap) ShardOfKeyID(id uint64) int { return m.ring.ShardOfID(id) }
+
+// Server returns the dense server index of replica r of shard s.
+func (m *ShardMap) Server(shard, replica int) int {
+	return shard*m.replicas + replica
+}
+
+// ReplicaServers returns the dense server indexes of a shard's replicas,
+// in replica order.
+func (m *ShardMap) ReplicaServers(shard int) []int {
+	out := make([]int, m.replicas)
+	for r := range out {
+		out[r] = m.Server(shard, r)
+	}
+	return out
+}
+
+// ShardOfServer returns the shard a dense server index belongs to.
+func (m *ShardMap) ShardOfServer(server int) int { return server / m.replicas }

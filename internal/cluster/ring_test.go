@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewRing(5, 0)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if a.Shard(k) != b.Shard(k) {
+			t.Fatalf("ring mapping unstable for %s: %d vs %d", k, a.Shard(k), b.Shard(k))
+		}
+		if a.ShardOfID(uint64(i)) != b.ShardOfID(uint64(i)) {
+			t.Fatalf("ID mapping unstable for %d", i)
+		}
+	}
+}
+
+func TestRingBounds(t *testing.T) {
+	r, err := NewRing(3, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if s := r.Shard(fmt.Sprintf("k%d", i)); s < 0 || s >= 3 {
+			t.Fatalf("shard %d out of range", s)
+		}
+	}
+	if _, err := NewRing(0, 0); err == nil {
+		t.Fatal("zero-shard ring accepted")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	const shards, keys = 6, 60000
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		counts[r.Shard(fmt.Sprintf("key:%d", i))]++
+	}
+	mean := float64(keys) / shards
+	for s, c := range counts {
+		if f := float64(c) / mean; f < 0.5 || f > 1.5 {
+			t.Fatalf("shard %d holds %.0f%% of mean load (counts %v)", s, f*100, counts)
+		}
+	}
+}
+
+// TestRingStability is the consistent-hashing property: growing the ring
+// from N to N+1 shards relocates roughly 1/(N+1) of keys and never moves
+// a key between two pre-existing shards.
+func TestRingStability(t *testing.T) {
+	const keys = 40000
+	old, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, _ := NewRing(5, 0)
+	moved, movedElsewhere := 0, 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		a, b := old.Shard(k), grown.Shard(k)
+		if a != b {
+			moved++
+			if b != 4 {
+				movedElsewhere++
+			}
+		}
+	}
+	frac := float64(moved) / keys
+	if frac > 0.35 {
+		t.Fatalf("adding one shard moved %.1f%% of keys, want ~20%%", frac*100)
+	}
+	if movedElsewhere > 0 {
+		t.Fatalf("%d keys moved between pre-existing shards", movedElsewhere)
+	}
+}
+
+func TestShardMapLayout(t *testing.T) {
+	m := MustNewShardMap(ShardConfig{Shards: 3, Replicas: 2})
+	if m.NumServers() != 6 {
+		t.Fatalf("NumServers = %d, want 6", m.NumServers())
+	}
+	seen := map[int]bool{}
+	for s := 0; s < m.Shards(); s++ {
+		reps := m.ReplicaServers(s)
+		if len(reps) != 2 {
+			t.Fatalf("shard %d has %d replicas", s, len(reps))
+		}
+		for r, srv := range reps {
+			if srv != m.Server(s, r) {
+				t.Fatalf("ReplicaServers disagrees with Server for %d/%d", s, r)
+			}
+			if m.ShardOfServer(srv) != s {
+				t.Fatalf("ShardOfServer(%d) = %d, want %d", srv, m.ShardOfServer(srv), s)
+			}
+			if seen[srv] {
+				t.Fatalf("server %d assigned to two shards", srv)
+			}
+			seen[srv] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("placement covers %d servers, want 6", len(seen))
+	}
+}
+
+func TestShardMapKeyRouting(t *testing.T) {
+	m := MustNewShardMap(ShardConfig{Shards: 4, Replicas: 3})
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("track:%d", i)
+		s := m.ShardOfKey(k)
+		if s < 0 || s >= 4 {
+			t.Fatalf("shard %d out of range", s)
+		}
+		if m.ShardOfKey(k) != s {
+			t.Fatal("ShardOfKey not deterministic")
+		}
+	}
+}
+
+func TestShardConfigValidate(t *testing.T) {
+	if err := (ShardConfig{Shards: 0}).Validate(); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := (ShardConfig{Shards: 3, Replicas: -1}).Validate(); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if err := (ShardConfig{Shards: 3}).Validate(); err != nil {
+		t.Fatalf("defaulted config rejected: %v", err)
+	}
+}

@@ -26,6 +26,7 @@ type Config struct {
 	Clients     int     // application servers (paper: 18)
 	Cores       int     // cores per server (paper: 4)
 	Replication int     // replication factor R (paper: 3)
+	Partitions  int     // data partitions / replica groups (0 = one per server); >Servers models a sharded cluster scenario
 	ServiceRate float64 // mean per-core service rate, req/s (paper: 3500)
 	NetOneWay   sim.Time
 	Load        float64 // fraction of capacity (paper: 0.7)
@@ -98,6 +99,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("engine: Servers/Clients/Cores must be positive: %+v", c)
 	case c.Replication <= 0 || c.Replication > c.Servers:
 		return fmt.Errorf("engine: Replication %d out of [1,%d]", c.Replication, c.Servers)
+	case c.Partitions < 0:
+		return fmt.Errorf("engine: Partitions %d must be >= 0", c.Partitions)
 	case !(c.ServiceRate > 0):
 		return fmt.Errorf("engine: ServiceRate %v must be positive", c.ServiceRate)
 	case c.NetOneWay < 0:
@@ -242,7 +245,7 @@ func Run(cfg Config, s Strategy) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
-	topo, err := cluster.New(cluster.Config{Servers: cfg.Servers, Replication: cfg.Replication})
+	topo, err := cluster.New(cluster.Config{Servers: cfg.Servers, Partitions: cfg.Partitions, Replication: cfg.Replication})
 	if err != nil {
 		return Result{}, err
 	}

@@ -73,6 +73,34 @@ func TestRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestClusterScenarioPartitions runs the sharded-cluster scenario: more
+// partitions than servers, so every server serves many replica groups and
+// tasks scatter across finer shards. All tasks must still complete.
+func TestClusterScenarioPartitions(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Partitions = 3 * cfg.Servers
+	s := &fifoRandom{}
+	res, err := Run(cfg, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Tasks != uint64(2000-200) {
+		t.Fatalf("measured tasks = %d, want 1800", res.Tasks)
+	}
+	baselineRes, err := Run(smallConfig(), &fifoRandom{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer sharding changes schedules, so the runs must genuinely differ.
+	if res.Events == baselineRes.Events && res.TaskLatency == baselineRes.TaskLatency {
+		t.Fatal("partitioned run identical to default run; Partitions not applied")
+	}
+	cfg.Partitions = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative Partitions accepted")
+	}
+}
+
 func TestSeedChangesResults(t *testing.T) {
 	cfg := smallConfig()
 	a, _ := Run(cfg, &fifoRandom{})

@@ -219,6 +219,29 @@ func ReplicationSweep(cfg engine.Config, seeds []uint64, factors []int) (*metric
 	return tbl, nil
 }
 
+// PartitionSweep (A7) sweeps the partition count at a fixed server count —
+// the simulation twin of the sharded netstore cluster (netstore.Cluster):
+// with more partitions than servers every server belongs to many replica
+// groups and tasks scatter across finer shards, so sub-task batches shrink
+// while the per-task shard fan-out grows. Only the two headline strategies
+// run (the sweep multiplies runs by the partition counts).
+func PartitionSweep(cfg engine.Config, seeds []uint64, partitions []int) (*metrics.Table, error) {
+	tbl := &metrics.Table{Title: "A7: task latency (ms) vs partition count (sharded-cluster scenario)"}
+	strategies := Figure2Strategies()
+	for _, p := range partitions {
+		c := cfg
+		c.Partitions = p
+		for _, name := range []string{"EqualMax-Credits", "C3"} {
+			set, _, err := RunSeeds(c, strategies[name], seeds)
+			if err != nil {
+				return nil, err
+			}
+			tbl.Add(metrics.RowFrom(fmt.Sprintf("%s@P=%d", name, p), set))
+		}
+	}
+	return tbl, nil
+}
+
 // NoiseSweep (A6) sweeps the service-forecast noise: BRB relies on
 // forecasting request costs from value sizes, so this quantifies how much
 // of the win survives bad forecasts (σ = 1.0 means the actual service

@@ -200,9 +200,23 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			resp, err := c.conns[sid].batch(task.ID, b.keys, b.prios)
+			// Single-tier deployments leave the Shard/Replica routing
+			// header zero (see wire.BatchReq).
+			resp, err := c.conns[sid].batch(&wire.BatchReq{
+				TaskID:   task.ID,
+				Priority: b.prios,
+				Keys:     b.keys,
+			})
 			if err != nil {
 				errCh <- err
+				return
+			}
+			if resp.Misrouted() {
+				errCh <- fmt.Errorf("netstore: server %d is shard-checking and rejected an unsharded batch as misrouted; use DialCluster against sharded deployments", sid)
+				return
+			}
+			if len(resp.Values) != len(b.keys) {
+				errCh <- fmt.Errorf("netstore: server %d returned %d values for %d keys", sid, len(resp.Values), len(b.keys))
 				return
 			}
 			for i, orig := range b.idx {
@@ -323,7 +337,9 @@ func (sc *serverConn) write(m wire.Message) error {
 	return wire.WriteMessage(sc.conn, m)
 }
 
-func (sc *serverConn) batch(taskID uint64, keys []string, prios []int64) (*wire.BatchResp, error) {
+// batch sends req (Batch is assigned here; all other fields are the
+// caller's) and waits for its response.
+func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 	ch := make(chan *wire.BatchResp, 1)
 	sc.mu.Lock()
 	if sc.closed {
@@ -335,7 +351,8 @@ func (sc *serverConn) batch(taskID uint64, keys []string, prios []int64) (*wire.
 	sc.pending[id] = ch
 	sc.mu.Unlock()
 
-	if err := sc.write(&wire.BatchReq{Batch: id, TaskID: taskID, Priority: prios, Keys: keys}); err != nil {
+	req.Batch = id
+	if err := sc.write(req); err != nil {
 		sc.mu.Lock()
 		delete(sc.pending, id)
 		sc.mu.Unlock()

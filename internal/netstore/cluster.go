@@ -1,0 +1,350 @@
+package netstore
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/brb-repro/brb/internal/c3"
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// ClusterOptions configure a sharded, replica-aware cluster client.
+type ClusterOptions struct {
+	// Shards is the cluster layout: keys consistent-hash to shard
+	// groups, each served by a fixed set of replica servers. Required.
+	Shards *cluster.ShardMap
+	// Assigner is the priority-assignment algorithm applied across the
+	// whole multiget fan-out (default EqualMax).
+	Assigner core.Assigner
+	// CostModel forecasts per-key service cost from the value size
+	// (default: 1 µs + 1 ns/byte).
+	CostModel core.CostModel
+	// DefaultSize is the assumed size for keys not yet seen. Default 1024.
+	DefaultSize int64
+	// Client identifies this client (telemetry and C3 pressure
+	// extrapolation).
+	Client int
+	// Clients is the cluster-wide client count n for C3's pressure
+	// extrapolation (default 1).
+	Clients int
+	// ServerWorkers is the per-server worker count m for C3's
+	// concurrency compensation (default 4, the server default).
+	ServerWorkers int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o ClusterOptions) withDefaults() ClusterOptions {
+	if o.Assigner == nil {
+		o.Assigner = core.EqualMax{}
+	}
+	if o.CostModel == (core.CostModel{}) {
+		o.CostModel = core.CostModel{BaseNanos: 1000, PerBytePico: 1000}
+	}
+	if o.DefaultSize <= 0 {
+		o.DefaultSize = 1024
+	}
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.ServerWorkers <= 0 {
+		o.ServerWorkers = 4
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Cluster is the sharded, replica-aware client of the networked store:
+// keys consistent-hash across shard groups, a multiget decomposes into
+// one BRB sub-task per shard with task-aware priorities preserved
+// end-to-end, each sub-task picks its replica by C3 score, and batches
+// scatter-gather with failover to the next-ranked replica when one dies.
+type Cluster struct {
+	opts  ClusterOptions
+	conns []*serverConn // dense by ShardMap server index
+	down  []atomic.Bool // conns marked dead after transport errors
+
+	// scorers[s] ranks shard s's replicas from piggybacked feedback.
+	scorers []*c3.Scorer
+
+	// sizes caches learned value sizes for cost forecasting.
+	sizes sync.Map // string -> int64
+
+	// credits are granted by the controller (nil without one).
+	credits *creditGate
+
+	taskSeq atomic.Uint64
+}
+
+// AttachController connects the cluster client to a credits controller
+// (run `brb-controller -shards S -replicas R` so grants cover the dense
+// shard·R+replica server space): demand reports flow every interval, and
+// replica selection prefers positive-balance replicas before falling back
+// to pure C3 ranking — credits steer placement across shards the same way
+// they steer it across a flat tier.
+func (c *Cluster) AttachController(addr string, interval time.Duration) error {
+	g, err := dialCreditGate(addr, len(c.conns), c.opts.Client, c.opts.DialTimeout, interval)
+	if err != nil {
+		return err
+	}
+	c.credits = g
+	return nil
+}
+
+// ErrNoReplica is returned when every replica of a shard is down.
+var ErrNoReplica = errors.New("netstore: no live replica for shard")
+
+// DialCluster connects to every server of the cluster. addrs[i] must be
+// the server at dense index i of the shard map (replica r of shard s at
+// index s·R+r — the order `cmd/brb-server -shard s -group-listen …`
+// launches them).
+func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
+	opts = opts.withDefaults()
+	if opts.Shards == nil {
+		return nil, errors.New("netstore: ClusterOptions.Shards is required")
+	}
+	if len(addrs) != opts.Shards.NumServers() {
+		return nil, fmt.Errorf("netstore: %d addresses for %d servers (%d shards × %d replicas)",
+			len(addrs), opts.Shards.NumServers(), opts.Shards.Shards(), opts.Shards.Replicas())
+	}
+	c := &Cluster{
+		opts:    opts,
+		down:    make([]atomic.Bool, len(addrs)),
+		scorers: make([]*c3.Scorer, opts.Shards.Shards()),
+	}
+	for s := range c.scorers {
+		c.scorers[s] = c3.NewScorer(opts.Shards.Replicas(), c3.ScorerOptions{
+			Clients:     float64(opts.Clients),
+			Concurrency: float64(opts.ServerWorkers),
+		})
+	}
+	// Unreachable replicas start marked down rather than failing the
+	// dial — the client tolerates dead replicas at connect time the same
+	// way it tolerates them mid-run — but every shard needs at least one
+	// live replica to be servable.
+	var lastErr error
+	for i, addr := range addrs {
+		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			c.down[i].Store(true)
+			c.conns = append(c.conns, nil)
+			lastErr = fmt.Errorf("netstore: dial %s: %w", addr, err)
+			continue
+		}
+		c.conns = append(c.conns, newServerConn(conn))
+	}
+	for s := 0; s < opts.Shards.Shards(); s++ {
+		alive := false
+		for r := 0; r < opts.Shards.Replicas(); r++ {
+			if !c.down[opts.Shards.Server(s, r)].Load() {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			c.Close()
+			return nil, fmt.Errorf("%w %d: %v", ErrNoReplica, s, lastErr)
+		}
+	}
+	return c, nil
+}
+
+// Close tears down all connections.
+func (c *Cluster) Close() {
+	for _, sc := range c.conns {
+		if sc != nil {
+			sc.close()
+		}
+	}
+	if c.credits != nil {
+		c.credits.close()
+	}
+}
+
+// Set writes a key to every replica of its shard that this client still
+// considers live; a replica failing the write is marked down and skipped
+// thereafter. It returns an error only when no replica accepted the
+// write. Durability is therefore best-effort under replica failure until
+// replica catch-up exists (DESIGN.md §6 lists it as future work).
+func (c *Cluster) Set(key string, value []byte) error {
+	shard := c.opts.Shards.ShardOfKey(key)
+	wrote := 0
+	for r := 0; r < c.opts.Shards.Replicas(); r++ {
+		sid := c.opts.Shards.Server(shard, r)
+		if c.down[sid].Load() {
+			continue
+		}
+		if err := c.conns[sid].set(key, value); err != nil {
+			c.down[sid].Store(true)
+			continue
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		return fmt.Errorf("%w %d (write %q)", ErrNoReplica, shard, key)
+	}
+	c.sizes.Store(key, int64(len(value)))
+	return nil
+}
+
+// Multiget performs one batched read across the cluster: the full BRB
+// pipeline (forecast → decompose per shard → prioritize → C3 replica
+// selection → scatter-gather), with failover to the next-ranked replica
+// on transport errors.
+func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
+	if len(keys) == 0 {
+		return &TaskResult{}, nil
+	}
+	start := time.Now()
+
+	// Build the task with forecasted costs; Group carries the shard so
+	// core.Decompose yields exactly one sub-task per shard touched.
+	task := &core.Task{ID: c.taskSeq.Add(1), Client: c.opts.Client}
+	for i, k := range keys {
+		size := c.opts.DefaultSize
+		if v, ok := c.sizes.Load(k); ok {
+			size = v.(int64)
+		}
+		task.Requests = append(task.Requests, &core.Request{
+			ID:      uint64(i),
+			TaskID:  task.ID,
+			Client:  c.opts.Client,
+			Group:   cluster.GroupID(c.opts.Shards.ShardOfKey(k)),
+			Size:    size,
+			EstCost: c.opts.CostModel.Estimate(size),
+		})
+	}
+	subs := core.Prepare(task, c.opts.Assigner)
+
+	res := &TaskResult{
+		Values:     make([][]byte, len(keys)),
+		Found:      make([]bool, len(keys)),
+		Bottleneck: core.Bottleneck(subs),
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(subs))
+	for i := range subs {
+		sub := &subs[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.fetchShard(sub, keys, res); err != nil {
+				errCh <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+// fetchShard sends one shard's sub-task to its C3-ranked best replica,
+// failing over through the remaining replicas on transport errors.
+// Result slots are disjoint across shards, so writes into res need no
+// locking.
+func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) error {
+	shard := int(sub.Group)
+	n := len(sub.Requests)
+	batchKeys := make([]string, n)
+	prios := make([]int64, n)
+	for i, r := range sub.Requests {
+		batchKeys[i] = keys[r.ID]
+		prios[i] = r.Priority
+	}
+
+	scorer := c.scorers[shard]
+	tried := make([]bool, c.opts.Shards.Replicas())
+	eligible := func(r int) bool {
+		return !tried[r] && !c.down[c.opts.Shards.Server(shard, r)].Load()
+	}
+	for {
+		// With a controller attached, prefer replicas the client still
+		// holds credits for; fall back to pure C3 ranking when every
+		// eligible balance is exhausted (credits steer, never block).
+		rep := -1
+		if c.credits != nil {
+			rep = scorer.Best(func(r int) bool {
+				return eligible(r) && c.credits.balance(c.opts.Shards.Server(shard, r)) > 0
+			})
+		}
+		if rep < 0 {
+			rep = scorer.Best(eligible)
+		}
+		if rep < 0 {
+			return fmt.Errorf("%w %d", ErrNoReplica, shard)
+		}
+		tried[rep] = true
+		sid := c.opts.Shards.Server(shard, rep)
+
+		if c.credits != nil {
+			c.credits.spend(sid, float64(sub.Cost))
+		}
+		scorer.OnSend(rep, n)
+		sent := time.Now()
+		resp, err := c.conns[sid].batch(&wire.BatchReq{
+			TaskID:   sub.Requests[0].TaskID,
+			Shard:    uint32(shard),
+			Replica:  uint32(rep),
+			Priority: prios,
+			Keys:     batchKeys,
+		})
+		if err != nil {
+			// Transport failure: mark the replica down and fail over to
+			// the next-ranked one. The scorer only unwinds outstanding —
+			// a dead connection says nothing about service times.
+			scorer.OnError(rep, n)
+			c.down[sid].Store(true)
+			continue
+		}
+		rtt := float64(time.Since(sent).Nanoseconds())
+		scorer.Observe(rep, n, rtt, float64(resp.ServiceNanos)/float64(n), int(resp.QueueLen))
+		if resp.Misrouted() {
+			// Configuration skew between client and server is not
+			// survivable by failover; surface it.
+			return fmt.Errorf("netstore: server %d rejected batch for shard %d as misrouted", sid, shard)
+		}
+		if len(resp.Values) != n {
+			return fmt.Errorf("netstore: shard %d returned %d values for %d keys", shard, len(resp.Values), n)
+		}
+		for i, r := range sub.Requests {
+			res.Values[r.ID] = resp.Values[i]
+			res.Found[r.ID] = resp.Found[i]
+			if resp.Found[i] {
+				c.sizes.Store(batchKeys[i], int64(len(resp.Values[i])))
+			}
+		}
+		return nil
+	}
+}
+
+// ReplicaDown reports whether the client has marked a replica's
+// connection dead (test and operations hook).
+func (c *Cluster) ReplicaDown(shard, replica int) bool {
+	return c.down[c.opts.Shards.Server(shard, replica)].Load()
+}
+
+// ScoreOf exposes the C3 score of one replica of one shard (test hook).
+func (c *Cluster) ScoreOf(shard, replica int) float64 {
+	return c.scorers[shard].ScoreOf(replica)
+}
+
+// CreditBalance returns the client's credit balance at one replica, or 0
+// when no controller is attached (test and operations hook).
+func (c *Cluster) CreditBalance(shard, replica int) float64 {
+	if c.credits == nil {
+		return 0
+	}
+	return c.credits.balance(c.opts.Shards.Server(shard, replica))
+}

@@ -192,25 +192,36 @@ type creditGate struct {
 // reports flow every interval, grants update the client's balances, and
 // replica selection starts using them.
 func (c *Client) AttachController(addr string, interval time.Duration) error {
-	if interval <= 0 {
-		interval = 100 * time.Millisecond
-	}
-	conn, err := net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+	g, err := dialCreditGate(addr, len(c.conns), c.opts.Client, c.opts.DialTimeout, interval)
 	if err != nil {
 		return err
 	}
+	c.credits = g
+	return nil
+}
+
+// dialCreditGate connects a credit gate over the given dense server count
+// (flat server index, or shard·R+replica for cluster clients — the
+// controller is layout-agnostic) and starts its report/grant loops.
+func dialCreditGate(addr string, servers, client int, dialTimeout, interval time.Duration) (*creditGate, error) {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	conn, err := net.DialTimeout("tcp", addr, dialTimeout)
+	if err != nil {
+		return nil, err
+	}
 	g := &creditGate{
-		bal:    make([]float64, len(c.conns)),
-		demand: make([]float64, len(c.conns)),
+		bal:    make([]float64, servers),
+		demand: make([]float64, servers),
 		conn:   conn,
-		client: c.opts.Client,
+		client: client,
 		stopCh: make(chan struct{}),
 	}
-	c.credits = g
 	g.wg.Add(2)
 	go g.readLoop()
 	go g.reportLoop(interval)
-	return nil
+	return g, nil
 }
 
 func (g *creditGate) balance(s int) float64 {

@@ -12,6 +12,7 @@ import (
 	"github.com/brb-repro/brb/internal/kv"
 	"github.com/brb-repro/brb/internal/metrics"
 	"github.com/brb-repro/brb/internal/randx"
+	"github.com/brb-repro/brb/internal/wire"
 )
 
 // startCluster launches n servers on loopback and returns their addresses
@@ -156,7 +157,7 @@ func TestPriorityOrderOnServer(t *testing.T) {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			resp, err := c.conns[0].batch(1, []string{"k"}, []int64{prio})
+			resp, err := c.conns[0].batch(&wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}})
 			if err != nil {
 				t.Error(err)
 				return
@@ -218,7 +219,7 @@ func TestFIFOOrderOnServer(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.conns[0].batch(1, []string{"k"}, []int64{prio}); err != nil {
+			if _, err := c.conns[0].batch(&wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}}); err != nil {
 				t.Error(err)
 				return
 			}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/brb-repro/brb/internal/kv"
@@ -47,6 +48,15 @@ type ServerOptions struct {
 	// experiments to recreate the simulator's size-dependent service
 	// costs on fast hardware. nil means no added delay.
 	ServiceDelay func(valueSize int64) time.Duration
+	// Shard, with CheckShard set, is the shard group this server belongs
+	// to in a sharded cluster: batches whose routing header names a
+	// different shard are rejected with wire.FlagMisrouted instead of
+	// silently answering "not found" for keys the server never stored.
+	Shard int
+	// CheckShard enables shard-header validation. Single-tier
+	// deployments (the plain Client) leave it off and the server accepts
+	// every batch.
+	CheckShard bool
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -68,8 +78,11 @@ type Server struct {
 	closed bool
 	wg     sync.WaitGroup
 
-	served uint64
+	served atomic.Uint64
 }
+
+// Served returns the number of keys this server has serviced.
+func (s *Server) Served() uint64 { return s.served.Load() }
 
 // NewServer creates a server over the given store.
 func NewServer(store *kv.Store, opts ServerOptions) *Server {
@@ -95,6 +108,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		// Close the listener too: otherwise a Close/Serve race leaves
+		// the kernel accepting connections nobody will ever read.
+		_ = ln.Close()
 		return errors.New("netstore: server closed")
 	}
 	s.ln = ln
@@ -177,6 +193,7 @@ type batchState struct {
 	remaining int
 	resp      *wire.BatchResp
 	enqueued  time.Time
+	svcNanos  int64
 	cs        *connState
 }
 
@@ -226,6 +243,10 @@ func (s *Server) handle(conn net.Conn) {
 // the scheduler before workers are woken, so priority decisions see the
 // whole batch (the simultaneous-arrival semantics of Figure 1).
 func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq) {
+	if s.opts.CheckShard && m.Shard != uint32(s.opts.Shard) {
+		_ = cs.send(&wire.BatchResp{Batch: m.Batch, Flags: wire.FlagMisrouted})
+		return
+	}
 	n := len(m.Keys)
 	bs := &batchState{
 		remaining: n,
@@ -255,19 +276,24 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		svcStart := time.Now()
 		v, found := s.store.Get(it.key)
 		if s.opts.ServiceDelay != nil {
 			time.Sleep(s.opts.ServiceDelay(int64(len(v))))
 		}
+		svc := time.Since(svcStart).Nanoseconds()
+		s.served.Add(1)
 		bs := it.batch
 		bs.mu.Lock()
 		bs.resp.Values[it.index] = v
 		bs.resp.Found[it.index] = found
+		bs.svcNanos += svc
 		bs.remaining--
 		done := bs.remaining == 0
 		if done {
 			bs.resp.QueueLen = uint32(qlen)
 			bs.resp.WaitNanos = time.Since(bs.enqueued).Nanoseconds()
+			bs.resp.ServiceNanos = bs.svcNanos
 		}
 		bs.mu.Unlock()
 		if done {

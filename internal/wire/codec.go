@@ -17,6 +17,8 @@ func (m *BatchReq) msgType() MsgType { return TBatchReq }
 func (m *BatchReq) encode(w *buffer) {
 	w.u64(m.Batch)
 	w.u64(m.TaskID)
+	w.u32(m.Shard)
+	w.u32(m.Replica)
 	if len(m.Priority) != len(m.Keys) {
 		panic("wire: BatchReq Priority/Keys length mismatch")
 	}
@@ -28,7 +30,7 @@ func (m *BatchReq) encode(w *buffer) {
 }
 
 func decodeBatchReq(r *reader) (*BatchReq, error) {
-	m := &BatchReq{Batch: r.u64(), TaskID: r.u64()}
+	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32()}
 	n := int(r.u32())
 	if r.err == nil && n > MaxFrame/3 {
 		return nil, ErrFrameTooLarge
@@ -43,8 +45,10 @@ func decodeBatchReq(r *reader) (*BatchReq, error) {
 func (m *BatchResp) msgType() MsgType { return TBatchResp }
 func (m *BatchResp) encode(w *buffer) {
 	w.u64(m.Batch)
+	w.u8(m.Flags)
 	w.u32(m.QueueLen)
 	w.i64(m.WaitNanos)
+	w.i64(m.ServiceNanos)
 	if len(m.Values) != len(m.Found) {
 		panic("wire: BatchResp Values/Found length mismatch")
 	}
@@ -60,7 +64,7 @@ func (m *BatchResp) encode(w *buffer) {
 }
 
 func decodeBatchResp(r *reader) (*BatchResp, error) {
-	m := &BatchResp{Batch: r.u64(), QueueLen: r.u32(), WaitNanos: r.i64()}
+	m := &BatchResp{Batch: r.u64(), Flags: r.u8(), QueueLen: r.u32(), WaitNanos: r.i64(), ServiceNanos: r.i64()}
 	n := int(r.u32())
 	if r.err == nil && n > MaxFrame/2 {
 		return nil, ErrFrameTooLarge

@@ -52,6 +52,13 @@ type BatchReq struct {
 	Batch uint64
 	// TaskID is the end-user task the batch belongs to (telemetry).
 	TaskID uint64
+	// Shard and Replica are the routing header of the sharded cluster
+	// layer: the shard group the keys hash to and the replica index the
+	// client selected within it. Shard-checking servers reject batches
+	// whose Shard does not match their own (BatchResp FlagMisrouted);
+	// single-tier deployments leave both zero and servers accept all.
+	Shard   uint32
+	Replica uint32
 	// Priority is the task-aware scheduling priority of each key (lower
 	// is served sooner), parallel to Keys.
 	Priority []int64
@@ -59,9 +66,19 @@ type BatchReq struct {
 	Keys []string
 }
 
+// BatchResp flag bits.
+const (
+	// FlagMisrouted marks a batch rejected by a shard-checking server
+	// because the routing header named a different shard; Values/Found
+	// are empty and the client must not treat the keys as missing.
+	FlagMisrouted uint8 = 1 << 0
+)
+
 // BatchResp answers a BatchReq.
 type BatchResp struct {
 	Batch uint64
+	// Flags carries response status bits (FlagMisrouted).
+	Flags uint8
 	// Values are the read results, parallel to the request's Keys; a
 	// missing key yields a nil value and Found[i] == false.
 	Values [][]byte
@@ -71,7 +88,15 @@ type BatchResp struct {
 	// aggregate time the batch waited).
 	QueueLen  uint32
 	WaitNanos int64
+	// ServiceNanos is the summed actual service time of the batch's keys,
+	// piggybacked so replica scorers (internal/c3) can maintain
+	// service-time EWMAs from real measurements.
+	ServiceNanos int64
 }
+
+// Misrouted reports whether the serving server rejected the batch's
+// routing header.
+func (m *BatchResp) Misrouted() bool { return m.Flags&FlagMisrouted != 0 }
 
 // Set writes one key.
 type Set struct {

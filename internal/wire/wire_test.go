@@ -23,6 +23,8 @@ func TestBatchReqRoundTrip(t *testing.T) {
 	m := &BatchReq{
 		Batch:    42,
 		TaskID:   7,
+		Shard:    3,
+		Replica:  1,
 		Priority: []int64{100, -5, 0},
 		Keys:     []string{"track:1", "track:2", ""},
 	}
@@ -34,21 +36,36 @@ func TestBatchReqRoundTrip(t *testing.T) {
 
 func TestBatchRespRoundTrip(t *testing.T) {
 	m := &BatchResp{
-		Batch:     42,
-		Values:    [][]byte{[]byte("abc"), nil, {}},
-		Found:     []bool{true, false, true},
-		QueueLen:  9,
-		WaitNanos: 12345,
+		Batch:        42,
+		Values:       [][]byte{[]byte("abc"), nil, {}},
+		Found:        []bool{true, false, true},
+		QueueLen:     9,
+		WaitNanos:    12345,
+		ServiceNanos: 6789,
 	}
 	got := roundTrip(t, m).(*BatchResp)
-	if got.Batch != 42 || got.QueueLen != 9 || got.WaitNanos != 12345 {
+	if got.Batch != 42 || got.QueueLen != 9 || got.WaitNanos != 12345 || got.ServiceNanos != 6789 {
 		t.Fatalf("header mismatch: %+v", got)
+	}
+	if got.Misrouted() {
+		t.Fatal("Misrouted set without FlagMisrouted")
 	}
 	if !got.Found[0] || got.Found[1] || !got.Found[2] {
 		t.Fatalf("found mismatch: %v", got.Found)
 	}
 	if string(got.Values[0]) != "abc" || got.Values[1] != nil || len(got.Values[2]) != 0 {
 		t.Fatalf("values mismatch: %q", got.Values)
+	}
+}
+
+func TestMisroutedRoundTrip(t *testing.T) {
+	m := &BatchResp{Batch: 7, Flags: FlagMisrouted}
+	got := roundTrip(t, m).(*BatchResp)
+	if !got.Misrouted() {
+		t.Fatalf("misrouted flag lost: %+v", got)
+	}
+	if len(got.Values) != 0 || len(got.Found) != 0 {
+		t.Fatalf("misrouted response carries values: %+v", got)
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -46,6 +47,7 @@ func main() {
 	assignerName := flag.String("assigner", "EqualMax", "priority assigner: EqualMax|UnifIncr|UnifIncrSub|Oblivious|SJFReq")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	skipLoad := flag.Bool("skip-load", false, "skip the initial data load")
+	allocStats := flag.Bool("allocstats", false, "report client-process allocs/op and bytes/op over the measurement phase")
 	flag.Parse()
 
 	addrs := strings.Split(*serversFlag, ",")
@@ -129,6 +131,11 @@ func main() {
 	var histMu sync.Mutex
 	var wg sync.WaitGroup
 	perClient := *tasks / *clients
+	var memBefore runtime.MemStats
+	if *allocStats {
+		runtime.GC()
+		runtime.ReadMemStats(&memBefore)
+	}
 	start := time.Now()
 	for w := 0; w < *clients; w++ {
 		w := w
@@ -173,4 +180,32 @@ func main() {
 		assigner.Name(), s.Count, elapsed.Round(time.Millisecond),
 		float64(s.Count)/elapsed.Seconds())
 	fmt.Printf("task latency: %s\n", s)
+	if *allocStats && s.Count > 0 {
+		// Whole-process deltas over the measurement phase only (dialing
+		// and the initial load happen before memBefore; teardown after
+		// memAfter): coarser than testing.AllocsPerOp — the workload
+		// generator and histogram are included — but directly
+		// comparable across wire-path changes.
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		ops := float64(s.Count)
+		fmt.Printf("allocstats: %.1f allocs/op  %.0f bytes/op  (%d mallocs, %s total over %d tasks)\n",
+			float64(memAfter.Mallocs-memBefore.Mallocs)/ops,
+			float64(memAfter.TotalAlloc-memBefore.TotalAlloc)/ops,
+			memAfter.Mallocs-memBefore.Mallocs,
+			fmtBytes(memAfter.TotalAlloc-memBefore.TotalAlloc),
+			s.Count)
+	}
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }

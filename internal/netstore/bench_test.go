@@ -1,0 +1,67 @@
+package netstore
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/kv"
+)
+
+// benchStore starts one server on loopback with nKeys preloaded and
+// returns a connected single-server client. The caller must Close both.
+func benchStore(b *testing.B, nKeys int) (*Server, *Client) {
+	b.Helper()
+	store := kv.New(0)
+	for i := 0; i < nKeys; i++ {
+		store.Set(fmt.Sprintf("key:%d", i), make([]byte, 128))
+	}
+	srv := NewServer(store, ServerOptions{Workers: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	topo, err := cluster.New(cluster.Config{Servers: 1, Replication: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := Dial([]string{ln.Addr().String()}, ClientOptions{Topology: topo})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, c
+}
+
+// BenchmarkServerPipeline measures the full batched-read round trip —
+// client encode, server decode/schedule/serve, response encode, client
+// decode — for an 8-key batch. allocs/op covers both endpoints; this is
+// the hot path whose per-frame allocation cost the pooled codec and
+// coalesced ConnWriter are meant to eliminate.
+func BenchmarkServerPipeline(b *testing.B) {
+	const nKeys = 64
+	srv, c := benchStore(b, nKeys)
+	defer srv.Close()
+	defer c.Close()
+
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%d", i%nKeys)
+	}
+	// Warm size cache and connections.
+	if _, err := c.Task(keys); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := c.Task(keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Values) != len(keys) {
+			b.Fatalf("got %d values", len(res.Values))
+		}
+	}
+}

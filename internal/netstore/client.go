@@ -114,8 +114,19 @@ func (c *Client) Set(key string, value []byte) error {
 			return err
 		}
 	}
-	c.sizes.Store(key, int64(len(value)))
+	learnSize(&c.sizes, key, int64(len(value)))
 	return nil
+}
+
+// learnSize caches a key's observed value size for cost forecasting
+// (shared by Client and Cluster), skipping the store (and its per-call
+// boxing allocation) when the cached size is already right — the
+// steady-state case.
+func learnSize(sizes *sync.Map, key string, size int64) {
+	if v, ok := sizes.Load(key); ok && v.(int64) == size {
+		return
+	}
+	sizes.Store(key, size)
 }
 
 // TaskResult is the outcome of one batched task.
@@ -141,21 +152,25 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 	start := time.Now()
 	topo := c.opts.Topology
 
-	// Build the task with forecasted costs.
+	// Build the task with forecasted costs; the per-key requests are one
+	// slab, not one allocation each.
 	task := &core.Task{ID: c.taskSeq.Add(1), Client: c.opts.Client}
+	reqs := make([]core.Request, len(keys))
+	task.Requests = make([]*core.Request, len(keys))
 	for i, k := range keys {
 		size := c.opts.DefaultSize
 		if v, ok := c.sizes.Load(k); ok {
 			size = v.(int64)
 		}
-		task.Requests = append(task.Requests, &core.Request{
+		reqs[i] = core.Request{
 			ID:      uint64(i),
 			TaskID:  task.ID,
 			Client:  c.opts.Client,
 			Group:   topo.GroupOfKey(k),
 			Size:    size,
 			EstCost: c.opts.CostModel.Estimate(size),
-		})
+		}
+		task.Requests[i] = &reqs[i]
 	}
 	subs := core.Prepare(task, c.opts.Assigner)
 	bottleneck := core.Bottleneck(subs)
@@ -164,19 +179,30 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 	// replica with the most headroom, batching contiguous picks per
 	// server.
 	type outBatch struct {
+		sid   cluster.ServerID
 		keys  []string
 		prios []int64
 		idx   []int
 	}
-	batches := map[cluster.ServerID]*outBatch{}
+	batchOf := map[cluster.ServerID]*outBatch{}
+	var batches []*outBatch
 	for _, sub := range subs {
 		reps := topo.Replicas(sub.Group)
 		for _, r := range sub.Requests {
 			best := c.pickReplica(reps)
-			b := batches[best]
+			b := batchOf[best]
 			if b == nil {
-				b = &outBatch{}
-				batches[best] = b
+				// Sized for the current sub-task; a server collecting
+				// requests from several groups grows by append.
+				n := len(sub.Requests)
+				b = &outBatch{
+					sid:   best,
+					keys:  make([]string, 0, n),
+					prios: make([]int64, 0, n),
+					idx:   make([]int, 0, n),
+				}
+				batchOf[best] = b
+				batches = append(batches, b)
 			}
 			b.keys = append(b.keys, keys[r.ID])
 			b.prios = append(b.prios, r.Priority)
@@ -193,50 +219,71 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 		Found:      make([]bool, len(keys)),
 		Bottleneck: bottleneck,
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(batches))
-	for sid, b := range batches {
-		sid, b := sid, b
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			// Single-tier deployments leave the Shard/Replica routing
-			// header zero (see wire.BatchReq).
-			resp, err := c.conns[sid].batch(&wire.BatchReq{
-				TaskID:   task.ID,
-				Priority: b.prios,
-				Keys:     b.keys,
-			})
-			if err != nil {
-				errCh <- err
-				return
-			}
-			if resp.Misrouted() {
-				errCh <- fmt.Errorf("netstore: server %d is shard-checking and rejected an unsharded batch as misrouted; use DialCluster against sharded deployments", sid)
-				return
-			}
-			if len(resp.Values) != len(b.keys) {
-				errCh <- fmt.Errorf("netstore: server %d returned %d values for %d keys", sid, len(resp.Values), len(b.keys))
-				return
-			}
-			for i, orig := range b.idx {
-				res.Values[orig] = resp.Values[i]
-				res.Found[orig] = resp.Found[i]
-				if resp.Found[i] {
-					c.sizes.Store(b.keys[i], int64(len(resp.Values[i])))
-				}
-			}
+	issue := func(b *outBatch) error {
+		// The batch's forecasted work leaves the in-flight estimate on
+		// every exit — a failed batch is no longer outstanding, and
+		// leaving it accounted would permanently penalize the replica
+		// in future pickReplica calls.
+		defer func() {
 			var est int64
 			for _, orig := range b.idx {
 				est += task.Requests[orig].EstCost
 			}
-			c.outstanding[sid].Add(-est)
+			c.outstanding[b.sid].Add(-est)
 		}()
+		// Single-tier deployments leave the Shard/Replica routing
+		// header zero (see wire.BatchReq).
+		resp, err := c.conns[b.sid].batch(&wire.BatchReq{
+			TaskID:   task.ID,
+			Priority: b.prios,
+			Keys:     b.keys,
+		})
+		if err != nil {
+			return err
+		}
+		if resp.Misrouted() {
+			return fmt.Errorf("netstore: server %d is shard-checking and rejected an unsharded batch as misrouted; use DialCluster against sharded deployments", b.sid)
+		}
+		if len(resp.Values) != len(b.keys) {
+			return fmt.Errorf("netstore: server %d returned %d values for %d keys", b.sid, len(resp.Values), len(b.keys))
+		}
+		for i, orig := range b.idx {
+			res.Values[orig] = resp.Values[i]
+			res.Found[orig] = resp.Found[i]
+			if resp.Found[i] {
+				learnSize(&c.sizes, b.keys[i], int64(len(resp.Values[i])))
+			}
+		}
+		return nil
 	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
+	// Fan out to all batches but the first, which runs on this
+	// goroutine — in the common single-server case the task costs no
+	// goroutine spawn at all.
+	var firstErr error
+	if len(batches) > 1 {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(batches)-1)
+		for _, b := range batches[1:] {
+			b := b
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := issue(b); err != nil {
+					errCh <- err
+				}
+			}()
+		}
+		firstErr = issue(batches[0])
+		wg.Wait()
+		close(errCh)
+		if firstErr == nil {
+			firstErr = <-errCh
+		}
+	} else {
+		firstErr = issue(batches[0])
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	res.Latency = time.Since(start)
 	return res, nil
@@ -268,10 +315,12 @@ func (c *Client) headroom(s cluster.ServerID) float64 {
 // (test hook).
 func (c *Client) Outstanding(s cluster.ServerID) int64 { return c.outstanding[s].Load() }
 
-// serverConn multiplexes batches over one TCP connection.
+// serverConn multiplexes batches over one TCP connection. Outbound
+// frames ride a coalescing ConnWriter: concurrent sub-task goroutines
+// queue their batches into one buffer and share Write syscalls.
 type serverConn struct {
-	conn    net.Conn
-	writeMu sync.Mutex
+	conn net.Conn
+	w    *wire.ConnWriter
 
 	mu       sync.Mutex
 	nextID   uint64
@@ -284,6 +333,7 @@ type serverConn struct {
 func newServerConn(conn net.Conn) *serverConn {
 	sc := &serverConn{
 		conn:    conn,
+		w:       wire.NewConnWriter(conn),
 		pending: make(map[uint64]chan *wire.BatchResp),
 		pendSet: make(map[uint64]chan struct{}),
 	}
@@ -313,28 +363,35 @@ func (sc *serverConn) readLoop() {
 		switch m := msg.(type) {
 		case *wire.BatchResp:
 			sc.mu.Lock()
-			ch := sc.pending[m.Batch]
+			ch, live := sc.pending[m.Batch]
 			delete(sc.pending, m.Batch)
 			sc.mu.Unlock()
-			if ch != nil {
-				ch <- m
+			if !live {
+				// The batch was abandoned (its sender saw a write error
+				// and gave up): drop the response instead of keeping a
+				// channel nobody will receive on.
+				continue
+			}
+			// The waiter's channel is buffered and it receives exactly
+			// once, so this send cannot block the read loop; a server
+			// double-answering a batch ID would hit the default case.
+			select {
+			case ch <- m:
+			default:
 			}
 		case *wire.SetResp:
 			sc.mu.Lock()
-			ch := sc.pendSet[m.Seq]
+			ch, live := sc.pendSet[m.Seq]
 			delete(sc.pendSet, m.Seq)
 			sc.mu.Unlock()
-			if ch != nil {
-				close(ch)
+			if live {
+				select {
+				case ch <- struct{}{}:
+				default:
+				}
 			}
 		}
 	}
-}
-
-func (sc *serverConn) write(m wire.Message) error {
-	sc.writeMu.Lock()
-	defer sc.writeMu.Unlock()
-	return wire.WriteMessage(sc.conn, m)
 }
 
 // batch sends req (Batch is assigned here; all other fields are the
@@ -352,7 +409,7 @@ func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 	sc.mu.Unlock()
 
 	req.Batch = id
-	if err := sc.write(req); err != nil {
+	if err := sc.w.Send(req); err != nil {
 		sc.mu.Lock()
 		delete(sc.pending, id)
 		sc.mu.Unlock()
@@ -360,13 +417,13 @@ func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 	}
 	resp, ok := <-ch
 	if !ok {
-		return nil, errors.New("netstore: connection closed awaiting batch")
+		return nil, fmt.Errorf("netstore: connection closed awaiting batch: %v", sc.closeError())
 	}
 	return resp, nil
 }
 
 func (sc *serverConn) set(key string, value []byte) error {
-	ch := make(chan struct{})
+	ch := make(chan struct{}, 1)
 	sc.mu.Lock()
 	if sc.closed {
 		sc.mu.Unlock()
@@ -376,16 +433,30 @@ func (sc *serverConn) set(key string, value []byte) error {
 	id := sc.nextID
 	sc.pendSet[id] = ch
 	sc.mu.Unlock()
-	if err := sc.write(&wire.Set{Seq: id, Key: key, Value: value}); err != nil {
+	if err := sc.w.Send(&wire.Set{Seq: id, Key: key, Value: value}); err != nil {
 		sc.mu.Lock()
 		delete(sc.pendSet, id)
 		sc.mu.Unlock()
 		return err
 	}
-	<-ch
+	// A signal on the channel is the acknowledgment; the read loop
+	// closing it instead means the connection died with the Set
+	// unacknowledged — an error, not success.
+	if _, acked := <-ch; !acked {
+		return fmt.Errorf("netstore: connection closed awaiting set: %v", sc.closeError())
+	}
 	return nil
 }
 
+func (sc *serverConn) closeError() error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.closeErr
+}
+
 func (sc *serverConn) close() {
+	// Connection first: a stuck in-flight Write fails instead of
+	// blocking the writer drain.
 	_ = sc.conn.Close()
+	_ = sc.w.Close()
 }

@@ -191,7 +191,7 @@ func (c *Cluster) Set(key string, value []byte) error {
 	if wrote == 0 {
 		return fmt.Errorf("%w %d (write %q)", ErrNoReplica, shard, key)
 	}
-	c.sizes.Store(key, int64(len(value)))
+	learnSize(&c.sizes, key, int64(len(value)))
 	return nil
 }
 
@@ -206,21 +206,25 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	start := time.Now()
 
 	// Build the task with forecasted costs; Group carries the shard so
-	// core.Decompose yields exactly one sub-task per shard touched.
+	// core.Decompose yields exactly one sub-task per shard touched. The
+	// per-key requests are one slab, not one allocation each.
 	task := &core.Task{ID: c.taskSeq.Add(1), Client: c.opts.Client}
+	reqs := make([]core.Request, len(keys))
+	task.Requests = make([]*core.Request, len(keys))
 	for i, k := range keys {
 		size := c.opts.DefaultSize
 		if v, ok := c.sizes.Load(k); ok {
 			size = v.(int64)
 		}
-		task.Requests = append(task.Requests, &core.Request{
+		reqs[i] = core.Request{
 			ID:      uint64(i),
 			TaskID:  task.ID,
 			Client:  c.opts.Client,
 			Group:   cluster.GroupID(c.opts.Shards.ShardOfKey(k)),
 			Size:    size,
 			EstCost: c.opts.CostModel.Estimate(size),
-		})
+		}
+		task.Requests[i] = &reqs[i]
 	}
 	subs := core.Prepare(task, c.opts.Assigner)
 
@@ -322,7 +326,7 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 			res.Values[r.ID] = resp.Values[i]
 			res.Found[r.ID] = resp.Found[i]
 			if resp.Found[i] {
-				c.sizes.Store(batchKeys[i], int64(len(resp.Values[i])))
+				learnSize(&c.sizes, batchKeys[i], int64(len(resp.Values[i])))
 			}
 		}
 		return nil

@@ -108,8 +108,8 @@ func (cs *ControllerServer) Close() {
 
 func (cs *ControllerServer) handle(conn net.Conn) {
 	defer cs.wg.Done()
-	defer func() { _ = conn.Close() }()
-	st := &connState{conn: conn}
+	st := newConnState(conn)
+	defer st.close()
 	r := bufio.NewReader(conn)
 	registered := -1
 	for {
@@ -178,14 +178,14 @@ func (cs *ControllerServer) grantLoop() {
 
 // creditGate is the client-side credit state fed by controller grants.
 type creditGate struct {
-	mu      sync.Mutex
-	bal     []float64
-	conn    net.Conn
-	writeMu sync.Mutex
-	client  int
-	demand  []float64
-	stopCh  chan struct{}
-	wg      sync.WaitGroup
+	mu     sync.Mutex
+	bal    []float64
+	conn   net.Conn
+	w      *wire.ConnWriter
+	client int
+	demand []float64
+	stopCh chan struct{}
+	wg     sync.WaitGroup
 }
 
 // AttachController connects the client to a credits controller: demand
@@ -215,6 +215,7 @@ func dialCreditGate(addr string, servers, client int, dialTimeout, interval time
 		bal:    make([]float64, servers),
 		demand: make([]float64, servers),
 		conn:   conn,
+		w:      wire.NewConnWriter(conn),
 		client: client,
 		stopCh: make(chan struct{}),
 	}
@@ -278,10 +279,7 @@ func (g *creditGate) reportLoop(interval time.Duration) {
 			g.demand[i] = 0
 		}
 		g.mu.Unlock()
-		g.writeMu.Lock()
-		err := wire.WriteMessage(g.conn, &wire.Report{Client: uint32(g.client), Demand: snap})
-		g.writeMu.Unlock()
-		if err != nil {
+		if err := g.w.Send(&wire.Report{Client: uint32(g.client), Demand: snap}); err != nil {
 			return
 		}
 	}
@@ -290,5 +288,6 @@ func (g *creditGate) reportLoop(interval time.Duration) {
 func (g *creditGate) close() {
 	close(g.stopCh)
 	_ = g.conn.Close()
+	_ = g.w.Close()
 	g.wg.Wait()
 }

@@ -13,10 +13,10 @@ package netstore
 
 import (
 	"bufio"
-	"container/heap"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -175,26 +175,88 @@ func (s *Server) Close() {
 // QueueLen returns the current scheduler backlog.
 func (s *Server) QueueLen() int { return s.sched.len() }
 
-// connState serializes writes to one connection.
+// connState couples one connection with its coalescing frame writer:
+// concurrent workers finishing batches enqueue responses that ride a
+// shared Write, instead of serializing one syscall each behind a mutex.
 type connState struct {
-	mu   sync.Mutex
 	conn net.Conn
+	w    *wire.ConnWriter
 }
 
-func (cs *connState) send(m wire.Message) error {
-	cs.mu.Lock()
-	defer cs.mu.Unlock()
-	return wire.WriteMessage(cs.conn, m)
+func newConnState(conn net.Conn) *connState {
+	return &connState{conn: conn, w: wire.NewConnWriter(conn)}
+}
+
+func (cs *connState) send(m wire.Message) error { return cs.w.Send(m) }
+
+// close tears the connection down first so the writer's in-flight Write
+// cannot block the drain.
+func (cs *connState) close() {
+	_ = cs.conn.Close()
+	_ = cs.w.Close()
 }
 
 // batchState assembles a batch's results as its keys finish service.
+// States are pooled: the response's Values/Found slices, the work-item
+// slab, and the request frame all recycle once the response is encoded.
 type batchState struct {
 	mu        sync.Mutex
 	remaining int
-	resp      *wire.BatchResp
+	resp      wire.BatchResp
 	enqueued  time.Time
 	svcNanos  int64
 	cs        *connState
+	// items is the batch's work-item slab: one allocation per batch
+	// (reused across batches), not one per key.
+	items []workItem
+	// frame backs the aliased request keys; released on completion.
+	frame *wire.Frame
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchState) }}
+
+// newBatchState readies a pooled batchState for a decoded request whose
+// keys alias frame.
+func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame) *batchState {
+	n := len(m.Keys)
+	bs := batchPool.Get().(*batchState)
+	bs.remaining = n
+	bs.enqueued = time.Now()
+	bs.svcNanos = 0
+	bs.cs = cs
+	bs.frame = frame
+	values, found := bs.resp.Values, bs.resp.Found
+	if cap(values) < n {
+		values, found = make([][]byte, n), make([]bool, n)
+	} else {
+		values, found = values[:n], found[:n]
+		for i := range values {
+			values[i], found[i] = nil, false
+		}
+	}
+	bs.resp = wire.BatchResp{Batch: m.Batch, Values: values, Found: found}
+	if cap(bs.items) < n {
+		bs.items = make([]workItem, n)
+	} else {
+		bs.items = bs.items[:n]
+	}
+	for i := range bs.items {
+		bs.items[i] = workItem{key: m.Keys[i], priority: m.Priority[i], index: i, batch: bs}
+	}
+	return bs
+}
+
+// release recycles the batch after its response has been encoded: store
+// value references are dropped, the request frame returns to the frame
+// pool, and the state itself to the batch pool.
+func (bs *batchState) release() {
+	for i := range bs.resp.Values {
+		bs.resp.Values[i] = nil
+	}
+	bs.cs = nil
+	bs.frame.Release()
+	bs.frame = nil
+	batchPool.Put(bs)
 }
 
 // workItem is one key awaiting service.
@@ -207,66 +269,69 @@ type workItem struct {
 
 func (s *Server) handle(conn net.Conn) {
 	defer s.wg.Done()
+	cs := newConnState(conn)
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
-		_ = conn.Close()
+		cs.close()
 	}()
-	cs := &connState{conn: conn}
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		msg, err := wire.ReadMessage(r)
+		frame, err := wire.ReadFrame(r)
 		if err != nil {
+			return
+		}
+		msg, err := wire.DecodeAlias(frame.Bytes())
+		if err != nil {
+			frame.Release()
 			return
 		}
 		switch m := msg.(type) {
 		case *wire.Ping:
+			frame.Release()
 			if cs.send(&wire.Pong{Nonce: m.Nonce}) != nil {
 				return
 			}
 		case *wire.Set:
-			s.store.Set(m.Key, m.Value)
-			if cs.send(&wire.SetResp{Seq: m.Seq}) != nil {
+			// The store copies the value, but its map retains the key:
+			// clone the key off the pooled frame before it recycles.
+			s.store.Set(strings.Clone(m.Key), m.Value)
+			seq := m.Seq
+			frame.Release()
+			if cs.send(&wire.SetResp{Seq: seq}) != nil {
 				return
 			}
 		case *wire.BatchReq:
-			s.enqueueBatch(cs, m)
+			// enqueueBatch owns the frame: the aliased keys live until
+			// the batch completes.
+			s.enqueueBatch(cs, m, frame)
 		default:
 			// Unknown-but-decodable messages are ignored; the protocol
 			// is forward-compatible for clients, not servers.
+			frame.Release()
 		}
 	}
 }
 
 // enqueueBatch splits a batch into per-key work items. All items enter
 // the scheduler before workers are woken, so priority decisions see the
-// whole batch (the simultaneous-arrival semantics of Figure 1).
-func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq) {
+// whole batch (the simultaneous-arrival semantics of Figure 1). The
+// items are one slab owned by the batch's pooled state; m's keys alias
+// frame, which is released when the batch completes.
+func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq, frame *wire.Frame) {
 	if s.opts.CheckShard && m.Shard != uint32(s.opts.Shard) {
 		_ = cs.send(&wire.BatchResp{Batch: m.Batch, Flags: wire.FlagMisrouted})
+		frame.Release()
 		return
 	}
-	n := len(m.Keys)
-	bs := &batchState{
-		remaining: n,
-		enqueued:  time.Now(),
-		cs:        cs,
-		resp: &wire.BatchResp{
-			Batch:  m.Batch,
-			Values: make([][]byte, n),
-			Found:  make([]bool, n),
-		},
-	}
-	if n == 0 {
-		_ = cs.send(bs.resp)
+	if len(m.Keys) == 0 {
+		_ = cs.send(&wire.BatchResp{Batch: m.Batch})
+		frame.Release()
 		return
 	}
-	items := make([]*workItem, n)
-	for i := range m.Keys {
-		items[i] = &workItem{key: m.Keys[i], priority: m.Priority[i], index: i, batch: bs}
-	}
-	s.sched.pushAll(items)
+	bs := newBatchState(cs, m, frame)
+	s.sched.pushAll(bs.items)
 }
 
 func (s *Server) worker() {
@@ -297,7 +362,11 @@ func (s *Server) worker() {
 		}
 		bs.mu.Unlock()
 		if done {
-			_ = bs.cs.send(bs.resp)
+			// Send encodes synchronously into the coalescing buffer, so
+			// the state (and the frame backing its keys) recycles the
+			// moment it returns.
+			_ = bs.cs.send(&bs.resp)
+			bs.release()
 		}
 	}
 }
@@ -326,34 +395,72 @@ type heapEntry struct {
 	seq  uint64
 }
 
+// itemHeap is a hand-rolled min-heap rather than a container/heap
+// client: the stdlib interface boxes every pushed and popped entry into
+// an `any`, which costs two heap allocations per scheduled key on the
+// serving hot path.
 type itemHeap []heapEntry
 
 func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) Less(i, j int) bool {
+func (h itemHeap) less(i, j int) bool {
 	if h[i].prio != h[j].prio {
 		return h[i].prio < h[j].prio
 	}
 	return h[i].seq < h[j].seq
 }
-func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *itemHeap) Push(x any)   { *h = append(*h, x.(heapEntry)) }
-func (h *itemHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = heapEntry{}
-	*h = old[:n-1]
-	return e
+
+func (h *itemHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
 }
 
-// pushAll enqueues a batch atomically and wakes workers.
-func (s *scheduler) pushAll(items []*workItem) {
+func (h *itemHeap) pop() heapEntry {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = heapEntry{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
+
+// pushAll enqueues a batch's work-item slab atomically and wakes
+// workers; the scheduler holds pointers into the slab until each item
+// is popped.
+func (s *scheduler) pushAll(items []workItem) {
 	s.mu.Lock()
-	for _, it := range items {
+	for i := range items {
+		it := &items[i]
 		if s.disc == FIFO {
 			s.fifo = append(s.fifo, it)
 		} else {
-			heap.Push(&s.heap, heapEntry{it: it, prio: it.priority, seq: s.seq})
+			s.heap.push(heapEntry{it: it, prio: it.priority, seq: s.seq})
 			s.seq++
 		}
 	}
@@ -376,7 +483,7 @@ func (s *scheduler) pop() (*workItem, int, bool) {
 			return it, len(s.fifo), true
 		}
 		if s.disc != FIFO && s.heap.Len() > 0 {
-			e := heap.Pop(&s.heap).(heapEntry)
+			e := s.heap.pop()
 			return e.it, s.heap.Len(), true
 		}
 		if s.closed {

@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomBatchReq builds a BatchReq from quick-generated raw material.
+func randomBatchReq(batch uint64, prios []int64, rawKeys [][]byte) *BatchReq {
+	n := len(prios)
+	if len(rawKeys) < n {
+		n = len(rawKeys)
+	}
+	m := &BatchReq{Batch: batch}
+	for i := 0; i < n; i++ {
+		k := rawKeys[i]
+		if len(k) > 0xffff {
+			k = k[:0xffff]
+		}
+		m.Priority = append(m.Priority, prios[i])
+		m.Keys = append(m.Keys, string(k))
+	}
+	return m
+}
+
+func sameBatchReq(a, b *BatchReq) bool {
+	if a.Batch != b.Batch || len(a.Keys) != len(b.Keys) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] || a.Priority[i] != b.Priority[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: a pooled-frame round trip through AppendEncode → DecodeAlias
+// matches the original while the frame is live, and the safe Decode of
+// the same frame stays correct after the frame is recycled and reused.
+func TestQuickPooledAliasRoundTrip(t *testing.T) {
+	f := func(batch uint64, prios []int64, rawKeys [][]byte) bool {
+		m := randomBatchReq(batch, prios, rawKeys)
+		enc := AppendEncode(nil, m)
+
+		frame := GetFrame(len(enc) - 4)
+		copy(frame.Bytes(), enc[4:])
+
+		aliased, err := DecodeAlias(frame.Bytes())
+		if err != nil {
+			return false
+		}
+		copied, err := Decode(frame.Bytes())
+		if err != nil {
+			return false
+		}
+		if !sameBatchReq(m, aliased.(*BatchReq)) || !sameBatchReq(m, copied.(*BatchReq)) {
+			return false
+		}
+
+		// Recycle the frame and scribble over a reused buffer: the
+		// copied message must be unaffected.
+		frame.Release()
+		reused := GetFrame(len(enc) - 4)
+		for i := range reused.Bytes() {
+			reused.Bytes()[i] = 0xEE
+		}
+		ok := sameBatchReq(m, copied.(*BatchReq))
+		reused.Release()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Decode (copy mode) must never alias the frame: corrupting the frame
+// after decoding cannot change the message.
+func TestCopyDecodeDoesNotAliasFrame(t *testing.T) {
+	m := &Set{Seq: 9, Key: "playlist:42", Value: bytes.Repeat([]byte{0xAB}, 512)}
+	enc := Encode(m)
+	frame := append([]byte(nil), enc[4:]...)
+	got, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		frame[i] = 0xFF
+	}
+	gs := got.(*Set)
+	if gs.Key != "playlist:42" || !bytes.Equal(gs.Value, m.Value) {
+		t.Fatal("copy-mode decode aliased the frame buffer")
+	}
+}
+
+// DecodeAlias documents the opposite contract: the message views the
+// frame, so overwriting the frame is visible through it. This is what
+// makes recycling a live aliased frame unsafe — and why the server ties
+// frame lifetime to batch lifetime.
+func TestAliasDecodeViewsFrame(t *testing.T) {
+	m := &Set{Seq: 9, Key: "k", Value: []byte{1, 2, 3, 4}}
+	enc := Encode(m)
+	frame := append([]byte(nil), enc[4:]...)
+	got, err := DecodeAlias(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := got.(*Set)
+	if !bytes.Equal(gs.Value, []byte{1, 2, 3, 4}) {
+		t.Fatalf("value mismatch before overwrite: %v", gs.Value)
+	}
+	for i := range frame {
+		frame[i] = 0x00
+	}
+	if bytes.Equal(gs.Value, []byte{1, 2, 3, 4}) {
+		t.Fatal("aliasing decode copied the value; expected a view of the frame")
+	}
+}
+
+// Hammer the frame pool from many goroutines, each encoding into pooled
+// frames, decoding safely, recycling, and then verifying its message
+// against buffers other goroutines have since reused. Catches both
+// cross-goroutine recycling races (under -race) and any copy-mode
+// decode output that secretly aliases pooled memory.
+func TestPooledRecycleAcrossGoroutines(t *testing.T) {
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	errCh := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				want := &Set{
+					Seq:   uint64(g)<<32 | uint64(r),
+					Key:   fmt.Sprintf("key:%d:%d", g, r),
+					Value: bytes.Repeat([]byte{byte(g), byte(r)}, 64),
+				}
+				enc := AppendEncode(nil, want)
+				frame := GetFrame(len(enc) - 4)
+				copy(frame.Bytes(), enc[4:])
+				got, err := Decode(frame.Bytes())
+				if err != nil {
+					errCh <- err
+					return
+				}
+				frame.Release() // recycled before the message is checked
+				gs := got.(*Set)
+				if gs.Seq != want.Seq || gs.Key != want.Key || !bytes.Equal(gs.Value, want.Value) {
+					errCh <- fmt.Errorf("goroutine %d round %d: message corrupted after frame recycle", g, r)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The hot paths must stay allocation-free: AppendEncode into a reused
+// buffer allocates nothing, and an aliasing decode of a BatchReq costs
+// only the message struct and its two exactly-sized slices.
+func TestHotPathAllocs(t *testing.T) {
+	m := benchBatchReq()
+	buf := make([]byte, 0, 4096)
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = AppendEncode(buf[:0], m)
+	}); avg != 0 {
+		t.Errorf("AppendEncode into reused buffer: %.1f allocs/op, want 0", avg)
+	}
+	enc := Encode(m)
+	if avg := testing.AllocsPerRun(200, func() {
+		if _, err := DecodeAlias(enc[4:]); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 3 {
+		t.Errorf("DecodeAlias(BatchReq): %.1f allocs/op, want ≤ 3", avg)
+	}
+}
+
+// Fuzz both decode modes on arbitrary bytes: no panics, and when both
+// succeed they must agree on everything.
+func FuzzDecodeModes(f *testing.F) {
+	f.Add(Encode(benchBatchReq())[4:])
+	f.Add(Encode(benchBatchResp())[4:])
+	f.Add(Encode(&Set{Seq: 1, Key: "k", Value: []byte{1}})[4:])
+	f.Add([]byte{0xFF, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		mc, errC := Decode(frame)
+		ma, errA := DecodeAlias(frame)
+		if (errC == nil) != (errA == nil) {
+			t.Fatalf("decode modes disagree: copy err=%v alias err=%v", errC, errA)
+		}
+		if errC != nil {
+			return
+		}
+		if fmt.Sprintf("%+v", mc) != fmt.Sprintf("%+v", ma) {
+			t.Fatalf("decode modes disagree:\ncopy:  %+v\nalias: %+v", mc, ma)
+		}
+	})
+}

@@ -7,33 +7,51 @@ import (
 	"io"
 )
 
+// preallocCount bounds decode-slice preallocation: exact for any
+// realistic batch, capped so a corrupt or hostile count inside an
+// otherwise valid frame cannot amplify into a huge allocation (the
+// per-element floor in reader.count bounds n by frame size, but a
+// 16 MiB frame could still claim ~16M one-byte elements). Beyond the
+// cap, append grows the slice in proportion to data actually parsed.
+func preallocCount(n int) int {
+	const maxPrealloc = 4096
+	if n > maxPrealloc {
+		return maxPrealloc
+	}
+	return n
+}
+
 // Message is any protocol message.
 type Message interface {
 	msgType() MsgType
-	encode(w *buffer)
+	// appendBody appends the message body (everything after the type
+	// byte) to dst and returns the extended slice.
+	appendBody(dst []byte) []byte
 }
 
 func (m *BatchReq) msgType() MsgType { return TBatchReq }
-func (m *BatchReq) encode(w *buffer) {
-	w.u64(m.Batch)
-	w.u64(m.TaskID)
-	w.u32(m.Shard)
-	w.u32(m.Replica)
+func (m *BatchReq) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Batch)
+	dst = appendU64(dst, m.TaskID)
+	dst = appendU32(dst, m.Shard)
+	dst = appendU32(dst, m.Replica)
 	if len(m.Priority) != len(m.Keys) {
 		panic("wire: BatchReq Priority/Keys length mismatch")
 	}
-	w.u32(uint32(len(m.Keys)))
+	dst = appendU32(dst, uint32(len(m.Keys)))
 	for i, k := range m.Keys {
-		w.i64(m.Priority[i])
-		w.key(k)
+		dst = appendI64(dst, m.Priority[i])
+		dst = appendKey(dst, k)
 	}
+	return dst
 }
 
 func decodeBatchReq(r *reader) (*BatchReq, error) {
 	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32()}
-	n := int(r.u32())
-	if r.err == nil && n > MaxFrame/3 {
-		return nil, ErrFrameTooLarge
+	n := r.count(10) // 8-byte priority + 2-byte key length floor
+	if c := preallocCount(n); c > 0 {
+		m.Priority = make([]int64, 0, c)
+		m.Keys = make([]string, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Priority = append(m.Priority, r.i64())
@@ -43,31 +61,33 @@ func decodeBatchReq(r *reader) (*BatchReq, error) {
 }
 
 func (m *BatchResp) msgType() MsgType { return TBatchResp }
-func (m *BatchResp) encode(w *buffer) {
-	w.u64(m.Batch)
-	w.u8(m.Flags)
-	w.u32(m.QueueLen)
-	w.i64(m.WaitNanos)
-	w.i64(m.ServiceNanos)
+func (m *BatchResp) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Batch)
+	dst = append(dst, m.Flags)
+	dst = appendU32(dst, m.QueueLen)
+	dst = appendI64(dst, m.WaitNanos)
+	dst = appendI64(dst, m.ServiceNanos)
 	if len(m.Values) != len(m.Found) {
 		panic("wire: BatchResp Values/Found length mismatch")
 	}
-	w.u32(uint32(len(m.Values)))
+	dst = appendU32(dst, uint32(len(m.Values)))
 	for i, v := range m.Values {
 		if m.Found[i] {
-			w.u8(1)
-			w.val(v)
+			dst = append(dst, 1)
+			dst = appendVal(dst, v)
 		} else {
-			w.u8(0)
+			dst = append(dst, 0)
 		}
 	}
+	return dst
 }
 
 func decodeBatchResp(r *reader) (*BatchResp, error) {
 	m := &BatchResp{Batch: r.u64(), Flags: r.u8(), QueueLen: r.u32(), WaitNanos: r.i64(), ServiceNanos: r.i64()}
-	n := int(r.u32())
-	if r.err == nil && n > MaxFrame/2 {
-		return nil, ErrFrameTooLarge
+	n := r.count(1) // 1-byte found flag floor
+	if c := preallocCount(n); c > 0 {
+		m.Values = make([][]byte, 0, c)
+		m.Found = make([]bool, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
 		if r.u8() == 1 {
@@ -82,10 +102,10 @@ func decodeBatchResp(r *reader) (*BatchResp, error) {
 }
 
 func (m *Set) msgType() MsgType { return TSet }
-func (m *Set) encode(w *buffer) {
-	w.u64(m.Seq)
-	w.key(m.Key)
-	w.val(m.Value)
+func (m *Set) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendKey(dst, m.Key)
+	return appendVal(dst, m.Value)
 }
 
 func decodeSet(r *reader) (*Set, error) {
@@ -93,8 +113,8 @@ func decodeSet(r *reader) (*Set, error) {
 	return m, r.done()
 }
 
-func (m *SetResp) msgType() MsgType { return TSetResp }
-func (m *SetResp) encode(w *buffer) { w.u64(m.Seq) }
+func (m *SetResp) msgType() MsgType             { return TSetResp }
+func (m *SetResp) appendBody(dst []byte) []byte { return appendU64(dst, m.Seq) }
 
 func decodeSetResp(r *reader) (*SetResp, error) {
 	m := &SetResp{Seq: r.u64()}
@@ -102,19 +122,20 @@ func decodeSetResp(r *reader) (*SetResp, error) {
 }
 
 func (m *Report) msgType() MsgType { return TReport }
-func (m *Report) encode(w *buffer) {
-	w.u32(m.Client)
-	w.u32(uint32(len(m.Demand)))
+func (m *Report) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, m.Client)
+	dst = appendU32(dst, uint32(len(m.Demand)))
 	for _, d := range m.Demand {
-		w.f64(d)
+		dst = appendF64(dst, d)
 	}
+	return dst
 }
 
 func decodeReport(r *reader) (*Report, error) {
 	m := &Report{Client: r.u32()}
-	n := int(r.u32())
-	if r.err == nil && n > 1<<20 {
-		return nil, ErrFrameTooLarge
+	n := r.count(8)
+	if c := preallocCount(n); c > 0 {
+		m.Demand = make([]float64, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Demand = append(m.Demand, r.f64())
@@ -123,18 +144,19 @@ func decodeReport(r *reader) (*Report, error) {
 }
 
 func (m *Grant) msgType() MsgType { return TGrant }
-func (m *Grant) encode(w *buffer) {
-	w.u32(uint32(len(m.Alloc)))
+func (m *Grant) appendBody(dst []byte) []byte {
+	dst = appendU32(dst, uint32(len(m.Alloc)))
 	for _, a := range m.Alloc {
-		w.f64(a)
+		dst = appendF64(dst, a)
 	}
+	return dst
 }
 
 func decodeGrant(r *reader) (*Grant, error) {
 	m := &Grant{}
-	n := int(r.u32())
-	if r.err == nil && n > 1<<20 {
-		return nil, ErrFrameTooLarge
+	n := r.count(8)
+	if c := preallocCount(n); c > 0 {
+		m.Alloc = make([]float64, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
 		m.Alloc = append(m.Alloc, r.f64())
@@ -142,39 +164,61 @@ func decodeGrant(r *reader) (*Grant, error) {
 	return m, r.done()
 }
 
-func (m *Ping) msgType() MsgType { return TPing }
-func (m *Ping) encode(w *buffer) { w.u64(m.Nonce) }
+func (m *Ping) msgType() MsgType             { return TPing }
+func (m *Ping) appendBody(dst []byte) []byte { return appendU64(dst, m.Nonce) }
 
 func decodePing(r *reader) (*Ping, error) {
 	m := &Ping{Nonce: r.u64()}
 	return m, r.done()
 }
 
-func (m *Pong) msgType() MsgType { return TPong }
-func (m *Pong) encode(w *buffer) { w.u64(m.Nonce) }
+func (m *Pong) msgType() MsgType             { return TPong }
+func (m *Pong) appendBody(dst []byte) []byte { return appendU64(dst, m.Nonce) }
 
 func decodePong(r *reader) (*Pong, error) {
 	m := &Pong{Nonce: r.u64()}
 	return m, r.done()
 }
 
-// Encode serializes a message into a framed byte slice.
+// AppendEncode appends m's framed encoding (length prefix, type byte,
+// body) to dst and returns the extended slice. It is the allocation-free
+// encode path: callers that reuse dst across messages pay only the
+// appends, and many messages can be coalesced into one buffer.
+func AppendEncode(dst []byte, m Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, byte(m.msgType()))
+	dst = m.appendBody(dst)
+	binary.BigEndian.PutUint32(dst[start:start+4], uint32(len(dst)-start-4))
+	return dst
+}
+
+// Encode serializes a message into a fresh framed byte slice (the
+// convenience form of AppendEncode).
 func Encode(m Message) []byte {
-	var w buffer
-	w.b = make([]byte, 5, 64) // length placeholder + type
-	w.b[4] = byte(m.msgType())
-	m.encode(&w)
-	binary.BigEndian.PutUint32(w.b[:4], uint32(len(w.b)-4))
-	return w.b
+	return AppendEncode(make([]byte, 0, 64), m)
 }
 
 // Decode parses one frame payload (type byte + body, without the length
-// prefix).
+// prefix). Every byte of the result is copied out of frame, so the
+// frame buffer may be reused immediately.
 func Decode(frame []byte) (Message, error) {
+	return decodeFrame(frame, false)
+}
+
+// DecodeAlias parses one frame payload like Decode, but the returned
+// message's keys and values alias the frame buffer instead of copying
+// it. The message is valid only until the frame is released, reused, or
+// overwritten; callers that retain any key or value past that point
+// must clone it first.
+func DecodeAlias(frame []byte) (Message, error) {
+	return decodeFrame(frame, true)
+}
+
+func decodeFrame(frame []byte, alias bool) (Message, error) {
 	if len(frame) < 1 {
 		return nil, io.ErrUnexpectedEOF
 	}
-	r := &reader{b: frame[1:]}
+	r := &reader{b: frame[1:], alias: alias}
 	switch MsgType(frame[0]) {
 	case TBatchReq:
 		return decodeBatchReq(r)
@@ -196,14 +240,19 @@ func Decode(frame []byte) (Message, error) {
 	return nil, fmt.Errorf("wire: unknown message type %d", frame[0])
 }
 
-// WriteMessage frames and writes a message.
+// WriteMessage frames and writes a message through a pooled encode
+// buffer (one Write, no per-message allocation).
 func WriteMessage(w io.Writer, m Message) error {
-	_, err := w.Write(Encode(m))
+	f := GetFrame(0)
+	f.b = AppendEncode(f.b[:0], m)
+	_, err := w.Write(f.b)
+	f.Release()
 	return err
 }
 
-// ReadMessage reads one framed message.
-func ReadMessage(r *bufio.Reader) (Message, error) {
+// ReadFrame reads one length-prefixed frame into a pooled buffer. The
+// caller owns the frame until it calls Release.
+func ReadFrame(r *bufio.Reader) (*Frame, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 		return nil, err
@@ -215,9 +264,23 @@ func ReadMessage(r *bufio.Reader) (Message, error) {
 	if n > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	frame := make([]byte, n)
-	if _, err := io.ReadFull(r, frame); err != nil {
+	f := GetFrame(int(n))
+	if _, err := io.ReadFull(r, f.b); err != nil {
+		f.Release()
 		return nil, err
 	}
-	return Decode(frame)
+	return f, nil
+}
+
+// ReadMessage reads one framed message. The frame buffer is pooled
+// internally and recycled before returning; the decoded message owns
+// copies of everything it references.
+func ReadMessage(r *bufio.Reader) (Message, error) {
+	f, err := ReadFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(f.b)
+	f.Release()
+	return m, err
 }

@@ -6,6 +6,12 @@
 // Frame layout: 4-byte big-endian payload length, 1-byte message type,
 // payload. All integers are big-endian; strings and byte slices are
 // length-prefixed (uint16 for keys, uint32 for values).
+//
+// The hot path is allocation-free: AppendEncode appends frames to
+// caller-owned buffers, ReadFrame fills pooled Frame buffers,
+// DecodeAlias decodes without copying keys or values out of the frame,
+// and ConnWriter coalesces concurrently queued frames into single
+// Write calls.
 package wire
 
 import (
@@ -14,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
+	"unsafe"
 )
 
 // MsgType discriminates frame payloads.
@@ -132,31 +140,37 @@ type Ping struct{ Nonce uint64 }
 type Pong struct{ Nonce uint64 }
 
 // --- encoding helpers ---
+//
+// Encoders are append-style (take and return the destination slice)
+// rather than methods on a shared writer struct: a pointer receiver
+// passed through the Message interface escapes to the heap at every
+// encode, while appended slices stay escape-free — this is what makes
+// AppendEncode truly zero-allocation.
 
-type buffer struct{ b []byte }
-
-func (w *buffer) u8(v uint8)    { w.b = append(w.b, v) }
-func (w *buffer) u16(v uint16)  { w.b = binary.BigEndian.AppendUint16(w.b, v) }
-func (w *buffer) u32(v uint32)  { w.b = binary.BigEndian.AppendUint32(w.b, v) }
-func (w *buffer) u64(v uint64)  { w.b = binary.BigEndian.AppendUint64(w.b, v) }
-func (w *buffer) i64(v int64)   { w.u64(uint64(v)) }
-func (w *buffer) f64(v float64) { w.u64(math.Float64bits(v)) }
-func (w *buffer) key(s string) {
+func appendU16(b []byte, v uint16) []byte  { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte  { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte  { return binary.BigEndian.AppendUint64(b, v) }
+func appendI64(b []byte, v int64) []byte   { return appendU64(b, uint64(v)) }
+func appendF64(b []byte, v float64) []byte { return appendU64(b, math.Float64bits(v)) }
+func appendKey(b []byte, s string) []byte {
 	if len(s) > 0xffff {
 		panic("wire: key longer than 64 KiB")
 	}
-	w.u16(uint16(len(s)))
-	w.b = append(w.b, s...)
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
 }
-func (w *buffer) val(v []byte) {
-	w.u32(uint32(len(v)))
-	w.b = append(w.b, v...)
+func appendVal(b, v []byte) []byte {
+	b = appendU32(b, uint32(len(v)))
+	return append(b, v...)
 }
 
 type reader struct {
 	b   []byte
 	off int
 	err error
+	// alias makes key/val return views into b instead of copies; the
+	// decoded message is then only valid while b is (see DecodeAlias).
+	alias bool
 }
 
 func (r *reader) need(n int) []byte {
@@ -204,8 +218,14 @@ func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
 func (r *reader) key() string {
 	n := int(r.u16())
 	s := r.need(n)
-	if s == nil {
+	if s == nil || n == 0 {
 		return ""
+	}
+	if r.alias {
+		// Zero-copy view of the frame bytes. Safe because the frame is
+		// immutable while decoding, and the DecodeAlias contract makes
+		// the caller responsible for the buffer's lifetime.
+		return unsafe.String(&s[0], n)
 	}
 	return string(s)
 }
@@ -219,9 +239,28 @@ func (r *reader) val() []byte {
 	if s == nil {
 		return nil
 	}
+	if r.alias {
+		return s[:n:n]
+	}
 	cp := make([]byte, n)
 	copy(cp, s)
 	return cp
+}
+
+// count reads a u32 element count and validates it against the bytes
+// actually remaining in the frame given each element's minimum encoded
+// size, so decoders can preallocate exactly-sized slices without a
+// corrupt count turning into a giant allocation.
+func (r *reader) count(minElem int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > (len(r.b)-r.off)/minElem {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	return n
 }
 func (r *reader) done() error {
 	if r.err != nil {
@@ -231,4 +270,73 @@ func (r *reader) done() error {
 		return fmt.Errorf("wire: %d trailing bytes", len(r.b)-r.off)
 	}
 	return nil
+}
+
+// --- pooled frame buffers ---
+
+// Frame is a pooled, reusable frame buffer: the payload of one wire
+// message (type byte + body) as read off a connection. Release returns
+// it to the pool; after Release neither the Frame nor anything decoded
+// from it in aliasing mode may be used.
+type Frame struct{ b []byte }
+
+// Bytes is the frame payload, valid until Release.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// The frame pool is tiered by power-of-two capacity class (512 B … 1
+// MiB) so that connections carrying different frame sizes — tiny batch
+// requests, KB-scale responses — do not hand each other buffers that
+// are too small to reuse. Oversized frames (rare huge values) are
+// garbage-collected instead of pinned.
+const (
+	minFrameClass   = 9 // 1<<9 = 512 B
+	maxFrameClass   = 20
+	maxPooledFrame  = 1 << maxFrameClass
+	numFrameClasses = maxFrameClass - minFrameClass + 1
+)
+
+var framePools [numFrameClasses]sync.Pool
+
+func init() {
+	for i := range framePools {
+		framePools[i].New = func() any { return new(Frame) }
+	}
+}
+
+// frameClass is the pool index whose buffers hold n bytes, or -1 for
+// frames too large to pool.
+func frameClass(n int) int {
+	if n > maxPooledFrame {
+		return -1
+	}
+	c := 0
+	for n > 1<<(minFrameClass+c) {
+		c++
+	}
+	return c
+}
+
+// GetFrame returns a length-n frame buffer drawn from the pool.
+func GetFrame(n int) *Frame {
+	c := frameClass(n)
+	if c < 0 {
+		return &Frame{b: make([]byte, n)}
+	}
+	f := framePools[c].Get().(*Frame)
+	if cap(f.b) < n || cap(f.b) == 0 {
+		f.b = make([]byte, n, 1<<(minFrameClass+c))
+	} else {
+		f.b = f.b[:n]
+	}
+	return f
+}
+
+// Release recycles the frame. The caller must no longer reference the
+// frame's bytes or any message decoded from it in aliasing mode.
+func (f *Frame) Release() {
+	c := frameClass(cap(f.b))
+	if c < 0 {
+		return
+	}
+	framePools[c].Put(f)
 }

@@ -230,21 +230,84 @@ func TestQuickDecodeNeverPanics(t *testing.T) {
 	}
 }
 
-func BenchmarkEncodeBatchReq(b *testing.B) {
-	m := &BatchReq{Batch: 1, TaskID: 2,
+func benchBatchReq() *BatchReq {
+	return &BatchReq{Batch: 1, TaskID: 2,
 		Priority: []int64{1, 2, 3, 4, 5, 6, 7, 8},
 		Keys:     []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
+}
+
+// BenchmarkEncodeBatchReq measures the encode hot path as the netstore
+// endpoints use it: AppendEncode into a reused buffer (this is what
+// ConnWriter.Send does under its lock). Zero allocs/op expected.
+func BenchmarkEncodeBatchReq(b *testing.B) {
+	m := benchBatchReq()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+// BenchmarkEncodeBatchReqAlloc measures the convenience Encode form
+// that allocates a fresh framed slice per message (the pre-pooling
+// behavior every frame used to pay).
+func BenchmarkEncodeBatchReqAlloc(b *testing.B) {
+	m := benchBatchReq()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Encode(m)
 	}
 }
 
+// BenchmarkDecodeBatchReq measures the decode hot path as the server
+// uses it: aliasing decode out of a (pooled, here reused) frame buffer
+// with exact-size slice preallocation.
 func BenchmarkDecodeBatchReq(b *testing.B) {
-	m := &BatchReq{Batch: 1, TaskID: 2,
-		Priority: []int64{1, 2, 3, 4, 5, 6, 7, 8},
-		Keys:     []string{"a", "b", "c", "d", "e", "f", "g", "h"}}
-	enc := Encode(m)
+	enc := Encode(benchBatchReq())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeAlias(enc[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecodeBatchReqCopy measures the copying decode used where
+// the message outlives the frame.
+func BenchmarkDecodeBatchReqCopy(b *testing.B) {
+	enc := Encode(benchBatchReq())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc[4:]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatchResp() *BatchResp {
+	vals := make([][]byte, 8)
+	found := make([]bool, 8)
+	for i := range vals {
+		vals[i] = bytes.Repeat([]byte{byte(i)}, 128)
+		found[i] = true
+	}
+	return &BatchResp{Batch: 1, Values: vals, Found: found, QueueLen: 3, WaitNanos: 100, ServiceNanos: 200}
+}
+
+// BenchmarkEncodeBatchResp is the server's response-encode hot path.
+func BenchmarkEncodeBatchResp(b *testing.B) {
+	m := benchBatchResp()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEncode(buf[:0], m)
+	}
+}
+
+// BenchmarkDecodeBatchResp is the client's response-decode path; the
+// values are copied out because they escape to the application.
+func BenchmarkDecodeBatchResp(b *testing.B) {
+	enc := Encode(benchBatchResp())
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := Decode(enc[4:]); err != nil {

@@ -1,0 +1,251 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingWriter counts Write calls and can stall them, so tests can
+// force frames to pile up behind an in-flight Write.
+type blockingWriter struct {
+	mu      sync.Mutex
+	buf     bytes.Buffer
+	writes  int
+	gate    chan struct{} // non-nil: every Write waits for one token
+	started chan struct{} // non-nil: signaled when a Write begins
+	err     error
+}
+
+func (w *blockingWriter) Write(p []byte) (int, error) {
+	if w.started != nil {
+		w.started <- struct{}{}
+	}
+	if w.gate != nil {
+		<-w.gate
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.writes++
+	if w.err != nil {
+		return 0, w.err
+	}
+	return w.buf.Write(p)
+}
+
+func (w *blockingWriter) snapshot() (int, []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, append([]byte(nil), w.buf.Bytes()...)
+}
+
+func readAllFrames(t *testing.T, data []byte) []Message {
+	t.Helper()
+	r := bufio.NewReader(bytes.NewReader(data))
+	var msgs []Message
+	for {
+		m, err := ReadMessage(r)
+		if err == io.EOF {
+			return msgs
+		}
+		if err != nil {
+			t.Fatalf("parsing coalesced stream: %v", err)
+		}
+		msgs = append(msgs, m)
+	}
+}
+
+// Frames queued while a Write is stalled must coalesce into fewer
+// Writes, arrive intact, and preserve Send order.
+func TestConnWriterCoalesces(t *testing.T) {
+	const frames = 100
+	w := &blockingWriter{
+		gate:    make(chan struct{}, frames+1),
+		started: make(chan struct{}, frames+1),
+	}
+	cw := NewConnWriter(w)
+
+	// The first Send takes the inline path and stalls in Write on
+	// another goroutine; the rest queue behind it.
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- cw.Send(&Ping{Nonce: 0}) }()
+	<-w.started
+	for i := 1; i < frames; i++ {
+		if err := cw.Send(&Ping{Nonce: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < frames; i++ {
+		w.gate <- struct{}{}
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for len(w.started) > 0 {
+		<-w.started
+	}
+	w.started = nil
+	writes, data := w.snapshot()
+	if writes >= frames {
+		t.Fatalf("no coalescing: %d writes for %d frames", writes, frames)
+	}
+	msgs := readAllFrames(t, data)
+	if len(msgs) != frames {
+		t.Fatalf("got %d frames, want %d", len(msgs), frames)
+	}
+	for i, m := range msgs {
+		if m.(*Ping).Nonce != uint64(i) {
+			t.Fatalf("frame %d out of order: nonce %d", i, m.(*Ping).Nonce)
+		}
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent senders over a live pipe: every frame arrives exactly once.
+func TestConnWriterConcurrentSenders(t *testing.T) {
+	const senders = 8
+	const perSender = 200
+	var w blockingWriter
+	cw := NewConnWriter(&w)
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		s := s
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if err := cw.Send(&Ping{Nonce: uint64(s*perSender + i)}); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, data := w.snapshot()
+	seen := make(map[uint64]bool)
+	for _, m := range readAllFrames(t, data) {
+		n := m.(*Ping).Nonce
+		if seen[n] {
+			t.Fatalf("frame %d delivered twice", n)
+		}
+		seen[n] = true
+	}
+	if len(seen) != senders*perSender {
+		t.Fatalf("got %d frames, want %d", len(seen), senders*perSender)
+	}
+}
+
+// A write error is sticky: the failing Send (or the next one) reports
+// it, and every Send afterwards fails fast.
+func TestConnWriterStickyError(t *testing.T) {
+	wantErr := errors.New("boom")
+	w := &blockingWriter{err: wantErr}
+	cw := NewConnWriter(w)
+	// The inline fast path surfaces the error synchronously.
+	if err := cw.Send(&Ping{Nonce: 1}); !errors.Is(err, wantErr) {
+		t.Fatalf("first Send err = %v, want %v", err, wantErr)
+	}
+	for i := 0; i < 3; i++ {
+		if err := cw.Send(&Ping{Nonce: 2}); !errors.Is(err, wantErr) {
+			t.Fatalf("Send after error = %v, want %v", err, wantErr)
+		}
+	}
+	if err := cw.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close err = %v, want %v", err, wantErr)
+	}
+}
+
+// Close drains everything queued before it.
+func TestConnWriterCloseDrains(t *testing.T) {
+	w := &blockingWriter{
+		gate:    make(chan struct{}, 64),
+		started: make(chan struct{}, 64),
+	}
+	cw := NewConnWriter(w)
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- cw.Send(&Ping{Nonce: 0}) }()
+	<-w.started
+	for i := 1; i < 10; i++ {
+		if err := cw.Send(&Ping{Nonce: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		w.gate <- struct{}{}
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for len(w.started) > 0 {
+		<-w.started
+	}
+	w.started = nil
+	_, data := w.snapshot()
+	if got := len(readAllFrames(t, data)); got != 10 {
+		t.Fatalf("Close dropped frames: %d of 10 arrived", got)
+	}
+	if err := cw.Send(&Ping{Nonce: 99}); !errors.Is(err, ErrWriterClosed) {
+		t.Fatalf("Send after Close = %v, want ErrWriterClosed", err)
+	}
+}
+
+// The steady-state Send path must not allocate beyond the frame append.
+func TestConnWriterSendAllocs(t *testing.T) {
+	var w blockingWriter
+	w.buf.Grow(1 << 20) // sink growth must not count against Send
+	cw := NewConnWriter(&w)
+	m := &Ping{Nonce: 7}
+	if err := cw.Send(m); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		if err := cw.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Errorf("Send: %.1f allocs/op, want 0", avg)
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// An idle writer flushes a lone frame promptly (no batching delay).
+func TestConnWriterIdleFlush(t *testing.T) {
+	var w blockingWriter
+	cw := NewConnWriter(&w)
+	defer cw.Close()
+	if err := cw.Send(&Ping{Nonce: 5}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, data := w.snapshot()
+		if len(data) > 0 {
+			if got := readAllFrames(t, data); len(got) != 1 || got[0].(*Ping).Nonce != 5 {
+				t.Fatalf("unexpected flushed frames: %v", got)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle frame never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

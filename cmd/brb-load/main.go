@@ -15,12 +15,24 @@
 //
 //	brb-load -shards 3 -replication 2 \
 //	         -servers :7071,:7072,:7073,:7074,:7075,:7076
+//
+// Fault injection (sharded mode only): -kill-replica severs one
+// replica's connectivity mid-run through an in-process TCP proxy and
+// restores it later, exercising the client's down-marking, hinted
+// handoff, revival probing, and read-repair; -write-frac mixes writes
+// into the measurement phase so the outage creates real divergence. A
+// post-run scan reports whether the shard's replicas version-converged:
+//
+//	brb-load -shards 3 -replication 2 -servers ... \
+//	         -write-frac 0.1 -kill-replica 4 -kill-after 2s -restart-after 3s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"runtime"
 	"strings"
@@ -48,6 +60,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	skipLoad := flag.Bool("skip-load", false, "skip the initial data load")
 	allocStats := flag.Bool("allocstats", false, "report client-process allocs/op and bytes/op over the measurement phase")
+	writeFrac := flag.Float64("write-frac", 0, "fraction of tasks that are writes instead of multigets (fault runs need >0 to create divergence)")
+	killReplica := flag.Int("kill-replica", -1, "dense server index to fault mid-run (sharded mode only; -1 = no fault injection)")
+	killAfter := flag.Duration("kill-after", 2*time.Second, "measurement time before the fault is injected")
+	restartAfter := flag.Duration("restart-after", 3*time.Second, "outage duration before the replica is restored")
+	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "cluster client's replica revival probe interval")
 	flag.Parse()
 
 	addrs := strings.Split(*serversFlag, ",")
@@ -55,6 +72,29 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brb-load:", err)
 		os.Exit(2)
+	}
+
+	// Fault injection fronts the victim with an in-process TCP proxy so
+	// the run can sever and restore connectivity without owning the
+	// server process. realAddrs keeps the direct addresses for the
+	// post-run convergence scan.
+	realAddrs := append([]string(nil), addrs...)
+	var proxy *faultProxy
+	if *killReplica >= 0 {
+		if *shards <= 0 {
+			fmt.Fprintln(os.Stderr, "brb-load: -kill-replica needs -shards > 0")
+			os.Exit(2)
+		}
+		if *killReplica >= len(addrs) {
+			fmt.Fprintf(os.Stderr, "brb-load: -kill-replica %d out of range (%d servers)\n", *killReplica, len(addrs))
+			os.Exit(2)
+		}
+		proxy, err = newFaultProxy(addrs[*killReplica])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brb-load:", err)
+			os.Exit(2)
+		}
+		addrs[*killReplica] = proxy.addr()
 	}
 
 	// dialStore connects one workload client in the selected mode: a flat
@@ -81,6 +121,7 @@ func main() {
 		if shardMap != nil {
 			c, err := netstore.DialCluster(addrs, netstore.ClusterOptions{
 				Shards: shardMap, Client: client, Clients: *clients, Assigner: assigner,
+				ProbeInterval: *probeInterval,
 			})
 			if err != nil {
 				return nil, nil, err
@@ -137,6 +178,17 @@ func main() {
 		runtime.ReadMemStats(&memBefore)
 	}
 	start := time.Now()
+	if proxy != nil {
+		go func() {
+			time.Sleep(*killAfter)
+			proxy.kill()
+			log.Printf("fault: severed server %d (shard %d replica %d)",
+				*killReplica, *killReplica / *replication, *killReplica%*replication)
+			time.Sleep(*restartAfter)
+			proxy.restore()
+			log.Printf("fault: restored server %d", *killReplica)
+		}()
+	}
 	for w := 0; w < *clients; w++ {
 		w := w
 		wg.Add(1)
@@ -149,11 +201,25 @@ func main() {
 			}
 			defer c.Close()
 			rng := randx.New(*seed + uint64(w)*7919)
+			wsizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 64 << 10}
 			p := 1.0 / *fanout
 			if p > 1 {
 				p = 1
 			}
 			for i := 0; i < perClient; i++ {
+				if *writeFrac > 0 && rng.Float64() < *writeFrac {
+					// Writes aren't recorded in the read-latency histogram;
+					// they exist to exercise replication (and, under fault
+					// injection, to create divergence the recovery path
+					// must heal). With a replica down they still succeed on
+					// the survivors.
+					k := fmt.Sprintf("key:%d", rng.Intn(*keys))
+					if err := c.Set(k, make([]byte, int(wsizes.Sample(rng)))); err != nil {
+						log.Printf("brb-load: client %d write: %v", w, err)
+						return
+					}
+					continue
+				}
 				fan := rng.Geometric(p)
 				if rng.Float64() < *burstProb {
 					fan = 50 + rng.Intn(100)
@@ -171,10 +237,48 @@ func main() {
 				hist.Record(res.Latency.Nanoseconds())
 				histMu.Unlock()
 			}
+			// Under fault injection each client outlives the outage: it
+			// holds the hinted writes the dead replica missed, so it must
+			// stay up until its prober revives the replica and replays
+			// them, then sweep-read its keys once so read-repair catches
+			// anything the hint buffer dropped.
+			if cc, ok := c.(*netstore.Cluster); ok && proxy != nil {
+				shard, rep := *killReplica / *replication, *killReplica%*replication
+				if d := time.Until(start.Add(*killAfter + *restartAfter)); d > 0 {
+					time.Sleep(d)
+				}
+				deadline := time.Now().Add(15 * time.Second)
+				for time.Now().Before(deadline) && cc.ReplicaDown(shard, rep) {
+					time.Sleep(50 * time.Millisecond)
+				}
+				if cc.ReplicaDown(shard, rep) {
+					log.Printf("brb-load: client %d: replica %d not revived within 15s", w, *killReplica)
+					return
+				}
+				for lo := 0; lo < *keys; lo += 256 {
+					hi := lo + 256
+					if hi > *keys {
+						hi = *keys
+					}
+					ks := make([]string, 0, hi-lo)
+					for i := lo; i < hi; i++ {
+						ks = append(ks, fmt.Sprintf("key:%d", i))
+					}
+					if _, err := issue(ks); err != nil {
+						log.Printf("brb-load: client %d sweep: %v", w, err)
+						return
+					}
+				}
+				// Read-repair pushes are asynchronous; give them a beat.
+				time.Sleep(500 * time.Millisecond)
+			}
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if proxy != nil {
+		checkConvergence(shardMap, realAddrs, *killReplica / *replication, *keys)
+	}
 	s := hist.Summarize()
 	fmt.Printf("assigner=%s tasks=%d wall=%s throughput=%.0f tasks/s\n",
 		assigner.Name(), s.Count, elapsed.Round(time.Millisecond),
@@ -196,6 +300,132 @@ func main() {
 			fmtBytes(memAfter.TotalAlloc-memBefore.TotalAlloc),
 			s.Count)
 	}
+}
+
+// faultProxy fronts one server address with a local TCP proxy so the
+// run can sever ("kill") and restore ("restart") the replica's
+// connectivity without owning the server process: while killed, live
+// proxied connections are cut and new dials are accepted then dropped
+// before any byte flows, so the client's revival probe keeps failing
+// until restore.
+type faultProxy struct {
+	ln     net.Listener
+	target string
+
+	mu     sync.Mutex
+	killed bool
+	conns  map[net.Conn]struct{}
+}
+
+func newFaultProxy(target string) (*faultProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &faultProxy{ln: ln, target: target, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+func (p *faultProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *faultProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.killed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		backend, err := net.Dial("tcp", p.target)
+		if err != nil {
+			p.mu.Unlock()
+			_ = conn.Close()
+			continue
+		}
+		p.conns[conn] = struct{}{}
+		p.conns[backend] = struct{}{}
+		p.mu.Unlock()
+		pipe := func(dst, src net.Conn) {
+			_, _ = io.Copy(dst, src)
+			_ = dst.Close()
+			_ = src.Close()
+			p.mu.Lock()
+			delete(p.conns, dst)
+			delete(p.conns, src)
+			p.mu.Unlock()
+		}
+		go pipe(backend, conn)
+		go pipe(conn, backend)
+	}
+}
+
+func (p *faultProxy) kill() {
+	p.mu.Lock()
+	p.killed = true
+	for c := range p.conns {
+		_ = c.Close()
+	}
+	p.conns = make(map[net.Conn]struct{})
+	p.mu.Unlock()
+}
+
+func (p *faultProxy) restore() {
+	p.mu.Lock()
+	p.killed = false
+	p.mu.Unlock()
+}
+
+// checkConvergence scans every replica of the faulted shard directly
+// (bypassing replica selection) and reports whether they hold identical
+// versions for the whole keyspace — the acceptance check of a recovery
+// run. Exits nonzero on divergence so CI can assert on it.
+func checkConvergence(m *cluster.ShardMap, realAddrs []string, shard, keys int) {
+	var shardKeys []string
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if m.ShardOfKey(k) == shard {
+			shardKeys = append(shardKeys, k)
+		}
+	}
+	if len(shardKeys) == 0 {
+		log.Printf("convergence: shard %d holds no keys; nothing to check", shard)
+		return
+	}
+	var ref []uint64
+	mismatches := 0
+	for r := 0; r < m.Replicas(); r++ {
+		addr := realAddrs[m.Server(shard, r)]
+		vers, _, err := netstore.ScanVersions(addr, shard, shardKeys, 5*time.Second)
+		if err != nil {
+			log.Printf("convergence: scan of replica %d (%s) failed: %v", r, addr, err)
+			os.Exit(1)
+		}
+		if r == 0 {
+			ref = vers
+			continue
+		}
+		for i := range vers {
+			if vers[i] != ref[i] {
+				mismatches++
+				if mismatches <= 5 {
+					log.Printf("convergence: %s diverged: replica 0 v%d, replica %d v%d",
+						shardKeys[i], ref[i], r, vers[i])
+				}
+			}
+		}
+	}
+	if mismatches > 0 {
+		fmt.Printf("convergence: FAILED — %d of %d shard-%d keys diverged across %d replicas\n",
+			mismatches, len(shardKeys), shard, m.Replicas())
+		os.Exit(1)
+	}
+	fmt.Printf("convergence: OK — all %d replicas of shard %d agree on %d key versions\n",
+		m.Replicas(), shard, len(shardKeys))
 }
 
 func fmtBytes(n uint64) string {

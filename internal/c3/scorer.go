@@ -155,6 +155,18 @@ func (s *Scorer) Observe(replica, n int, respNanos, svcNanos float64, queueLen i
 	st.qEWMA = a*st.qEWMA + (1-a)*float64(queueLen)
 }
 
+// Reset clears one replica's state — outstanding count and EWMAs — as
+// if it had never been observed. The cluster client calls it when it
+// revives a replica over a fresh connection: requests outstanding on the
+// dead connection will never complete (their Observe never runs), and
+// the revived process's service behavior shares nothing with what the
+// pre-crash EWMAs measured.
+func (s *Scorer) Reset(replica int) {
+	s.mu.Lock()
+	s.state[replica] = scorerState{}
+	s.mu.Unlock()
+}
+
 // Outstanding returns the replica's outstanding request count (test hook).
 func (s *Scorer) Outstanding(replica int) int {
 	s.mu.Lock()

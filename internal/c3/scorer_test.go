@@ -77,3 +77,22 @@ func TestScorerOutstandingBalancesColdStart(t *testing.T) {
 		t.Fatalf("OnError perturbed score: %v vs %v", a, b)
 	}
 }
+
+func TestScorerReset(t *testing.T) {
+	sc := NewScorer(2, ScorerOptions{})
+	// Replica 0 accumulates bad feedback and stranded outstanding work
+	// (an OnSend whose Observe never arrives — a dead connection).
+	sc.OnSend(0, 8)
+	sc.Observe(0, 2, 50_000_000, 2_000_000, 9)
+	if sc.Outstanding(0) != 6 {
+		t.Fatalf("Outstanding = %d, want 6", sc.Outstanding(0))
+	}
+	sc.Reset(0)
+	if sc.Outstanding(0) != 0 {
+		t.Fatalf("Outstanding after Reset = %d, want 0", sc.Outstanding(0))
+	}
+	// Reset state ranks like a never-observed replica.
+	if a, b := sc.ScoreOf(0), sc.ScoreOf(1); a != b {
+		t.Fatalf("Reset replica scores %v, untouched cold replica %v", a, b)
+	}
+}

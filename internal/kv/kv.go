@@ -3,6 +3,14 @@
 // metadata, so clients and servers can forecast service costs from sizes
 // the way BRB's cost model assumes ("based on the size of the value they
 // are requesting").
+//
+// Every key carries a write version. Local writers (Set/Delete) advance
+// it monotonically; replicated writers (SetVersion/DeleteVersion) supply
+// the version, and the store applies the write only if it is newer than
+// what it holds — last-writer-wins, which makes hinted-handoff replays
+// and read-repair pushes from the cluster client idempotent. Versioned
+// deletes leave tombstones so a replayed older write cannot resurrect a
+// deleted key.
 package kv
 
 import (
@@ -19,7 +27,17 @@ type Store struct {
 
 type shard struct {
 	mu sync.RWMutex
-	m  map[string][]byte
+	m  map[string]entry
+}
+
+// entry is one key's state: the value, its write version, and whether
+// the latest versioned write was a delete (tombstone). Tombstones keep
+// the version so late-arriving older Sets lose; they are invisible to
+// Get/Len/Keys.
+type entry struct {
+	val  []byte
+	ver  uint64
+	dead bool
 }
 
 // New returns a store with the given shard count (0 = 64). More shards
@@ -30,7 +48,7 @@ func New(shards int) *Store {
 	}
 	s := &Store{shards: make([]shard, shards)}
 	for i := range s.shards {
-		s.shards[i].m = make(map[string][]byte)
+		s.shards[i].m = make(map[string]entry)
 	}
 	return s
 }
@@ -41,23 +59,62 @@ func (s *Store) shardOf(key string) *shard {
 	return &s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// Set stores a copy of value under key.
+// Set stores a copy of value under key, advancing the key's version by
+// one (local, unreplicated write).
 func (s *Store) Set(key string, value []byte) {
 	cp := make([]byte, len(value))
 	copy(cp, value)
 	sh := s.shardOf(key)
 	sh.mu.Lock()
-	sh.m[key] = cp
+	sh.m[key] = entry{val: cp, ver: sh.m[key].ver + 1}
 	sh.mu.Unlock()
+}
+
+// SetVersion stores a copy of value under key at the given version if it
+// is newer than the stored one (including a tombstone's), reporting
+// whether the write applied. Equal or older versions are dropped, which
+// makes replaying a write idempotent.
+func (s *Store) SetVersion(key string, value []byte, ver uint64) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur.ver >= ver {
+		sh.mu.Unlock()
+		return false
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	sh.m[key] = entry{val: cp, ver: ver}
+	sh.mu.Unlock()
+	return true
 }
 
 // Get returns the value for key. The returned slice must not be modified.
 func (s *Store) Get(key string) ([]byte, bool) {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
-	v, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
-	return v, ok
+	if e.dead {
+		return nil, false
+	}
+	return e.val, ok
+}
+
+// GetVersion returns the value and write version for key. Tombstoned
+// keys read as missing but keep reporting their delete version, so a
+// replica scan can tell "never had it" (version 0) from "deleted at v".
+func (s *Store) GetVersion(key string) ([]byte, uint64, bool) {
+	sh := s.shardOf(key)
+	sh.mu.RLock()
+	e, ok := sh.m[key]
+	sh.mu.RUnlock()
+	if e.dead {
+		return nil, e.ver, false
+	}
+	if !ok {
+		return nil, 0, false
+	}
+	return e.val, e.ver, true
 }
 
 // SizeOf returns the stored value's size without copying it — the cheap
@@ -65,12 +122,16 @@ func (s *Store) Get(key string) ([]byte, bool) {
 func (s *Store) SizeOf(key string) (int64, bool) {
 	sh := s.shardOf(key)
 	sh.mu.RLock()
-	v, ok := sh.m[key]
+	e, ok := sh.m[key]
 	sh.mu.RUnlock()
-	return int64(len(v)), ok
+	if e.dead {
+		return 0, false
+	}
+	return int64(len(e.val)), ok
 }
 
-// Delete removes key. Deleting a missing key is a no-op.
+// Delete removes key outright (local, unreplicated delete — no
+// tombstone). Deleting a missing key is a no-op.
 func (s *Store) Delete(key string) {
 	sh := s.shardOf(key)
 	sh.mu.Lock()
@@ -78,23 +139,45 @@ func (s *Store) Delete(key string) {
 	sh.mu.Unlock()
 }
 
-// Len returns the total number of keys.
+// DeleteVersion tombstones key at the given version if it is newer than
+// the stored one, reporting whether the delete applied. The tombstone
+// pins the version so an older replayed Set cannot resurrect the key.
+func (s *Store) DeleteVersion(key string, ver uint64) bool {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur.ver >= ver {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[key] = entry{ver: ver, dead: true}
+	sh.mu.Unlock()
+	return true
+}
+
+// Len returns the total number of live (non-tombstoned) keys.
 func (s *Store) Len() int {
 	n := 0
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
-		n += len(s.shards[i].m)
+		for _, e := range s.shards[i].m {
+			if !e.dead {
+				n++
+			}
+		}
 		s.shards[i].mu.RUnlock()
 	}
 	return n
 }
 
-// Keys calls fn for every key until fn returns false. Iteration order is
-// unspecified; concurrent mutations may or may not be observed.
+// Keys calls fn for every live key until fn returns false. Iteration
+// order is unspecified; concurrent mutations may or may not be observed.
 func (s *Store) Keys(fn func(key string) bool) {
 	for i := range s.shards {
 		s.shards[i].mu.RLock()
-		for k := range s.shards[i].m {
+		for k, e := range s.shards[i].m {
+			if e.dead {
+				continue
+			}
 			if !fn(k) {
 				s.shards[i].mu.RUnlock()
 				return

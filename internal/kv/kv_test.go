@@ -91,6 +91,85 @@ func TestLenAndKeys(t *testing.T) {
 	}
 }
 
+func TestVersionsAdvanceLocally(t *testing.T) {
+	s := New(0)
+	s.Set("k", []byte("v1"))
+	if _, ver, ok := s.GetVersion("k"); !ok || ver != 1 {
+		t.Fatalf("GetVersion after first Set = %d,%v", ver, ok)
+	}
+	s.Set("k", []byte("v2"))
+	if _, ver, _ := s.GetVersion("k"); ver != 2 {
+		t.Fatalf("version after second Set = %d", ver)
+	}
+	if _, ver, ok := s.GetVersion("missing"); ok || ver != 0 {
+		t.Fatalf("GetVersion(missing) = %d,%v", ver, ok)
+	}
+}
+
+func TestSetVersionLastWriterWins(t *testing.T) {
+	s := New(0)
+	if !s.SetVersion("k", []byte("new"), 10) {
+		t.Fatal("first versioned write rejected")
+	}
+	// Older and equal versions are dropped (idempotent replay).
+	if s.SetVersion("k", []byte("old"), 9) || s.SetVersion("k", []byte("dup"), 10) {
+		t.Fatal("stale versioned write applied")
+	}
+	if v, ver, _ := s.GetVersion("k"); string(v) != "new" || ver != 10 {
+		t.Fatalf("after stale writes: %q v%d", v, ver)
+	}
+	if !s.SetVersion("k", []byte("newer"), 11) {
+		t.Fatal("newer versioned write rejected")
+	}
+	if v, _ := s.Get("k"); string(v) != "newer" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestDeleteVersionTombstone(t *testing.T) {
+	s := New(0)
+	s.SetVersion("k", []byte("v"), 5)
+	if !s.DeleteVersion("k", 6) {
+		t.Fatal("newer delete rejected")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("tombstoned key readable")
+	}
+	if _, ok := s.SizeOf("k"); ok {
+		t.Fatal("tombstoned key has size")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len counts tombstones: %d", s.Len())
+	}
+	s.Keys(func(k string) bool {
+		t.Fatalf("Keys visited tombstone %q", k)
+		return false
+	})
+	// The tombstone reports its delete version so replica scans can
+	// distinguish "deleted at 6" from "never stored".
+	if _, ver, ok := s.GetVersion("k"); ok || ver != 6 {
+		t.Fatalf("tombstone GetVersion = %d,%v", ver, ok)
+	}
+	// A replayed older write must not resurrect the key.
+	if s.SetVersion("k", []byte("zombie"), 5) {
+		t.Fatal("older write resurrected tombstoned key")
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("zombie value readable")
+	}
+	// A genuinely newer write does revive it.
+	if !s.SetVersion("k", []byte("reborn"), 7) {
+		t.Fatal("newer write after tombstone rejected")
+	}
+	if v, _ := s.Get("k"); string(v) != "reborn" {
+		t.Fatalf("got %q", v)
+	}
+	// Stale deletes are dropped too.
+	if s.DeleteVersion("k", 6) {
+		t.Fatal("stale delete applied")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := New(16)
 	var wg sync.WaitGroup

@@ -69,6 +69,9 @@ type Client struct {
 	credits *creditGate
 
 	taskSeq atomic.Uint64
+
+	// versions stamps writes; servers apply them last-writer-wins.
+	versions versionClock
 }
 
 // Dial connects to every server address. addrs[i] must be the server
@@ -106,16 +109,57 @@ func (c *Client) Close() {
 	}
 }
 
-// Set writes a key to every replica of its group.
+// Set writes a key to every replica of its group, stamped with one
+// version so all replicas store identical state for the write.
 func (c *Client) Set(key string, value []byte) error {
 	g := c.opts.Topology.GroupOfKey(key)
+	ver := c.versions.next()
 	for _, sid := range c.opts.Topology.Replicas(g) {
-		if err := c.conns[sid].set(key, value); err != nil {
+		if err := c.conns[sid].set(key, value, ver); err != nil {
 			return err
 		}
 	}
 	learnSize(&c.sizes, key, int64(len(value)))
 	return nil
+}
+
+// Delete removes a key from every replica of its group (versioned, so a
+// concurrent older Set cannot resurrect it) and drops the key's learned
+// size, so later cost forecasts fall back to DefaultSize instead of the
+// stale size of a value that no longer exists.
+func (c *Client) Delete(key string) error {
+	g := c.opts.Topology.GroupOfKey(key)
+	ver := c.versions.next()
+	for _, sid := range c.opts.Topology.Replicas(g) {
+		if err := c.conns[sid].del(key, ver); err != nil {
+			return err
+		}
+	}
+	c.sizes.Delete(key)
+	return nil
+}
+
+// versionClock issues write versions (shared by Client and Cluster):
+// wall-clock nanoseconds at the write, bumped to stay strictly
+// monotonic within the client. Stamping each write with *current* time
+// — rather than a dial-time seed plus a counter — keeps versions from
+// concurrently running clients comparable, so last-writer-wins resolves
+// by when a write happened, not by which client process started later.
+// Cross-client writes within clock skew of each other remain arbitrary,
+// as in any wall-clock LWW scheme.
+type versionClock struct{ last atomic.Uint64 }
+
+func (vc *versionClock) next() uint64 {
+	for {
+		prev := vc.last.Load()
+		v := uint64(time.Now().UnixNano())
+		if v <= prev {
+			v = prev + 1
+		}
+		if vc.last.CompareAndSwap(prev, v) {
+			return v
+		}
+	}
 }
 
 // learnSize caches a key's observed value size for cost forecasting
@@ -325,24 +369,30 @@ type serverConn struct {
 	mu       sync.Mutex
 	nextID   uint64
 	pending  map[uint64]chan *wire.BatchResp
-	pendSet  map[uint64]chan struct{}
+	pendAck  map[uint64]chan struct{} // Set and Del acknowledgments
 	closed   bool
 	closeErr error
 }
 
 func newServerConn(conn net.Conn) *serverConn {
+	return newServerConnReader(conn, bufio.NewReaderSize(conn, 64<<10))
+}
+
+// newServerConnReader wraps a connection whose read side is already
+// buffered — the revival prober hands over the reader it exchanged the
+// Ping/Pong on, so no buffered byte is lost in the swap.
+func newServerConnReader(conn net.Conn, r *bufio.Reader) *serverConn {
 	sc := &serverConn{
 		conn:    conn,
 		w:       wire.NewConnWriter(conn),
 		pending: make(map[uint64]chan *wire.BatchResp),
-		pendSet: make(map[uint64]chan struct{}),
+		pendAck: make(map[uint64]chan struct{}),
 	}
-	go sc.readLoop()
+	go sc.readLoop(r)
 	return sc
 }
 
-func (sc *serverConn) readLoop() {
-	r := bufio.NewReaderSize(sc.conn, 64<<10)
+func (sc *serverConn) readLoop(r *bufio.Reader) {
 	for {
 		msg, err := wire.ReadMessage(r)
 		if err != nil {
@@ -352,11 +402,11 @@ func (sc *serverConn) readLoop() {
 			for _, ch := range sc.pending {
 				close(ch)
 			}
-			for _, ch := range sc.pendSet {
+			for _, ch := range sc.pendAck {
 				close(ch)
 			}
 			sc.pending = map[uint64]chan *wire.BatchResp{}
-			sc.pendSet = map[uint64]chan struct{}{}
+			sc.pendAck = map[uint64]chan struct{}{}
 			sc.mu.Unlock()
 			return
 		}
@@ -380,16 +430,9 @@ func (sc *serverConn) readLoop() {
 			default:
 			}
 		case *wire.SetResp:
-			sc.mu.Lock()
-			ch, live := sc.pendSet[m.Seq]
-			delete(sc.pendSet, m.Seq)
-			sc.mu.Unlock()
-			if live {
-				select {
-				case ch <- struct{}{}:
-				default:
-				}
-			}
+			sc.ack(m.Seq)
+		case *wire.DelResp:
+			sc.ack(m.Seq)
 		}
 	}
 }
@@ -422,7 +465,25 @@ func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 	return resp, nil
 }
 
-func (sc *serverConn) set(key string, value []byte) error {
+// ack delivers a write acknowledgment (SetResp or DelResp — they share
+// the connection's seq space) to its waiter.
+func (sc *serverConn) ack(seq uint64) {
+	sc.mu.Lock()
+	ch, live := sc.pendAck[seq]
+	delete(sc.pendAck, seq)
+	sc.mu.Unlock()
+	if live {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// awaitAck registers an ack channel under a fresh seq, sends the message
+// built from that seq, and blocks until the server acknowledges it or
+// the connection dies.
+func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string) error {
 	ch := make(chan struct{}, 1)
 	sc.mu.Lock()
 	if sc.closed {
@@ -431,21 +492,36 @@ func (sc *serverConn) set(key string, value []byte) error {
 	}
 	sc.nextID++
 	id := sc.nextID
-	sc.pendSet[id] = ch
+	sc.pendAck[id] = ch
 	sc.mu.Unlock()
-	if err := sc.w.Send(&wire.Set{Seq: id, Key: key, Value: value}); err != nil {
+	if err := sc.w.Send(build(id)); err != nil {
 		sc.mu.Lock()
-		delete(sc.pendSet, id)
+		delete(sc.pendAck, id)
 		sc.mu.Unlock()
 		return err
 	}
 	// A signal on the channel is the acknowledgment; the read loop
-	// closing it instead means the connection died with the Set
+	// closing it instead means the connection died with the write
 	// unacknowledged — an error, not success.
 	if _, acked := <-ch; !acked {
-		return fmt.Errorf("netstore: connection closed awaiting set: %v", sc.closeError())
+		return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
 	}
 	return nil
+}
+
+// set writes one versioned key (version 0 = server-assigned local
+// version) and waits for the acknowledgment.
+func (sc *serverConn) set(key string, value []byte, version uint64) error {
+	return sc.awaitAck(func(seq uint64) wire.Message {
+		return &wire.Set{Seq: seq, Version: version, Key: key, Value: value}
+	}, "set")
+}
+
+// del deletes one versioned key and waits for the acknowledgment.
+func (sc *serverConn) del(key string, version uint64) error {
+	return sc.awaitAck(func(seq uint64) wire.Message {
+		return &wire.Del{Seq: seq, Version: version, Key: key}
+	}, "del")
 }
 
 func (sc *serverConn) closeError() error {

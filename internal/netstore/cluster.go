@@ -38,6 +38,16 @@ type ClusterOptions struct {
 	ServerWorkers int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// ProbeInterval is how often the revival prober pings down-marked
+	// replicas (default 500ms; negative disables revival, restoring the
+	// old fail-once-stay-down behavior).
+	ProbeInterval time.Duration
+	// MaxHintsPerReplica bounds the hinted-handoff buffer kept for each
+	// down replica (latest write per key; default 4096 keys). Negative
+	// disables hint buffering — a revived replica then converges only
+	// through read-repair. Writes beyond the bound are dropped from the
+	// buffer (read-repair covers them), never failed.
+	MaxHintsPerReplica int
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -59,6 +69,12 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = 500 * time.Millisecond
+	}
+	if o.MaxHintsPerReplica == 0 {
+		o.MaxHintsPerReplica = 4096
+	}
 	return o
 }
 
@@ -67,10 +83,21 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 // one BRB sub-task per shard with task-aware priorities preserved
 // end-to-end, each sub-task picks its replica by C3 score, and batches
 // scatter-gather with failover to the next-ranked replica when one dies.
+//
+// The replica set self-heals: a replica that fails a read or write is
+// marked down (never permanently blacklisted), a background prober
+// redials it and verifies liveness with a Ping/Pong exchange, writes
+// missed while down are buffered as hints and replayed on revival, and
+// reads that reveal a replica serving versions older than this client
+// last wrote trigger read-repair pushes. See revive.go.
 type Cluster struct {
 	opts  ClusterOptions
-	conns []*serverConn // dense by ShardMap server index
-	down  []atomic.Bool // conns marked dead after transport errors
+	addrs []string // dial addresses, dense by ShardMap server index
+
+	// conns[sid] is the live connection to server sid, swapped
+	// atomically by the revival prober; nil while the server is down.
+	conns []atomic.Pointer[serverConn]
+	down  []atomic.Bool // servers marked dead after transport errors
 
 	// scorers[s] ranks shard s's replicas from piggybacked feedback.
 	scorers []*c3.Scorer
@@ -78,10 +105,36 @@ type Cluster struct {
 	// sizes caches learned value sizes for cost forecasting.
 	sizes sync.Map // string -> int64
 
+	// written records the version this client last wrote per key; batch
+	// responses carrying older versions reveal stale replicas. Like
+	// sizes, it grows one entry per distinct key this client ever
+	// writes — acceptable for the cache-tier keyspaces the client
+	// targets; a churning-keyspace writer would want an eviction bound
+	// here (read-repair triggering is best-effort anyway).
+	written sync.Map // string -> uint64
+
+	// versions stamps writes; servers apply them last-writer-wins.
+	versions versionClock
+
+	// hints[sid] buffers writes a down server missed, for replay when
+	// the prober revives it.
+	hints []hintBuffer
+
 	// credits are granted by the controller (nil without one).
 	credits *creditGate
 
 	taskSeq atomic.Uint64
+
+	// Revival/repair machinery (revive.go). repairMu orders
+	// scheduleRepair's closed-check+Add against Close's Wait.
+	stopProbe chan struct{}
+	probeWG   sync.WaitGroup
+	repairMu  sync.Mutex
+	repairWG  sync.WaitGroup
+	repairSem chan struct{}
+	repairing sync.Map // string -> struct{}: keys with an in-flight repair
+	revivals  atomic.Uint64
+	closed    atomic.Bool
 }
 
 // AttachController connects the cluster client to a credits controller
@@ -116,9 +169,13 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 			len(addrs), opts.Shards.NumServers(), opts.Shards.Shards(), opts.Shards.Replicas())
 	}
 	c := &Cluster{
-		opts:    opts,
-		down:    make([]atomic.Bool, len(addrs)),
-		scorers: make([]*c3.Scorer, opts.Shards.Shards()),
+		opts:      opts,
+		addrs:     append([]string(nil), addrs...),
+		conns:     make([]atomic.Pointer[serverConn], len(addrs)),
+		down:      make([]atomic.Bool, len(addrs)),
+		scorers:   make([]*c3.Scorer, opts.Shards.Shards()),
+		hints:     make([]hintBuffer, len(addrs)),
+		repairSem: make(chan struct{}, maxConcurrentRepairs),
 	}
 	for s := range c.scorers {
 		c.scorers[s] = c3.NewScorer(opts.Shards.Replicas(), c3.ScorerOptions{
@@ -128,18 +185,18 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	}
 	// Unreachable replicas start marked down rather than failing the
 	// dial — the client tolerates dead replicas at connect time the same
-	// way it tolerates them mid-run — but every shard needs at least one
-	// live replica to be servable.
+	// way it tolerates them mid-run (the prober revives them once they
+	// come back) — but every shard needs at least one live replica to be
+	// servable.
 	var lastErr error
 	for i, addr := range addrs {
 		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
 		if err != nil {
 			c.down[i].Store(true)
-			c.conns = append(c.conns, nil)
 			lastErr = fmt.Errorf("netstore: dial %s: %w", addr, err)
 			continue
 		}
-		c.conns = append(c.conns, newServerConn(conn))
+		c.conns[i].Store(newServerConn(conn))
 	}
 	for s := 0; s < opts.Shards.Shards(); s++ {
 		alive := false
@@ -154,51 +211,148 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 			return nil, fmt.Errorf("%w %d: %v", ErrNoReplica, s, lastErr)
 		}
 	}
+	if opts.ProbeInterval > 0 {
+		c.stopProbe = make(chan struct{})
+		c.probeWG.Add(1)
+		go c.probeLoop()
+	}
 	return c, nil
 }
 
-// Close tears down all connections.
+// conn returns the live connection to server sid, or nil while it is
+// down or being swapped by the prober.
+func (c *Cluster) conn(sid int) *serverConn {
+	return c.conns[sid].Load()
+}
+
+// markDown records a transport failure at server sid: the connection
+// the caller observed failing is torn down and the server skipped until
+// the prober revives it. Never a permanent blacklist — recording the
+// failure is exactly what arms the probe loop. The compare-and-swap on
+// the connection identity makes stragglers harmless: an operation that
+// started on the pre-crash connection and fails after the prober has
+// already swapped in a fresh one must not tear the revived replica back
+// down.
+func (c *Cluster) markDown(sid int, failed *serverConn) {
+	if !c.conns[sid].CompareAndSwap(failed, nil) {
+		return
+	}
+	c.down[sid].Store(true)
+	failed.close()
+}
+
+// Close tears down all connections and stops the prober and any
+// in-flight repairs.
 func (c *Cluster) Close() {
-	for _, sc := range c.conns {
-		if sc != nil {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	if c.stopProbe != nil {
+		close(c.stopProbe)
+		c.probeWG.Wait()
+	}
+	// Barrier: a scheduleRepair that passed its closed check before our
+	// CAS finishes its repairWG.Add while holding repairMu; any later
+	// one sees closed and bails. After this, the Wait below races no Add.
+	c.repairMu.Lock()
+	c.repairMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	for i := range c.conns {
+		if sc := c.conns[i].Swap(nil); sc != nil {
 			sc.close()
 		}
 	}
+	// Repair goroutines unblock once their connections die.
+	c.repairWG.Wait()
 	if c.credits != nil {
 		c.credits.close()
 	}
 }
 
-// Set writes a key to every replica of its shard that this client still
-// considers live; a replica failing the write is marked down and skipped
-// thereafter. It returns an error only when no replica accepted the
-// write. Durability is therefore best-effort under replica failure until
-// replica catch-up exists (DESIGN.md §6 lists it as future work).
+// Set writes a key to every replica of its shard in parallel, stamped
+// with one version so replicas are comparable. A replica that is down or
+// fails the write gets the write buffered as a hint for replay on
+// revival (and is marked down, arming the prober — not permanently
+// blacklisted). Set returns an error only when no replica accepted the
+// write; short-of-full-replication writes heal via hinted handoff and
+// read-repair once the missing replicas revive.
 func (c *Cluster) Set(key string, value []byte) error {
+	return c.write(key, value, false)
+}
+
+// Delete removes a key from every replica of its shard (versioned
+// tombstones, so replayed older writes cannot resurrect it) and drops
+// the key's learned size, so later cost forecasts fall back to
+// DefaultSize instead of the stale size of a value that no longer
+// exists. Like Set, it errors only when no replica accepted it.
+func (c *Cluster) Delete(key string) error {
+	return c.write(key, nil, true)
+}
+
+func (c *Cluster) write(key string, value []byte, del bool) error {
 	shard := c.opts.Shards.ShardOfKey(key)
-	wrote := 0
-	for r := 0; r < c.opts.Shards.Replicas(); r++ {
+	ver := c.versions.next()
+	reps := c.opts.Shards.Replicas()
+	acked := make([]bool, reps)
+	var wg sync.WaitGroup
+	for r := 0; r < reps; r++ {
 		sid := c.opts.Shards.Server(shard, r)
-		if c.down[sid].Load() {
+		sc := c.conn(sid)
+		if c.down[sid].Load() || sc == nil {
+			c.addHint(sid, key, value, ver, del)
 			continue
 		}
-		if err := c.conns[sid].set(key, value); err != nil {
-			c.down[sid].Store(true)
-			continue
+		wg.Add(1)
+		go func(r, sid int, sc *serverConn) {
+			defer wg.Done()
+			var err error
+			if del {
+				err = sc.del(key, ver)
+			} else {
+				err = sc.set(key, value, ver)
+			}
+			if err != nil {
+				// Hint before marking down so a racing revival can only
+				// replay the hint, never miss it.
+				c.addHint(sid, key, value, ver, del)
+				c.markDown(sid, sc)
+				return
+			}
+			acked[r] = true
+		}(r, sid, sc)
+	}
+	wg.Wait()
+	wrote := 0
+	for _, ok := range acked {
+		if ok {
+			wrote++
 		}
-		wrote++
 	}
 	if wrote == 0 {
+		// The caller is told the write failed, so it must not
+		// materialize later: retract the hints this write buffered
+		// (best-effort — a server that died mid-acknowledgment may still
+		// have applied it, as with any distributed write).
+		for r := 0; r < reps; r++ {
+			c.removeHint(c.opts.Shards.Server(shard, r), key, ver)
+		}
 		return fmt.Errorf("%w %d (write %q)", ErrNoReplica, shard, key)
 	}
-	learnSize(&c.sizes, key, int64(len(value)))
+	c.written.Store(key, ver)
+	if del {
+		c.sizes.Delete(key)
+	} else {
+		learnSize(&c.sizes, key, int64(len(value)))
+	}
 	return nil
 }
 
 // Multiget performs one batched read across the cluster: the full BRB
 // pipeline (forecast → decompose per shard → prioritize → C3 replica
 // selection → scatter-gather), with failover to the next-ranked replica
-// on transport errors.
+// on transport errors. On error the partial TaskResult is still
+// returned — shards that answered have their Values/Found filled — with
+// all per-shard errors joined (errors.Is(err, ErrNoReplica) matches a
+// shard whose whole replica set was down).
 func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	if len(keys) == 0 {
 		return &TaskResult{}, nil
@@ -247,10 +401,14 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	}
 	wg.Wait()
 	close(errCh)
-	if err := <-errCh; err != nil {
-		return nil, err
-	}
 	res.Latency = time.Since(start)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	if len(errs) > 0 {
+		return res, errors.Join(errs...)
+	}
 	return res, nil
 }
 
@@ -291,13 +449,19 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 		}
 		tried[rep] = true
 		sid := c.opts.Shards.Server(shard, rep)
+		sc := c.conn(sid)
+		if sc == nil {
+			// Lost a race with markDown's connection teardown: treat like
+			// a transport failure and fail over.
+			continue
+		}
 
 		if c.credits != nil {
 			c.credits.spend(sid, float64(sub.Cost))
 		}
 		scorer.OnSend(rep, n)
 		sent := time.Now()
-		resp, err := c.conns[sid].batch(&wire.BatchReq{
+		resp, err := sc.batch(&wire.BatchReq{
 			TaskID:   sub.Requests[0].TaskID,
 			Shard:    uint32(shard),
 			Replica:  uint32(rep),
@@ -305,11 +469,12 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 			Keys:     batchKeys,
 		})
 		if err != nil {
-			// Transport failure: mark the replica down and fail over to
-			// the next-ranked one. The scorer only unwinds outstanding —
-			// a dead connection says nothing about service times.
+			// Transport failure: mark the replica down (arming the
+			// revival prober) and fail over to the next-ranked one. The
+			// scorer only unwinds outstanding — a dead connection says
+			// nothing about service times.
 			scorer.OnError(rep, n)
-			c.down[sid].Store(true)
+			c.markDown(sid, sc)
 			continue
 		}
 		rtt := float64(time.Since(sent).Nanoseconds())
@@ -328,15 +493,37 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 			if resp.Found[i] {
 				learnSize(&c.sizes, batchKeys[i], int64(len(resp.Values[i])))
 			}
+			// Read-repair trigger: the response reveals this replica
+			// holds an older version than this client last wrote (or
+			// misses the key entirely) — push the fresh copy to it in the
+			// background.
+			if wv, ok := c.written.Load(batchKeys[i]); ok && len(resp.Versions) == n &&
+				resp.Versions[i] < wv.(uint64) {
+				c.scheduleRepair(shard, rep, batchKeys[i])
+			}
 		}
 		return nil
 	}
 }
 
-// ReplicaDown reports whether the client has marked a replica's
-// connection dead (test and operations hook).
+// ReplicaDown reports whether the client currently considers a replica's
+// connection dead (test and operations hook). With revival enabled this
+// is transient state, not a verdict.
 func (c *Cluster) ReplicaDown(shard, replica int) bool {
 	return c.down[c.opts.Shards.Server(shard, replica)].Load()
+}
+
+// Revivals returns how many times the prober has revived a down replica
+// (test and operations hook).
+func (c *Cluster) Revivals() uint64 { return c.revivals.Load() }
+
+// PendingHints returns the number of keys hint-buffered for one replica
+// (test and operations hook).
+func (c *Cluster) PendingHints(shard, replica int) int {
+	hb := &c.hints[c.opts.Shards.Server(shard, replica)]
+	hb.mu.Lock()
+	defer hb.mu.Unlock()
+	return len(hb.hints)
 }
 
 // ScoreOf exposes the C3 score of one replica of one shard (test hook).

@@ -127,6 +127,42 @@ func TestWritesReplicated(t *testing.T) {
 	}
 }
 
+func TestClientDelete(t *testing.T) {
+	addrs, servers, stop := startCluster(t, 3, ServerOptions{})
+	defer stop()
+	topo := testTopo(t, 3)
+	c, err := Dial(addrs, ClientOptions{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set("k1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.sizes.Load("k1"); !ok {
+		t.Fatal("size not learned on Set")
+	}
+	if err := c.Delete("k1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.sizes.Load("k1"); ok {
+		t.Fatal("size cache not invalidated on Delete")
+	}
+	g := topo.GroupOfKey("k1")
+	for _, sid := range topo.Replicas(g) {
+		if _, ok := servers[sid].Store().Get("k1"); ok {
+			t.Fatalf("replica %d still stores deleted k1", sid)
+		}
+	}
+	res, err := c.Task([]string{"k1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found[0] {
+		t.Fatal("deleted key still found via Task")
+	}
+}
+
 func TestPriorityOrderOnServer(t *testing.T) {
 	// Single-worker server with a fixed service delay; a first batch
 	// occupies the worker while three more queue up; they must complete

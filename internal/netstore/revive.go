@@ -1,0 +1,364 @@
+package netstore
+
+// Replica revival and catch-up repair: the failure-recovery half of the
+// cluster client. Three mechanisms cooperate to turn a fail-once replica
+// into a self-healing one:
+//
+//  1. A probe loop periodically redials down-marked replicas and
+//     verifies liveness with a wire.Ping/Pong exchange before atomically
+//     swapping the fresh connection in and resetting the replica's C3
+//     outstanding state (pre-crash EWMAs say nothing about the revived
+//     process).
+//  2. Hinted handoff: writes a down replica missed are buffered (latest
+//     version per key, bounded) and replayed over the new connection
+//     before the replica is exposed to reads again, so a replica that
+//     kept its store across the restart converges immediately.
+//  3. Read-repair: a batch response revealing a version older than this
+//     client last wrote triggers a background push of the freshest copy
+//     (fetched from the other replicas) — the safety net for hints that
+//     overflowed the buffer or died with another client.
+//
+// All repair writes carry their original versions and servers apply
+// them last-writer-wins (kv.SetVersion/DeleteVersion), so replays and
+// races are idempotent and can never roll a replica backwards.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// maxConcurrentRepairs bounds in-flight read-repair pushes per cluster
+// client; excess stale observations are dropped and re-trigger on the
+// next read of the key.
+const maxConcurrentRepairs = 16
+
+// hint is one write a down replica missed: the latest version of a key,
+// or its tombstone.
+type hint struct {
+	value   []byte
+	version uint64
+	del     bool
+}
+
+// hintBuffer is the per-server hinted-handoff buffer: latest missed
+// write per key, bounded by ClusterOptions.MaxHintsPerReplica (writes
+// dropped on overflow are healed by read-repair instead).
+type hintBuffer struct {
+	mu    sync.Mutex
+	hints map[string]hint
+}
+
+// addHint buffers a write server sid missed. Values are copied (the
+// caller's buffer may be reused); newer versions replace older ones for
+// the same key without growing the buffer.
+func (c *Cluster) addHint(sid int, key string, value []byte, version uint64, del bool) {
+	if c.opts.MaxHintsPerReplica < 0 {
+		return
+	}
+	hb := &c.hints[sid]
+	hb.mu.Lock()
+	defer hb.mu.Unlock()
+	if cur, ok := hb.hints[key]; ok {
+		if cur.version >= version {
+			return
+		}
+	} else if len(hb.hints) >= c.opts.MaxHintsPerReplica {
+		return
+	}
+	var cp []byte
+	if !del {
+		cp = append([]byte(nil), value...)
+	}
+	if hb.hints == nil {
+		hb.hints = make(map[string]hint)
+	}
+	hb.hints[key] = hint{value: cp, version: version, del: del}
+}
+
+// removeHint retracts the hint for key at exactly version ver — a write
+// that failed on every replica takes back what it buffered. A newer
+// hint for the key (a later write) stays.
+func (c *Cluster) removeHint(sid int, key string, ver uint64) {
+	hb := &c.hints[sid]
+	hb.mu.Lock()
+	if h, ok := hb.hints[key]; ok && h.version == ver {
+		delete(hb.hints, key)
+	}
+	hb.mu.Unlock()
+}
+
+// replayHints pushes every buffered write for server sid over sc,
+// reporting whether the replay completed. On a transport failure the
+// unreplayed remainder is merged back (newer hints buffered meanwhile
+// win) and the revival is abandoned.
+func (c *Cluster) replayHints(sid int, sc *serverConn) bool {
+	hb := &c.hints[sid]
+	hb.mu.Lock()
+	pending := hb.hints
+	hb.hints = nil
+	hb.mu.Unlock()
+	for key, h := range pending {
+		var err error
+		if h.del {
+			err = sc.del(key, h.version)
+		} else {
+			err = sc.set(key, h.value, h.version)
+		}
+		if err != nil {
+			hb.mu.Lock()
+			if hb.hints == nil {
+				hb.hints = make(map[string]hint)
+			}
+			for k, ph := range pending {
+				if cur, ok := hb.hints[k]; !ok || cur.version < ph.version {
+					hb.hints[k] = ph
+				}
+			}
+			hb.mu.Unlock()
+			return false
+		}
+		delete(pending, key)
+	}
+	return true
+}
+
+// probeLoop periodically probes down-marked servers and revives the ones
+// that answer. One goroutine per cluster client, started by DialCluster,
+// stopped by Close.
+func (c *Cluster) probeLoop() {
+	defer c.probeWG.Done()
+	ticker := time.NewTicker(c.opts.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stopProbe:
+			return
+		case <-ticker.C:
+		}
+		for sid := range c.down {
+			select {
+			case <-c.stopProbe:
+				return
+			default:
+			}
+			if c.down[sid].Load() {
+				c.tryRevive(sid)
+			} else {
+				c.flushHints(sid)
+			}
+		}
+	}
+}
+
+// flushHints replays hints that slipped past a revival's replay pass: a
+// write racing the prober can load the down mark just before it clears
+// and buffer a hint for a replica that is already back up. The prober
+// drains such stragglers on its next tick, so no hint is stranded while
+// its replica is live.
+func (c *Cluster) flushHints(sid int) {
+	hb := &c.hints[sid]
+	hb.mu.Lock()
+	n := len(hb.hints)
+	hb.mu.Unlock()
+	if n == 0 {
+		return
+	}
+	if sc := c.conn(sid); sc != nil {
+		_ = c.replayHints(sid, sc)
+	}
+}
+
+// tryRevive redials one down server, verifies it serves with a
+// Ping/Pong, replays its hinted writes, and only then swaps the fresh
+// connection in and clears the down mark — reads never hit a revived
+// replica this client hasn't caught up yet.
+func (c *Cluster) tryRevive(sid int) {
+	sc, err := probeDial(c.addrs[sid], c.opts.DialTimeout)
+	if err != nil {
+		return
+	}
+	// The replay runs under a deadline: a replica that answers the probe
+	// but never acks a write must not wedge the (single) prober
+	// goroutine. On expiry the revival is abandoned and the unreplayed
+	// remainder re-buffers; already-replayed hints are gone from the
+	// snapshot, so retries make progress even through a huge buffer.
+	_ = sc.conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
+	if !c.replayHints(sid, sc) {
+		sc.close()
+		return
+	}
+	_ = sc.conn.SetDeadline(time.Time{})
+	// The revived process shares nothing with the crashed one: drop the
+	// replica's C3 outstanding/EWMA state so stale pre-crash feedback
+	// neither penalizes nor favors it.
+	shard := c.opts.Shards.ShardOfServer(sid)
+	c.scorers[shard].Reset(sid - c.opts.Shards.Server(shard, 0))
+	// Clear the down mark BEFORE publishing the connection. In the
+	// reverse order, an operation failing on the freshly swapped conn
+	// could markDown (conns→nil, down→true) and then lose its down mark
+	// to this goroutine's store — leaving conns nil with down false,
+	// which the prober never probes again. With this order the down mark
+	// set by any failure on the new conn survives, and the only race
+	// window is a read skipping the replica for the instant between the
+	// two stores.
+	c.down[sid].Store(false)
+	if old := c.conns[sid].Swap(sc); old != nil {
+		old.close()
+	}
+	c.revivals.Add(1)
+}
+
+// probeDial dials addr and performs one Ping/Pong exchange under a
+// deadline, returning a ready serverConn on success. A server that
+// accepts TCP but does not speak the protocol (or echoes the wrong
+// nonce) is not revived.
+func probeDial(addr string, timeout time.Duration) (*serverConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	nonce := uint64(time.Now().UnixNano())
+	if err := wire.WriteMessage(conn, &wire.Ping{Nonce: nonce}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	r := bufio.NewReaderSize(conn, 64<<10)
+	msg, err := wire.ReadMessage(r)
+	if err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	pong, ok := msg.(*wire.Pong)
+	if !ok || pong.Nonce != nonce {
+		_ = conn.Close()
+		return nil, fmt.Errorf("netstore: probe of %s got %T, want matching Pong", addr, msg)
+	}
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		_ = conn.Close()
+		return nil, err
+	}
+	// Hand the prober's buffered reader over so no byte is lost.
+	return newServerConnReader(conn, r), nil
+}
+
+// scheduleRepair queues a background read-repair of key after a batch
+// response revealed replica staleRep of shard serving it stale. At most
+// one repair per key is in flight; beyond maxConcurrentRepairs the
+// observation is dropped (the next read re-triggers it).
+func (c *Cluster) scheduleRepair(shard, staleRep int, key string) {
+	if _, dup := c.repairing.LoadOrStore(key, struct{}{}); dup {
+		return
+	}
+	select {
+	case c.repairSem <- struct{}{}:
+	default:
+		c.repairing.Delete(key)
+		return
+	}
+	// The closed check and the Add share a mutex with Close's barrier:
+	// otherwise an Add could race Close's repairWG.Wait (documented
+	// WaitGroup misuse) and a repair goroutine could outlive Close.
+	c.repairMu.Lock()
+	if c.closed.Load() {
+		c.repairMu.Unlock()
+		<-c.repairSem
+		c.repairing.Delete(key)
+		return
+	}
+	c.repairWG.Add(1)
+	c.repairMu.Unlock()
+	go func() {
+		defer func() {
+			<-c.repairSem
+			c.repairing.Delete(key)
+			c.repairWG.Done()
+		}()
+		c.repairKey(shard, staleRep, key)
+	}()
+}
+
+// repairKey reads key from the other live replicas of its shard, takes
+// the freshest copy (value or tombstone), and pushes it to the stale
+// replica with its original version — the server's last-writer-wins
+// check makes a racing newer write safe.
+func (c *Cluster) repairKey(shard, staleRep int, key string) {
+	var bestVal []byte
+	var bestVer uint64
+	bestDel := false
+	for r := 0; r < c.opts.Shards.Replicas(); r++ {
+		if r == staleRep {
+			continue
+		}
+		sid := c.opts.Shards.Server(shard, r)
+		sc := c.conn(sid)
+		if sc == nil || c.down[sid].Load() {
+			continue
+		}
+		resp, err := sc.batch(&wire.BatchReq{
+			Shard:    uint32(shard),
+			Replica:  uint32(r),
+			Priority: []int64{0},
+			Keys:     []string{key},
+		})
+		if err != nil || resp.Misrouted() || len(resp.Values) != 1 || len(resp.Versions) != 1 {
+			continue
+		}
+		if resp.Versions[0] > bestVer {
+			bestVer = resp.Versions[0]
+			bestVal = resp.Values[0]
+			bestDel = !resp.Found[0] // version without a value = tombstone
+		}
+	}
+	if bestVer == 0 {
+		return
+	}
+	staleSid := c.opts.Shards.Server(shard, staleRep)
+	sc := c.conn(staleSid)
+	if sc == nil || c.down[staleSid].Load() {
+		return
+	}
+	if bestDel {
+		_ = sc.del(key, bestVer)
+	} else {
+		_ = sc.set(key, bestVal, bestVer)
+	}
+}
+
+// ScanVersions dials one server directly (bypassing replica selection)
+// and reads the stored versions of keys from it. Operations and
+// fault-injection tooling (`brb-load -kill-replica`) use it to check
+// that the replicas of a shard have version-converged after recovery;
+// shard is the server's shard group (shard-checking servers reject
+// mismatches).
+func ScanVersions(addr string, shard int, keys []string, timeout time.Duration) (versions []uint64, found []bool, err error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := newServerConn(conn)
+	defer sc.close()
+	resp, err := sc.batch(&wire.BatchReq{
+		Shard:    uint32(shard),
+		Priority: make([]int64, len(keys)),
+		Keys:     keys,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Misrouted() {
+		return nil, nil, fmt.Errorf("netstore: server %s rejected scan for shard %d as misrouted", addr, shard)
+	}
+	if len(resp.Versions) != len(keys) || len(resp.Found) != len(keys) {
+		return nil, nil, fmt.Errorf("netstore: scan of %s returned %d versions for %d keys", addr, len(resp.Versions), len(keys))
+	}
+	return resp.Versions, resp.Found, nil
+}

@@ -1,0 +1,430 @@
+package netstore
+
+// End-to-end tests of the failure-recovery subsystem: kill→restart→
+// revival, hinted handoff, read-repair, versioned deletes, and partial
+// multiget results. Servers are "restarted" by re-listening on the same
+// address over the same kv.Store — the in-process equivalent of a
+// process restart on a machine whose storage survived.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/kv"
+)
+
+// restartServer brings a killed replica back on its old address over the
+// given (surviving) store.
+func restartServer(t *testing.T, addr string, store *kv.Store, shard int) *Server {
+	t.Helper()
+	srv := NewServer(store, ServerOptions{Workers: 2, Shard: shard, CheckShard: true})
+	var ln net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("re-listen on %s: %v", addr, err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestClusterReplicaRevival is the tentpole scenario: a replica killed
+// mid-run is restarted on the same address, the client revives it
+// without being restarted itself, hinted writes replay, and a full-key
+// version scan of the shard's replicas converges.
+func TestClusterReplicaRevival(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	allKeys := make([]string, 0, 80)
+	for i := 0; i < 40; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		allKeys = append(allKeys, k)
+		if err := c.Set(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill replica 0 of shard 0, keeping its store and address.
+	victim := m.Server(0, 0)
+	victimStore := servers[victim].Store()
+	servers[victim].Close()
+
+	// Writes while the replica is down: the ones hashing to shard 0 fail
+	// on the dead connection, mark it down, and buffer hints.
+	for i := 40; i < 80; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		allKeys = append(allKeys, k)
+		if err := c.Set(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatalf("Set %s with one replica down: %v", k, err)
+		}
+	}
+	// Overwrites of pre-kill keys must also hint (newer version wins).
+	for i := 0; i < 10; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if err := c.Set(k, []byte(fmt.Sprintf("v%d-new", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.ReplicaDown(0, 0) {
+		t.Fatal("victim not marked down after failed writes")
+	}
+	if c.PendingHints(0, 0) == 0 {
+		t.Fatal("no hints buffered for the down replica")
+	}
+
+	restartServer(t, addrs[victim], victimStore, 0)
+
+	// The prober must revive the replica — no client restart — and only
+	// after replaying hints.
+	waitFor(t, 5*time.Second, "replica revival", func() bool { return !c.ReplicaDown(0, 0) })
+	if c.Revivals() == 0 {
+		t.Fatal("revival not counted")
+	}
+	if n := c.PendingHints(0, 0); n != 0 {
+		t.Fatalf("%d hints left after revival", n)
+	}
+
+	// Reads keep working and see the latest writes wherever they route.
+	res, err := c.Multiget(allKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range allKeys {
+		if !res.Found[i] {
+			t.Fatalf("%s missing after revival", k)
+		}
+	}
+
+	// Full-key scan: both replicas of shard 0 must hold identical
+	// versions for every shard-0 key, including those written or
+	// overwritten during the outage.
+	var shard0Keys []string
+	for _, k := range allKeys {
+		if m.ShardOfKey(k) == 0 {
+			shard0Keys = append(shard0Keys, k)
+		}
+	}
+	if len(shard0Keys) == 0 {
+		t.Fatal("no keys hashed to shard 0")
+	}
+	v0, f0, err := ScanVersions(addrs[m.Server(0, 0)], 0, shard0Keys, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, f1, err := ScanVersions(addrs[m.Server(0, 1)], 0, shard0Keys, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range shard0Keys {
+		if !f0[i] || !f1[i] {
+			t.Fatalf("%s found=%v/%v across replicas", k, f0[i], f1[i])
+		}
+		if v0[i] != v1[i] {
+			t.Fatalf("%s diverged: replica0 v%d, replica1 v%d", k, v0[i], v1[i])
+		}
+	}
+}
+
+// TestClusterReadRepair disables hinted handoff entirely and checks the
+// second repair path: a read revealing a stale version triggers a
+// background push of the fresh copy to the lagging replica.
+func TestClusterReadRepair(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{
+		Shards:             m,
+		ProbeInterval:      20 * time.Millisecond,
+		MaxHintsPerReplica: -1, // isolate read-repair
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Set("kk", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	victim := m.Server(0, 0)
+	victimStore := servers[victim].Store()
+	servers[victim].Close()
+
+	// This write lands only on replica 1; replica 0's store keeps the
+	// old version and no hint is buffered.
+	if err := c.Set("kk", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	restartServer(t, addrs[victim], victimStore, 0)
+	waitFor(t, 5*time.Second, "revival", func() bool { return !c.ReplicaDown(0, 0) })
+
+	_, wantVer, _ := servers[m.Server(0, 1)].Store().GetVersion("kk")
+	if wantVer == 0 {
+		t.Fatal("surviving replica lost the write")
+	}
+	// Keep reading until a read routes to the stale replica and the
+	// triggered repair lands.
+	waitFor(t, 5*time.Second, "read-repair convergence", func() bool {
+		if _, err := c.Multiget([]string{"kk"}); err != nil {
+			t.Fatalf("Multiget: %v", err)
+		}
+		v, ver, ok := victimStore.GetVersion("kk")
+		return ok && ver == wantVer && string(v) == "new"
+	})
+}
+
+// TestClusterReadRepairDelete: a replica that missed a delete and
+// revived with the old value still standing gets the tombstone pushed
+// by read-repair (hints disabled to isolate the path).
+func TestClusterReadRepairDelete(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{
+		Shards:             m,
+		ProbeInterval:      20 * time.Millisecond,
+		MaxHintsPerReplica: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Set("kk", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	victim := m.Server(0, 0)
+	victimStore := servers[victim].Store()
+	servers[victim].Close()
+
+	// The delete lands only on replica 1; replica 0 keeps the value.
+	if err := c.Delete("kk"); err != nil {
+		t.Fatal(err)
+	}
+	restartServer(t, addrs[victim], victimStore, 0)
+	waitFor(t, 5*time.Second, "revival", func() bool { return !c.ReplicaDown(0, 0) })
+	if _, ok := victimStore.Get("kk"); !ok {
+		t.Fatal("victim lost the value it was supposed to be stale with")
+	}
+
+	// Reads route to the revived replica, reveal its stale (pre-delete)
+	// version, and the repair pushes the tombstone.
+	waitFor(t, 5*time.Second, "delete read-repair", func() bool {
+		if _, err := c.Multiget([]string{"kk"}); err != nil {
+			t.Fatalf("Multiget: %v", err)
+		}
+		_, ok := victimStore.Get("kk")
+		return !ok
+	})
+}
+
+// TestClusterWriteTotalFailureRetractsHints: a write that no replica
+// accepted reports an error and must not resurface later — the hints it
+// buffered are taken back.
+func TestClusterWriteTotalFailureRetractsHints(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for _, srv := range servers {
+		srv.Close()
+	}
+	if err := c.Set("k", []byte("v")); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Set with every replica dead: err = %v, want ErrNoReplica", err)
+	}
+	for r := 0; r < 2; r++ {
+		if n := c.PendingHints(0, r); n != 0 {
+			t.Fatalf("replica %d still holds %d hints for a failed write", r, n)
+		}
+	}
+}
+
+// TestClusterDelete: deletes propagate to every replica with a version,
+// so they survive revival ordering, and the learned size cache forgets
+// the key.
+func TestClusterDelete(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.sizes.Load("k"); !ok {
+		t.Fatal("size not learned on Set")
+	}
+	if err := c.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.sizes.Load("k"); ok {
+		t.Fatal("size cache not invalidated on Delete")
+	}
+	for r := 0; r < 2; r++ {
+		if _, ok := servers[m.Server(0, r)].Store().Get("k"); ok {
+			t.Fatalf("replica %d still stores deleted key", r)
+		}
+	}
+	res, err := c.Multiget([]string{"k"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found[0] {
+		t.Fatal("deleted key still found")
+	}
+	// A later Set (newer version) revives the key everywhere.
+	if err := c.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.Multiget([]string{"k"})
+	if err != nil || !res.Found[0] || string(res.Values[0]) != "v2" {
+		t.Fatalf("re-set after delete: %v found=%v val=%q", err, res.Found[0], res.Values[0])
+	}
+}
+
+// TestClusterMultigetPartialResults: with a whole shard dead, Multiget
+// returns the joined error AND the values the live shards produced.
+func TestClusterMultigetPartialResults(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Find keys on both shards.
+	var k0, k1 string
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if m.ShardOfKey(k) == 0 && k0 == "" {
+			k0 = k
+		}
+		if m.ShardOfKey(k) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	if err := c.Set(k0, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(k1, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	servers[m.Server(1, 0)].Close()
+
+	res, err := c.Multiget([]string{k0, k1})
+	if err == nil {
+		t.Fatal("Multiget succeeded with a dead shard")
+	}
+	if !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica in the join", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned alongside the error")
+	}
+	if !res.Found[0] || string(res.Values[0]) != "a" {
+		t.Fatalf("live shard's key dropped from partial result: found=%v val=%q", res.Found[0], res.Values[0])
+	}
+	if res.Found[1] {
+		t.Fatal("dead shard's key reported found")
+	}
+}
+
+// TestClusterProbeRaceWithMultigets hammers reads and writes while a
+// replica is repeatedly killed and restarted; run under -race (CI does)
+// this exercises the probe loop's connection swaps against concurrent
+// batch traffic. The surviving replica means no operation may fail.
+func TestClusterProbeRaceWithMultigets(t *testing.T) {
+	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 32
+	for i := 0; i < keys; i++ {
+		if err := c.Set(fmt.Sprintf("key:%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 3; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := fmt.Sprintf("key:%d", (w*11+i)%keys)
+				if i%4 == 0 {
+					if err := c.Set(k, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+						errCh <- fmt.Errorf("Set: %w", err)
+						return
+					}
+				} else if _, err := c.Multiget([]string{k}); err != nil {
+					errCh <- fmt.Errorf("Multiget: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	victim := m.Server(0, 0)
+	store := servers[victim].Store()
+	srv := servers[victim]
+	for round := 0; round < 3; round++ {
+		srv.Close()
+		time.Sleep(30 * time.Millisecond)
+		srv = restartServer(t, addrs[victim], store, 0)
+		waitFor(t, 5*time.Second, "revival", func() bool { return !c.ReplicaDown(0, 0) })
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatalf("operation failed with a live replica present: %v", err)
+	}
+}

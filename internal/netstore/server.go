@@ -225,16 +225,16 @@ func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame) *batchSta
 	bs.svcNanos = 0
 	bs.cs = cs
 	bs.frame = frame
-	values, found := bs.resp.Values, bs.resp.Found
+	values, found, versions := bs.resp.Values, bs.resp.Found, bs.resp.Versions
 	if cap(values) < n {
-		values, found = make([][]byte, n), make([]bool, n)
+		values, found, versions = make([][]byte, n), make([]bool, n), make([]uint64, n)
 	} else {
-		values, found = values[:n], found[:n]
+		values, found, versions = values[:n], found[:n], versions[:n]
 		for i := range values {
-			values[i], found[i] = nil, false
+			values[i], found[i], versions[i] = nil, false, 0
 		}
 	}
-	bs.resp = wire.BatchResp{Batch: m.Batch, Values: values, Found: found}
+	bs.resp = wire.BatchResp{Batch: m.Batch, Values: values, Found: found, Versions: versions}
 	if cap(bs.items) < n {
 		bs.items = make([]workItem, n)
 	} else {
@@ -296,10 +296,31 @@ func (s *Server) handle(conn net.Conn) {
 		case *wire.Set:
 			// The store copies the value, but its map retains the key:
 			// clone the key off the pooled frame before it recycles.
-			s.store.Set(strings.Clone(m.Key), m.Value)
+			// Version 0 is a local (loader) write that auto-advances the
+			// key's version; a non-zero version is a replicated write
+			// applied last-writer-wins, so hinted-handoff replays and
+			// read-repair pushes are idempotent.
+			if m.Version == 0 {
+				s.store.Set(strings.Clone(m.Key), m.Value)
+			} else {
+				s.store.SetVersion(strings.Clone(m.Key), m.Value, m.Version)
+			}
 			seq := m.Seq
 			frame.Release()
 			if cs.send(&wire.SetResp{Seq: seq}) != nil {
+				return
+			}
+		case *wire.Del:
+			// DeleteVersion retains the key in its tombstone: clone it off
+			// the pooled frame like Set does.
+			if m.Version == 0 {
+				s.store.Delete(m.Key)
+			} else {
+				s.store.DeleteVersion(strings.Clone(m.Key), m.Version)
+			}
+			seq := m.Seq
+			frame.Release()
+			if cs.send(&wire.DelResp{Seq: seq}) != nil {
 				return
 			}
 		case *wire.BatchReq:
@@ -342,7 +363,7 @@ func (s *Server) worker() {
 			return
 		}
 		svcStart := time.Now()
-		v, found := s.store.Get(it.key)
+		v, ver, found := s.store.GetVersion(it.key)
 		if s.opts.ServiceDelay != nil {
 			time.Sleep(s.opts.ServiceDelay(int64(len(v))))
 		}
@@ -352,6 +373,7 @@ func (s *Server) worker() {
 		bs.mu.Lock()
 		bs.resp.Values[it.index] = v
 		bs.resp.Found[it.index] = found
+		bs.resp.Versions[it.index] = ver
 		bs.svcNanos += svc
 		bs.remaining--
 		done := bs.remaining == 0

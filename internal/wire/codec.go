@@ -70,13 +70,26 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 	if len(m.Values) != len(m.Found) {
 		panic("wire: BatchResp Values/Found length mismatch")
 	}
+	if m.Versions != nil && len(m.Versions) != len(m.Values) {
+		panic("wire: BatchResp Versions/Values length mismatch")
+	}
 	dst = appendU32(dst, uint32(len(m.Values)))
 	for i, v := range m.Values {
+		// The version is carried for missing keys too: a tombstoned key
+		// reads as not-found but its delete version must reach clients,
+		// or delete read-repair and convergence scans could not tell
+		// "deleted at v" from "never stored".
+		var ver uint64
+		if m.Versions != nil {
+			ver = m.Versions[i]
+		}
 		if m.Found[i] {
 			dst = append(dst, 1)
+			dst = appendU64(dst, ver)
 			dst = appendVal(dst, v)
 		} else {
 			dst = append(dst, 0)
+			dst = appendU64(dst, ver)
 		}
 	}
 	return dst
@@ -84,18 +97,20 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 
 func decodeBatchResp(r *reader) (*BatchResp, error) {
 	m := &BatchResp{Batch: r.u64(), Flags: r.u8(), QueueLen: r.u32(), WaitNanos: r.i64(), ServiceNanos: r.i64()}
-	n := r.count(1) // 1-byte found flag floor
+	n := r.count(9) // 1-byte found flag + 8-byte version floor
 	if c := preallocCount(n); c > 0 {
 		m.Values = make([][]byte, 0, c)
 		m.Found = make([]bool, 0, c)
+		m.Versions = make([]uint64, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
-		if r.u8() == 1 {
+		found := r.u8() == 1
+		m.Versions = append(m.Versions, r.u64())
+		m.Found = append(m.Found, found)
+		if found {
 			m.Values = append(m.Values, r.val())
-			m.Found = append(m.Found, true)
 		} else {
 			m.Values = append(m.Values, nil)
-			m.Found = append(m.Found, false)
 		}
 	}
 	return m, r.done()
@@ -104,12 +119,33 @@ func decodeBatchResp(r *reader) (*BatchResp, error) {
 func (m *Set) msgType() MsgType { return TSet }
 func (m *Set) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Seq)
+	dst = appendU64(dst, m.Version)
 	dst = appendKey(dst, m.Key)
 	return appendVal(dst, m.Value)
 }
 
 func decodeSet(r *reader) (*Set, error) {
-	m := &Set{Seq: r.u64(), Key: r.key(), Value: r.val()}
+	m := &Set{Seq: r.u64(), Version: r.u64(), Key: r.key(), Value: r.val()}
+	return m, r.done()
+}
+
+func (m *Del) msgType() MsgType { return TDel }
+func (m *Del) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendU64(dst, m.Version)
+	return appendKey(dst, m.Key)
+}
+
+func decodeDel(r *reader) (*Del, error) {
+	m := &Del{Seq: r.u64(), Version: r.u64(), Key: r.key()}
+	return m, r.done()
+}
+
+func (m *DelResp) msgType() MsgType             { return TDelResp }
+func (m *DelResp) appendBody(dst []byte) []byte { return appendU64(dst, m.Seq) }
+
+func decodeDelResp(r *reader) (*DelResp, error) {
+	m := &DelResp{Seq: r.u64()}
 	return m, r.done()
 }
 
@@ -236,6 +272,10 @@ func decodeFrame(frame []byte, alias bool) (Message, error) {
 		return decodePing(r)
 	case TPong:
 		return decodePong(r)
+	case TDel:
+		return decodeDel(r)
+	case TDelResp:
+		return decodeDelResp(r)
 	}
 	return nil, fmt.Errorf("wire: unknown message type %d", frame[0])
 }

@@ -42,9 +42,15 @@ const (
 	TReport MsgType = 5
 	// TGrant is a controller→client credit assignment.
 	TGrant MsgType = 6
-	// TPing/TPong are liveness probes.
+	// TPing/TPong are liveness probes; the cluster client's revival
+	// prober uses them to verify a redialed replica actually serves
+	// before swapping the connection in.
 	TPing MsgType = 7
 	TPong MsgType = 8
+	// TDel is a client→server versioned delete.
+	TDel MsgType = 9
+	// TDelResp acknowledges a TDel.
+	TDelResp MsgType = 10
 )
 
 // MaxFrame bounds frame payloads (16 MiB) to fail fast on corrupt length
@@ -91,6 +97,12 @@ type BatchResp struct {
 	// missing key yields a nil value and Found[i] == false.
 	Values [][]byte
 	Found  []bool
+	// Versions carries the stored write version of each key, parallel to
+	// Values: 0 for keys the server never stored, the delete version for
+	// tombstoned keys (which read as not-found). Clients compare them
+	// against the versions they last wrote to detect stale replicas and
+	// trigger read-repair — including repair of missed deletes.
+	Versions []uint64
 	// QueueLen and WaitNanos piggyback server state for client-side
 	// feedback (queue length at service start of the batch's last key,
 	// aggregate time the batch waited).
@@ -108,13 +120,33 @@ func (m *BatchResp) Misrouted() bool { return m.Flags&FlagMisrouted != 0 }
 
 // Set writes one key.
 type Set struct {
-	Seq   uint64
-	Key   string
-	Value []byte
+	Seq uint64
+	// Version orders writes per key: the server applies the Set only if
+	// Version exceeds the stored version (last-writer-wins), making
+	// hinted-handoff replays and read-repair pushes idempotent. Version 0
+	// asks the server to assign the next local version (the pre-versioning
+	// behavior, kept for simple loaders).
+	Version uint64
+	Key     string
+	Value   []byte
 }
 
 // SetResp acknowledges a Set.
 type SetResp struct {
+	Seq uint64
+}
+
+// Del deletes one key, versioned like Set: the server applies the
+// delete (leaving a tombstone) only if Version exceeds the stored
+// version. Version 0 deletes unconditionally.
+type Del struct {
+	Seq     uint64
+	Version uint64
+	Key     string
+}
+
+// DelResp acknowledges a Del.
+type DelResp struct {
 	Seq uint64
 }
 

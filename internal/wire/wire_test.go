@@ -36,9 +36,12 @@ func TestBatchReqRoundTrip(t *testing.T) {
 
 func TestBatchRespRoundTrip(t *testing.T) {
 	m := &BatchResp{
-		Batch:        42,
-		Values:       [][]byte{[]byte("abc"), nil, {}},
-		Found:        []bool{true, false, true},
+		Batch:  42,
+		Values: [][]byte{[]byte("abc"), nil, {}},
+		Found:  []bool{true, false, true},
+		// The not-found entry carries a nonzero version: tombstoned keys
+		// read as missing but their delete version must survive the wire.
+		Versions:     []uint64{7, 99, 12},
 		QueueLen:     9,
 		WaitNanos:    12345,
 		ServiceNanos: 6789,
@@ -56,6 +59,19 @@ func TestBatchRespRoundTrip(t *testing.T) {
 	if string(got.Values[0]) != "abc" || got.Values[1] != nil || len(got.Values[2]) != 0 {
 		t.Fatalf("values mismatch: %q", got.Values)
 	}
+	if !reflect.DeepEqual(got.Versions, m.Versions) {
+		t.Fatalf("versions mismatch: %v", got.Versions)
+	}
+}
+
+// A BatchResp encoded without Versions (legacy server) decodes with
+// all-zero versions, never a length mismatch.
+func TestBatchRespNilVersions(t *testing.T) {
+	m := &BatchResp{Batch: 1, Values: [][]byte{[]byte("v")}, Found: []bool{true}}
+	got := roundTrip(t, m).(*BatchResp)
+	if len(got.Versions) != 1 || got.Versions[0] != 0 {
+		t.Fatalf("versions = %v, want [0]", got.Versions)
+	}
 }
 
 func TestMisroutedRoundTrip(t *testing.T) {
@@ -70,14 +86,26 @@ func TestMisroutedRoundTrip(t *testing.T) {
 }
 
 func TestSetRoundTrip(t *testing.T) {
-	m := &Set{Seq: 1, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
+	m := &Set{Seq: 1, Version: 77, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
 	got := roundTrip(t, m).(*Set)
-	if got.Seq != 1 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
+	if got.Seq != 1 || got.Version != 77 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
 		t.Fatal("set mismatch")
 	}
 	ack := roundTrip(t, &SetResp{Seq: 5}).(*SetResp)
 	if ack.Seq != 5 {
 		t.Fatal("setresp mismatch")
+	}
+}
+
+func TestDelRoundTrip(t *testing.T) {
+	m := &Del{Seq: 3, Version: 41, Key: "gone"}
+	got := roundTrip(t, m).(*Del)
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("del mismatch: %+v vs %+v", m, got)
+	}
+	ack := roundTrip(t, &DelResp{Seq: 3}).(*DelResp)
+	if ack.Seq != 3 {
+		t.Fatal("delresp mismatch")
 	}
 }
 

@@ -25,6 +25,17 @@
 //
 //	brb-load -shards 3 -replication 2 -servers ... \
 //	         -write-frac 0.1 -kill-replica 4 -kill-after 2s -restart-after 3s
+//
+// Live rebalancing (sharded mode only): -add-shard-after grows the
+// cluster by one shard mid-run (spawning the new shard's replicas
+// in-process), -remove-shard-after drains the highest shard onto the
+// survivors. Both push the epoch-versioned topology to every server at
+// startup, run the migration under the measurement load, and finish
+// with a convergence scan proving every key lives on exactly its new
+// owner with all replicas agreeing:
+//
+//	brb-load -shards 3 -replication 2 -servers ... \
+//	         -write-frac 0.1 -add-shard-after 2s
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/kv"
 	"github.com/brb-repro/brb/internal/metrics"
 	"github.com/brb-repro/brb/internal/netstore"
 	"github.com/brb-repro/brb/internal/randx"
@@ -65,6 +77,8 @@ func main() {
 	killAfter := flag.Duration("kill-after", 2*time.Second, "measurement time before the fault is injected")
 	restartAfter := flag.Duration("restart-after", 3*time.Second, "outage duration before the replica is restored")
 	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "cluster client's replica revival probe interval")
+	addShardAfter := flag.Duration("add-shard-after", 0, "measurement time before a new shard is added live (sharded mode; 0 = off)")
+	removeShardAfter := flag.Duration("remove-shard-after", 0, "measurement time before the highest shard is drained live (sharded mode; 0 = off)")
 	flag.Parse()
 
 	addrs := strings.Split(*serversFlag, ",")
@@ -97,14 +111,25 @@ func main() {
 		addrs[*killReplica] = proxy.addr()
 	}
 
+	rebalancing := *addShardAfter > 0 || *removeShardAfter > 0
+	if rebalancing && (*shards <= 0 || *killReplica >= 0) {
+		fmt.Fprintln(os.Stderr, "brb-load: -add-shard-after/-remove-shard-after need -shards > 0 and no -kill-replica")
+		os.Exit(2)
+	}
+
 	// dialStore connects one workload client in the selected mode: a flat
 	// task-aware client, or the sharded replica-aware cluster client.
 	var topo *cluster.Topology
-	var shardMap *cluster.ShardMap
+	var shardTopo *cluster.ShardTopology
 	if *shards > 0 {
-		shardMap, err = cluster.NewShardMap(cluster.ShardConfig{Shards: *shards, Replicas: *replication})
-		if err == nil && shardMap.NumServers() != len(addrs) {
+		shardTopo, err = cluster.NewShardTopology(cluster.ShardConfig{Shards: *shards, Replicas: *replication})
+		if err == nil && shardTopo.NumServers() != len(addrs) {
 			err = fmt.Errorf("%d addresses for %d shards × %d replicas", len(addrs), *shards, *replication)
+		}
+		if err == nil {
+			// Clients dial through the fault proxy when one is armed;
+			// the topology carries those client-facing addresses.
+			shardTopo, err = shardTopo.WithAddrs(addrs)
 		}
 	} else {
 		topo, err = cluster.New(cluster.Config{Servers: len(addrs), Replication: *replication})
@@ -113,14 +138,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brb-load:", err)
 		os.Exit(2)
 	}
+	if rebalancing {
+		// Epoch-versioned routing needs every server to hold the
+		// topology, so ownership checks and NotOwner/stray rejections are
+		// live before the epoch changes under the clients.
+		if err := netstore.PushTopology(shardTopo, netstore.RebalanceOptions{}); err != nil {
+			fmt.Fprintln(os.Stderr, "brb-load:", err)
+			os.Exit(2)
+		}
+	}
 	type store interface {
 		Set(key string, value []byte) error
 		Close()
 	}
 	dialStore := func(client int) (store, func([]string) (*netstore.TaskResult, error), error) {
-		if shardMap != nil {
-			c, err := netstore.DialCluster(addrs, netstore.ClusterOptions{
-				Shards: shardMap, Client: client, Clients: *clients, Assigner: assigner,
+		if shardTopo != nil {
+			c, err := netstore.DialCluster(nil, netstore.ClusterOptions{
+				Topology: shardTopo, Client: client, Clients: *clients, Assigner: assigner,
 				ProbeInterval: *probeInterval,
 			})
 			if err != nil {
@@ -187,6 +221,53 @@ func main() {
 			time.Sleep(*restartAfter)
 			proxy.restore()
 			log.Printf("fault: restored server %d", *killReplica)
+		}()
+	}
+	// Live rebalance: after the delay, grow (spawning the new shard's
+	// replica servers in-process) or drain a shard while the measurement
+	// clients keep issuing — they cross the epoch boundary via
+	// NotOwner/stray-triggered refreshes, no restart.
+	finalTopoCh := make(chan *cluster.ShardTopology, 1)
+	if rebalancing {
+		go func() {
+			var delay time.Duration
+			if *addShardAfter > 0 {
+				delay = *addShardAfter
+			} else {
+				delay = *removeShardAfter
+			}
+			time.Sleep(delay)
+			ropts := netstore.RebalanceOptions{Logf: log.Printf}
+			if *addShardAfter > 0 {
+				newID := shardTopo.NextShardID()
+				newAddrs := make([]string, *replication)
+				for r := range newAddrs {
+					srv := netstore.NewServer(kv.New(0), netstore.ServerOptions{
+						Workers: 4, Shard: newID, CheckShard: true,
+					})
+					ln, err := net.Listen("tcp", "127.0.0.1:0")
+					if err != nil {
+						log.Fatalf("brb-load: new shard listener: %v", err)
+					}
+					go func() { _ = srv.Serve(ln) }()
+					newAddrs[r] = ln.Addr().String()
+				}
+				log.Printf("rebalance: adding shard %d on %v", newID, newAddrs)
+				nt, err := netstore.AddShard(shardTopo, newAddrs, ropts)
+				if err != nil {
+					log.Fatalf("brb-load: add shard: %v", err)
+				}
+				finalTopoCh <- nt
+				return
+			}
+			ids := shardTopo.ShardIDs()
+			victim := ids[len(ids)-1]
+			log.Printf("rebalance: draining shard %d", victim)
+			nt, err := netstore.RemoveShard(shardTopo, victim, ropts)
+			if err != nil {
+				log.Fatalf("brb-load: remove shard: %v", err)
+			}
+			finalTopoCh <- nt
 		}()
 	}
 	for w := 0; w < *clients; w++ {
@@ -277,7 +358,16 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start)
 	if proxy != nil {
-		checkConvergence(shardMap, realAddrs, *killReplica / *replication, *keys)
+		checkConvergence(shardTopo, realAddrs, *killReplica / *replication, *keys)
+	}
+	if rebalancing {
+		select {
+		case nt := <-finalTopoCh:
+			checkOwnerConvergence(nt, *keys)
+		case <-time.After(30 * time.Second):
+			fmt.Println("rebalance: FAILED — migration did not finish within 30s of the run")
+			os.Exit(1)
+		}
 	}
 	s := hist.Summarize()
 	fmt.Printf("assigner=%s tasks=%d wall=%s throughput=%.0f tasks/s\n",
@@ -384,7 +474,7 @@ func (p *faultProxy) restore() {
 // (bypassing replica selection) and reports whether they hold identical
 // versions for the whole keyspace — the acceptance check of a recovery
 // run. Exits nonzero on divergence so CI can assert on it.
-func checkConvergence(m *cluster.ShardMap, realAddrs []string, shard, keys int) {
+func checkConvergence(m *cluster.ShardTopology, realAddrs []string, shard, keys int) {
 	var shardKeys []string
 	for i := 0; i < keys; i++ {
 		k := fmt.Sprintf("key:%d", i)
@@ -426,6 +516,57 @@ func checkConvergence(m *cluster.ShardMap, realAddrs []string, shard, keys int) 
 	}
 	fmt.Printf("convergence: OK — all %d replicas of shard %d agree on %d key versions\n",
 		m.Replicas(), shard, len(shardKeys))
+}
+
+// checkOwnerConvergence is the rebalance acceptance scan: after a live
+// AddShard/RemoveShard, every key must be found on every replica of its
+// NEW owner shard with identical versions. Exits nonzero otherwise so
+// CI can assert on it.
+func checkOwnerConvergence(t *cluster.ShardTopology, keys int) {
+	byShard := map[int][]string{}
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		byShard[t.ShardOfKey(k)] = append(byShard[t.ShardOfKey(k)], k)
+	}
+	bad := 0
+	for sh, ks := range byShard {
+		var ref []uint64
+		for r := 0; r < t.Replicas(); r++ {
+			addr := t.Addr(t.Server(sh, r))
+			vers, found, err := netstore.ScanVersions(addr, sh, ks, 5*time.Second)
+			if err != nil {
+				log.Printf("rebalance scan: shard %d replica %d (%s): %v", sh, r, addr, err)
+				os.Exit(1)
+			}
+			for i, k := range ks {
+				if !found[i] {
+					bad++
+					if bad <= 5 {
+						log.Printf("rebalance scan: %s missing on owner shard %d replica %d", k, sh, r)
+					}
+				}
+			}
+			if r == 0 {
+				ref = vers
+				continue
+			}
+			for i, k := range ks {
+				if vers[i] != ref[i] {
+					bad++
+					if bad <= 5 {
+						log.Printf("rebalance scan: %s diverged on shard %d: v%d vs v%d", k, sh, ref[i], vers[i])
+					}
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("rebalance: FAILED — %d ownership/version violations across %d keys (epoch %d)\n",
+			bad, keys, t.Epoch())
+		os.Exit(1)
+	}
+	fmt.Printf("rebalance: OK — epoch %d, every one of %d keys on its owner with all %d replicas agreeing\n",
+		t.Epoch(), keys, t.Replicas())
 }
 
 func fmtBytes(n uint64) string {

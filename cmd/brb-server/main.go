@@ -42,6 +42,8 @@ func main() {
 	discipline := flag.String("discipline", "priority", "scheduling discipline: priority | fifo")
 	base := flag.Duration("service-base", 0, "injected size-independent service time (0 = none)")
 	perByte := flag.Duration("service-perbyte", 0, "injected per-byte service time")
+	tombHorizon := flag.Duration("tombstone-horizon", 0, "drop delete tombstones older than this (0 = keep forever; must exceed the longest replay window)")
+	tombInterval := flag.Duration("tombstone-gc-interval", 0, "tombstone sweep tick (default horizon/10, floor 1s; each tick sweeps 1/64 of the store)")
 	flag.Parse()
 
 	var disc netstore.Discipline
@@ -54,7 +56,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "brb-server: unknown discipline %q\n", *discipline)
 		os.Exit(2)
 	}
-	opts := netstore.ServerOptions{Workers: *workers, Discipline: disc}
+	opts := netstore.ServerOptions{
+		Workers: *workers, Discipline: disc,
+		TombstoneGCHorizon: *tombHorizon, TombstoneGCInterval: *tombInterval,
+	}
 	if *shard >= 0 {
 		opts.Shard = *shard
 		opts.CheckShard = true

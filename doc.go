@@ -7,7 +7,8 @@
 // (internal/engine and friends), and a real goroutine-based networked data
 // store implementing the same scheduling (internal/netstore), deployable
 // as a sharded, replica-aware cluster (netstore.Cluster over
-// cluster.ShardMap, with C3-scored replica selection from internal/c3).
+// epoch-versioned cluster.ShardTopology, with C3-scored replica selection
+// from internal/c3 and live shard rebalancing via netstore.AddShard).
 // The benchmarks in bench_test.go regenerate every figure of the paper;
 // see README.md for a quickstart, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured results.

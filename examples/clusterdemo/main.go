@@ -30,7 +30,7 @@ func main() {
 		keys     = 500
 		tasks    = 600
 	)
-	shardMap := cluster.MustNewShardMap(cluster.ShardConfig{Shards: shards, Replicas: replicas})
+	shardMap := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: shards, Replicas: replicas})
 
 	// Size-dependent service time, as in the simulator's cost model.
 	delay := func(size int64) time.Duration {
@@ -66,7 +66,7 @@ func main() {
 
 	// Replica-aware cluster client with EqualMax task priorities.
 	client, err := netstore.DialCluster(addrs, netstore.ClusterOptions{
-		Shards:        shardMap,
+		Topology:      shardMap,
 		Assigner:      core.EqualMax{},
 		ServerWorkers: 2,
 	})

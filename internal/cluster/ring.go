@@ -8,11 +8,13 @@ import (
 
 // Ring is a consistent-hash ring mapping keys to shards. Each shard owns
 // VirtualNodes points on a 64-bit ring; a key belongs to the shard owning
-// the first point clockwise from the key's hash. Adding a shard therefore
-// moves only ~1/(shards+1) of the keyspace — the property that makes
-// future rebalancing PRs incremental — while FNV-1a hashing keeps the
-// mapping stable across runs and processes (the same guarantee
-// Topology.GroupOfKey gives the simulator).
+// the first point clockwise from the key's hash. Vnode positions depend
+// only on the shard's stable ID, so adding a shard moves only
+// ~1/(shards+1) of the keyspace and removing one moves only the removed
+// shard's arcs — the property the epoch-versioned ShardTopology's live
+// rebalancing relies on — while FNV-1a hashing keeps the mapping stable
+// across runs and processes (the same guarantee Topology.GroupOfKey
+// gives the simulator).
 type Ring struct {
 	shards int
 	points []ringPoint // sorted ascending by hash
@@ -23,24 +25,42 @@ type ringPoint struct {
 	shard int
 }
 
-// DefaultVirtualNodes is the per-shard vnode count when RingConfig leaves
-// it zero; 128 keeps shard imbalance within a few percent.
+// DefaultVirtualNodes is the per-shard vnode count when ShardConfig
+// leaves it zero; 128 keeps shard imbalance within a few percent.
 const DefaultVirtualNodes = 128
 
-// NewRing builds a ring over the given number of shards with vnodes
-// virtual nodes per shard (0 means DefaultVirtualNodes).
+// NewRing builds a ring over shard IDs 0..shards-1 with vnodes virtual
+// nodes per shard (0 means DefaultVirtualNodes).
 func NewRing(shards, vnodes int) (*Ring, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("cluster: ring needs a positive shard count, got %d", shards)
+	}
+	ids := make([]int, shards)
+	for i := range ids {
+		ids[i] = i
+	}
+	return NewRingOf(ids, vnodes)
+}
+
+// NewRingOf builds a ring over an explicit set of stable shard IDs.
+// Because a vnode's position is a function of the shard ID alone, two
+// rings sharing an ID place that shard's arcs identically: this is what
+// makes AddShard/RemoveShard move only the keys that must move.
+func NewRingOf(shardIDs []int, vnodes int) (*Ring, error) {
+	if len(shardIDs) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
 	}
 	if vnodes <= 0 {
 		vnodes = DefaultVirtualNodes
 	}
 	r := &Ring{
-		shards: shards,
-		points: make([]ringPoint, 0, shards*vnodes),
+		shards: len(shardIDs),
+		points: make([]ringPoint, 0, len(shardIDs)*vnodes),
 	}
-	for s := 0; s < shards; s++ {
+	for _, s := range shardIDs {
+		if s < 0 {
+			return nil, fmt.Errorf("cluster: negative shard ID %d", s)
+		}
 		for v := 0; v < vnodes; v++ {
 			r.points = append(r.points, ringPoint{hash: vnodeHash(s, v), shard: s})
 		}
@@ -59,7 +79,7 @@ func NewRing(shards, vnodes int) (*Ring, error) {
 // Shards returns the number of shards on the ring.
 func (r *Ring) Shards() int { return r.shards }
 
-// Shard maps a key to its owning shard. The FNV-1a string hash is
+// Shard maps a key to its owning shard ID. The FNV-1a string hash is
 // scrambled with a splitmix finalizer: FNV alone is uniform enough for
 // modulo placement (Topology.GroupOfKey) but leaves enough structure in
 // the high bits to skew ring-arc lookups.
@@ -100,103 +120,3 @@ func vnodeHash(shard, vnode int) uint64 {
 	z := uint64(shard)*0x9e3779b97f4a7c15 + uint64(vnode)*0xc2b2ae3d27d4eb4f
 	return mix64(mix64(z) + 0x165667b19e3779f9)
 }
-
-// ShardConfig configures a ShardMap.
-type ShardConfig struct {
-	// Shards is the number of shard groups (data partitions at the
-	// cluster level). Required.
-	Shards int
-	// Replicas is the number of replica servers per shard. Default 3,
-	// matching cluster.Config's replication default.
-	Replicas int
-	// VirtualNodes is the consistent-hash vnode count per shard
-	// (default DefaultVirtualNodes).
-	VirtualNodes int
-}
-
-func (c ShardConfig) withDefaults() ShardConfig {
-	if c.Replicas == 0 {
-		c.Replicas = 3
-	}
-	return c
-}
-
-// Validate reports whether the configuration is self-consistent.
-func (c ShardConfig) Validate() error {
-	c = c.withDefaults()
-	if c.Shards <= 0 {
-		return fmt.Errorf("cluster: Shards %d must be positive", c.Shards)
-	}
-	if c.Replicas <= 0 {
-		return fmt.Errorf("cluster: Replicas %d must be positive", c.Replicas)
-	}
-	return nil
-}
-
-// ShardMap lays out a sharded, replicated cluster: Shards shard groups of
-// Replicas servers each, flattened into a dense server-index space the
-// way a deployment lists addresses. Replica r of shard s is server
-// s·Replicas+r (block placement: every server holds exactly one shard's
-// data, unlike Topology's overlapping ring placement where every server
-// belongs to R groups). Keys map to shards by consistent hashing.
-type ShardMap struct {
-	shards   int
-	replicas int
-	ring     *Ring
-}
-
-// NewShardMap builds a ShardMap.
-func NewShardMap(c ShardConfig) (*ShardMap, error) {
-	if err := c.Validate(); err != nil {
-		return nil, err
-	}
-	c = c.withDefaults()
-	ring, err := NewRing(c.Shards, c.VirtualNodes)
-	if err != nil {
-		return nil, err
-	}
-	return &ShardMap{shards: c.Shards, replicas: c.Replicas, ring: ring}, nil
-}
-
-// MustNewShardMap is NewShardMap but panics on error; for tests and fixed
-// deployments that are known valid.
-func MustNewShardMap(c ShardConfig) *ShardMap {
-	m, err := NewShardMap(c)
-	if err != nil {
-		panic(err)
-	}
-	return m
-}
-
-// Shards returns the number of shard groups.
-func (m *ShardMap) Shards() int { return m.shards }
-
-// Replicas returns the replication factor.
-func (m *ShardMap) Replicas() int { return m.replicas }
-
-// NumServers returns the dense server count (Shards × Replicas).
-func (m *ShardMap) NumServers() int { return m.shards * m.replicas }
-
-// ShardOfKey maps a key to its shard group.
-func (m *ShardMap) ShardOfKey(key string) int { return m.ring.Shard(key) }
-
-// ShardOfKeyID maps a dense integer key ID to its shard group.
-func (m *ShardMap) ShardOfKeyID(id uint64) int { return m.ring.ShardOfID(id) }
-
-// Server returns the dense server index of replica r of shard s.
-func (m *ShardMap) Server(shard, replica int) int {
-	return shard*m.replicas + replica
-}
-
-// ReplicaServers returns the dense server indexes of a shard's replicas,
-// in replica order.
-func (m *ShardMap) ReplicaServers(shard int) []int {
-	out := make([]int, m.replicas)
-	for r := range out {
-		out[r] = m.Server(shard, r)
-	}
-	return out
-}
-
-// ShardOfServer returns the shard a dense server index belongs to.
-func (m *ShardMap) ShardOfServer(server int) int { return server / m.replicas }

@@ -85,57 +85,32 @@ func TestRingStability(t *testing.T) {
 	}
 }
 
-func TestShardMapLayout(t *testing.T) {
-	m := MustNewShardMap(ShardConfig{Shards: 3, Replicas: 2})
-	if m.NumServers() != 6 {
-		t.Fatalf("NumServers = %d, want 6", m.NumServers())
+// TestRingOfStableIDs: rings sharing a shard ID place that shard's arcs
+// identically, so a ring over {0,1,2} and one over {0,2} (shard 1
+// removed) agree wherever shard 1 did not own the key.
+func TestRingOfStableIDs(t *testing.T) {
+	full, err := NewRingOf([]int{0, 1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
 	}
-	seen := map[int]bool{}
-	for s := 0; s < m.Shards(); s++ {
-		reps := m.ReplicaServers(s)
-		if len(reps) != 2 {
-			t.Fatalf("shard %d has %d replicas", s, len(reps))
+	pruned, err := NewRingOf([]int{0, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		a, b := full.Shard(k), pruned.Shard(k)
+		if a != 1 && a != b {
+			t.Fatalf("%s moved from surviving shard %d to %d on removal", k, a, b)
 		}
-		for r, srv := range reps {
-			if srv != m.Server(s, r) {
-				t.Fatalf("ReplicaServers disagrees with Server for %d/%d", s, r)
-			}
-			if m.ShardOfServer(srv) != s {
-				t.Fatalf("ShardOfServer(%d) = %d, want %d", srv, m.ShardOfServer(srv), s)
-			}
-			if seen[srv] {
-				t.Fatalf("server %d assigned to two shards", srv)
-			}
-			seen[srv] = true
+		if b == 1 {
+			t.Fatalf("%s routed to the removed shard", k)
 		}
 	}
-	if len(seen) != 6 {
-		t.Fatalf("placement covers %d servers, want 6", len(seen))
+	if _, err := NewRingOf(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
 	}
-}
-
-func TestShardMapKeyRouting(t *testing.T) {
-	m := MustNewShardMap(ShardConfig{Shards: 4, Replicas: 3})
-	for i := 0; i < 1000; i++ {
-		k := fmt.Sprintf("track:%d", i)
-		s := m.ShardOfKey(k)
-		if s < 0 || s >= 4 {
-			t.Fatalf("shard %d out of range", s)
-		}
-		if m.ShardOfKey(k) != s {
-			t.Fatal("ShardOfKey not deterministic")
-		}
-	}
-}
-
-func TestShardConfigValidate(t *testing.T) {
-	if err := (ShardConfig{Shards: 0}).Validate(); err == nil {
-		t.Fatal("zero shards accepted")
-	}
-	if err := (ShardConfig{Shards: 3, Replicas: -1}).Validate(); err == nil {
-		t.Fatal("negative replicas accepted")
-	}
-	if err := (ShardConfig{Shards: 3}).Validate(); err != nil {
-		t.Fatalf("defaulted config rejected: %v", err)
+	if _, err := NewRingOf([]int{-1}, 0); err == nil {
+		t.Fatal("negative shard ID accepted")
 	}
 }

@@ -1,0 +1,418 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ShardConfig configures the initial epoch of a ShardTopology.
+type ShardConfig struct {
+	// Shards is the number of shard groups (data partitions at the
+	// cluster level). Required.
+	Shards int
+	// Replicas is the number of replica servers per shard. Default 3,
+	// matching cluster.Config's replication default.
+	Replicas int
+	// VirtualNodes is the consistent-hash vnode count per shard
+	// (default DefaultVirtualNodes).
+	VirtualNodes int
+}
+
+func (c ShardConfig) withDefaults() ShardConfig {
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.VirtualNodes <= 0 {
+		c.VirtualNodes = DefaultVirtualNodes
+	}
+	return c
+}
+
+// Validate reports whether the configuration is self-consistent.
+func (c ShardConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Shards <= 0 {
+		return fmt.Errorf("cluster: Shards %d must be positive", c.Shards)
+	}
+	if c.Replicas <= 0 {
+		return fmt.Errorf("cluster: Replicas %d must be positive", c.Replicas)
+	}
+	return nil
+}
+
+// ShardTopology is the epoch-versioned routing state of the networked
+// cluster: a consistent-hash ring over stable shard IDs, the shard →
+// replica-server assignment, each server's dial address, and a monotonic
+// epoch that advances on every membership change.
+//
+// A ShardTopology value is immutable; AddShard, RemoveShard and
+// WithAddrs return new values at a higher (or equal, for WithAddrs)
+// epoch. Shard IDs and server IDs are stable across epochs: a shard
+// that survives a rebalance keeps its ID, its ring arcs, and its
+// servers, so exactly the keys that must move do. Server IDs are dense
+// at epoch 1 (replica r of shard s is server s·R+r, the block placement
+// the deployment tooling lists addresses in) and allocated monotonically
+// afterwards; IDs of removed shards are retired, never reused.
+type ShardTopology struct {
+	epoch    uint64
+	replicas int
+	vnodes   int
+	shardIDs []int          // sorted, stable shard IDs
+	assign   map[int][]int  // shard ID -> server IDs in replica order
+	addrs    map[int]string // server ID -> dial address ("" = unbound)
+	srvShard map[int]int    // server ID -> shard ID
+	nextSrv  int            // next server ID to allocate
+	nextShrd int            // next shard ID to allocate
+	ring     *Ring
+}
+
+// NewShardTopology builds the epoch-1 topology of a fresh cluster:
+// shard IDs 0..Shards-1, replica r of shard s on server s·Replicas+r,
+// no addresses bound (see WithAddrs).
+func NewShardTopology(c ShardConfig) (*ShardTopology, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	c = c.withDefaults()
+	as := make([]ShardAssignment, c.Shards)
+	for s := 0; s < c.Shards; s++ {
+		servers := make([]int, c.Replicas)
+		for r := 0; r < c.Replicas; r++ {
+			servers[r] = s*c.Replicas + r
+		}
+		as[s] = ShardAssignment{ID: s, Servers: servers}
+	}
+	return AssembleTopology(1, c.Replicas, c.VirtualNodes, as)
+}
+
+// MustNewShardTopology is NewShardTopology but panics on error; for
+// tests and fixed deployments that are known valid.
+func MustNewShardTopology(c ShardConfig) *ShardTopology {
+	t, err := NewShardTopology(c)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ShardAssignment is one shard's row of the topology: its stable ID,
+// its replica servers in replica order, and (optionally) their dial
+// addresses. It is the unit the wire encoding carries.
+type ShardAssignment struct {
+	ID      int
+	Servers []int
+	Addrs   []string // empty or parallel to Servers
+}
+
+// Sanity ceilings on wire-supplied topology dimensions: AssembleTopology
+// presizes maps from replicas and NewRingOf materializes shards×vnodes
+// ring points, so an unchecked 32-bit count in a corrupt (or hostile)
+// Topo frame would amplify a ~50-byte message into a multi-GB
+// allocation. Real deployments sit orders of magnitude below these.
+const (
+	maxWireReplicas = 1024
+	maxWireVnodes   = 1 << 16
+)
+
+// AssembleTopology reconstructs a ShardTopology from its parts — the
+// decode half of the wire representation. Every shard must carry exactly
+// replicas servers; server IDs must be globally unique.
+func AssembleTopology(epoch uint64, replicas, vnodes int, shards []ShardAssignment) (*ShardTopology, error) {
+	if epoch == 0 {
+		return nil, fmt.Errorf("cluster: topology epoch must be positive")
+	}
+	if replicas <= 0 || replicas > maxWireReplicas {
+		return nil, fmt.Errorf("cluster: Replicas %d must be in [1,%d]", replicas, maxWireReplicas)
+	}
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: topology needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	if vnodes > maxWireVnodes {
+		return nil, fmt.Errorf("cluster: VirtualNodes %d exceeds %d", vnodes, maxWireVnodes)
+	}
+	t := &ShardTopology{
+		epoch:    epoch,
+		replicas: replicas,
+		vnodes:   vnodes,
+		assign:   make(map[int][]int, len(shards)),
+		addrs:    make(map[int]string),
+		srvShard: make(map[int]int, len(shards)*replicas),
+	}
+	for _, sa := range shards {
+		if sa.ID < 0 {
+			return nil, fmt.Errorf("cluster: negative shard ID %d", sa.ID)
+		}
+		if _, dup := t.assign[sa.ID]; dup {
+			return nil, fmt.Errorf("cluster: duplicate shard ID %d", sa.ID)
+		}
+		if len(sa.Servers) != replicas {
+			return nil, fmt.Errorf("cluster: shard %d has %d servers, want %d", sa.ID, len(sa.Servers), replicas)
+		}
+		if len(sa.Addrs) != 0 && len(sa.Addrs) != replicas {
+			return nil, fmt.Errorf("cluster: shard %d has %d addresses for %d servers", sa.ID, len(sa.Addrs), replicas)
+		}
+		servers := append([]int(nil), sa.Servers...)
+		for r, sid := range servers {
+			if sid < 0 {
+				return nil, fmt.Errorf("cluster: negative server ID %d", sid)
+			}
+			if _, dup := t.srvShard[sid]; dup {
+				return nil, fmt.Errorf("cluster: server %d assigned to two shards", sid)
+			}
+			t.srvShard[sid] = sa.ID
+			if len(sa.Addrs) != 0 {
+				t.addrs[sid] = sa.Addrs[r]
+			}
+			if sid >= t.nextSrv {
+				t.nextSrv = sid + 1
+			}
+		}
+		t.assign[sa.ID] = servers
+		t.shardIDs = append(t.shardIDs, sa.ID)
+		if sa.ID >= t.nextShrd {
+			t.nextShrd = sa.ID + 1
+		}
+	}
+	sort.Ints(t.shardIDs)
+	ring, err := NewRingOf(t.shardIDs, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	t.ring = ring
+	return t, nil
+}
+
+// clone copies the mutable maps so derived topologies never share state.
+func (t *ShardTopology) clone() *ShardTopology {
+	nt := &ShardTopology{
+		epoch:    t.epoch,
+		replicas: t.replicas,
+		vnodes:   t.vnodes,
+		shardIDs: append([]int(nil), t.shardIDs...),
+		assign:   make(map[int][]int, len(t.assign)),
+		addrs:    make(map[int]string, len(t.addrs)),
+		srvShard: make(map[int]int, len(t.srvShard)),
+		nextSrv:  t.nextSrv,
+		nextShrd: t.nextShrd,
+		ring:     t.ring,
+	}
+	for id, servers := range t.assign {
+		nt.assign[id] = append([]int(nil), servers...)
+	}
+	for sid, a := range t.addrs {
+		nt.addrs[sid] = a
+	}
+	for sid, sh := range t.srvShard {
+		nt.srvShard[sid] = sh
+	}
+	return nt
+}
+
+// WithAddrs returns a copy of the topology (same epoch) with dial
+// addresses bound to every server in dense order: sorted shard IDs,
+// replicas in replica order — the order `brb-server -shard s
+// -group-listen …` launches them and DialCluster lists them.
+func (t *ShardTopology) WithAddrs(addrs []string) (*ShardTopology, error) {
+	if len(addrs) != t.NumServers() {
+		return nil, fmt.Errorf("cluster: %d addresses for %d servers", len(addrs), t.NumServers())
+	}
+	nt := t.clone()
+	i := 0
+	for _, sh := range nt.shardIDs {
+		for _, sid := range nt.assign[sh] {
+			nt.addrs[sid] = addrs[i]
+			i++
+		}
+	}
+	return nt, nil
+}
+
+// NextShardID returns the ID AddShard will assign next — operators start
+// the new shard's servers with this ID before running the rebalance.
+func (t *ShardTopology) NextShardID() int { return t.nextShrd }
+
+// AddShard returns a new topology one epoch later with a fresh shard
+// (ID NextShardID) of Replicas new servers appended. addrs, when given,
+// are the new servers' dial addresses (len must equal Replicas); an
+// empty addrs leaves them unbound. Only keys whose ring arcs the new
+// shard claims move; every pre-existing shard keeps its keys.
+func (t *ShardTopology) AddShard(addrs ...string) (*ShardTopology, error) {
+	if len(addrs) != 0 && len(addrs) != t.replicas {
+		return nil, fmt.Errorf("cluster: AddShard got %d addresses for %d replicas", len(addrs), t.replicas)
+	}
+	nt := t.clone()
+	nt.epoch++
+	id := nt.nextShrd
+	nt.nextShrd++
+	servers := make([]int, nt.replicas)
+	for r := range servers {
+		sid := nt.nextSrv
+		nt.nextSrv++
+		servers[r] = sid
+		nt.srvShard[sid] = id
+		if len(addrs) != 0 {
+			nt.addrs[sid] = addrs[r]
+		}
+	}
+	nt.assign[id] = servers
+	nt.shardIDs = append(nt.shardIDs, id)
+	sort.Ints(nt.shardIDs)
+	ring, err := NewRingOf(nt.shardIDs, nt.vnodes)
+	if err != nil {
+		return nil, err
+	}
+	nt.ring = ring
+	return nt, nil
+}
+
+// RemoveShard returns a new topology one epoch later without the given
+// shard; its servers retire (IDs never reused) and its keyspace
+// redistributes across the survivors' existing arcs.
+func (t *ShardTopology) RemoveShard(shardID int) (*ShardTopology, error) {
+	if _, ok := t.assign[shardID]; !ok {
+		return nil, fmt.Errorf("cluster: RemoveShard: no shard %d", shardID)
+	}
+	if len(t.shardIDs) <= 1 {
+		return nil, fmt.Errorf("cluster: cannot remove the last shard")
+	}
+	nt := t.clone()
+	nt.epoch++
+	for _, sid := range nt.assign[shardID] {
+		delete(nt.srvShard, sid)
+		delete(nt.addrs, sid)
+	}
+	delete(nt.assign, shardID)
+	ids := nt.shardIDs[:0]
+	for _, id := range nt.shardIDs {
+		if id != shardID {
+			ids = append(ids, id)
+		}
+	}
+	nt.shardIDs = ids
+	ring, err := NewRingOf(nt.shardIDs, nt.vnodes)
+	if err != nil {
+		return nil, err
+	}
+	nt.ring = ring
+	return nt, nil
+}
+
+// Epoch returns the topology's monotonic version. Higher epochs always
+// supersede lower ones; equal epochs describe identical placements.
+func (t *ShardTopology) Epoch() uint64 { return t.epoch }
+
+// Shards returns the number of shard groups.
+func (t *ShardTopology) Shards() int { return len(t.shardIDs) }
+
+// ShardIDs returns the stable shard IDs in ascending order. The caller
+// must not modify the returned slice.
+func (t *ShardTopology) ShardIDs() []int { return t.shardIDs }
+
+// HasShard reports whether the topology contains the given shard.
+func (t *ShardTopology) HasShard(id int) bool {
+	_, ok := t.assign[id]
+	return ok
+}
+
+// Replicas returns the replication factor.
+func (t *ShardTopology) Replicas() int { return t.replicas }
+
+// VirtualNodes returns the per-shard vnode count of the ring.
+func (t *ShardTopology) VirtualNodes() int { return t.vnodes }
+
+// NumServers returns the number of active (non-retired) servers.
+func (t *ShardTopology) NumServers() int { return len(t.srvShard) }
+
+// Servers returns the active server IDs in dense order (sorted shard
+// IDs, replica order) — the order WithAddrs binds addresses in.
+func (t *ShardTopology) Servers() []int {
+	out := make([]int, 0, len(t.srvShard))
+	for _, sh := range t.shardIDs {
+		out = append(out, t.assign[sh]...)
+	}
+	return out
+}
+
+// ShardOfKey maps a key to its owning shard ID.
+func (t *ShardTopology) ShardOfKey(key string) int { return t.ring.Shard(key) }
+
+// ShardOfKeyID maps a dense integer key ID to its owning shard ID.
+func (t *ShardTopology) ShardOfKeyID(id uint64) int { return t.ring.ShardOfID(id) }
+
+// Server returns the server ID of replica r of the given shard.
+func (t *ShardTopology) Server(shardID, replica int) int {
+	return t.assign[shardID][replica]
+}
+
+// ReplicaServers returns the server IDs of a shard's replicas, in
+// replica order. The caller must not modify the returned slice.
+func (t *ShardTopology) ReplicaServers(shardID int) []int {
+	return t.assign[shardID]
+}
+
+// ShardOfServer returns the shard a server belongs to, or -1 for
+// retired/unknown server IDs.
+func (t *ShardTopology) ShardOfServer(sid int) int {
+	sh, ok := t.srvShard[sid]
+	if !ok {
+		return -1
+	}
+	return sh
+}
+
+// Addr returns a server's dial address ("" while unbound).
+func (t *ShardTopology) Addr(sid int) string { return t.addrs[sid] }
+
+// Equal reports whether two topologies describe the same epoch,
+// replication, placement and addresses. Within one cluster lineage the
+// epoch alone identifies a topology; Equal exists for the off-lineage
+// case — a client configured with a topology the cluster never had
+// (misconfiguration) compares what a server sent against what it holds.
+func (t *ShardTopology) Equal(o *ShardTopology) bool {
+	if o == nil {
+		return false
+	}
+	if t.epoch != o.epoch || t.replicas != o.replicas || t.vnodes != o.vnodes ||
+		len(t.shardIDs) != len(o.shardIDs) {
+		return false
+	}
+	for i, id := range t.shardIDs {
+		if o.shardIDs[i] != id {
+			return false
+		}
+		a, b := t.assign[id], o.assign[id]
+		for r := range a {
+			if a[r] != b[r] || t.addrs[a[r]] != o.addrs[b[r]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Assignments exports the topology's shard rows (the encode half of the
+// wire representation), in ascending shard-ID order, with addresses when
+// every server of the shard has one bound.
+func (t *ShardTopology) Assignments() []ShardAssignment {
+	out := make([]ShardAssignment, 0, len(t.shardIDs))
+	for _, sh := range t.shardIDs {
+		servers := append([]int(nil), t.assign[sh]...)
+		sa := ShardAssignment{ID: sh, Servers: servers}
+		addrs := make([]string, len(servers))
+		bound := 0
+		for i, sid := range servers {
+			addrs[i] = t.addrs[sid]
+			if addrs[i] != "" {
+				bound++
+			}
+		}
+		if bound == len(servers) {
+			sa.Addrs = addrs
+		}
+		out = append(out, sa)
+	}
+	return out
+}

@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardTopologyLayout(t *testing.T) {
+	m := MustNewShardTopology(ShardConfig{Shards: 3, Replicas: 2})
+	if m.Epoch() != 1 {
+		t.Fatalf("fresh topology epoch = %d, want 1", m.Epoch())
+	}
+	if m.NumServers() != 6 {
+		t.Fatalf("NumServers = %d, want 6", m.NumServers())
+	}
+	seen := map[int]bool{}
+	for _, s := range m.ShardIDs() {
+		reps := m.ReplicaServers(s)
+		if len(reps) != 2 {
+			t.Fatalf("shard %d has %d replicas", s, len(reps))
+		}
+		for r, srv := range reps {
+			if srv != m.Server(s, r) {
+				t.Fatalf("ReplicaServers disagrees with Server for %d/%d", s, r)
+			}
+			if srv != s*2+r {
+				t.Fatalf("epoch-1 placement not block layout: shard %d replica %d on server %d", s, r, srv)
+			}
+			if m.ShardOfServer(srv) != s {
+				t.Fatalf("ShardOfServer(%d) = %d, want %d", srv, m.ShardOfServer(srv), s)
+			}
+			if seen[srv] {
+				t.Fatalf("server %d assigned to two shards", srv)
+			}
+			seen[srv] = true
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("placement covers %d servers, want 6", len(seen))
+	}
+	if m.ShardOfServer(99) != -1 {
+		t.Fatal("unknown server not reported as retired")
+	}
+}
+
+func TestShardTopologyKeyRouting(t *testing.T) {
+	m := MustNewShardTopology(ShardConfig{Shards: 4, Replicas: 3})
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("track:%d", i)
+		s := m.ShardOfKey(k)
+		if !m.HasShard(s) {
+			t.Fatalf("shard %d not in topology", s)
+		}
+		if m.ShardOfKey(k) != s {
+			t.Fatal("ShardOfKey not deterministic")
+		}
+	}
+}
+
+func TestShardConfigValidate(t *testing.T) {
+	if err := (ShardConfig{Shards: 0}).Validate(); err == nil {
+		t.Fatal("zero shards accepted")
+	}
+	if err := (ShardConfig{Shards: 3, Replicas: -1}).Validate(); err == nil {
+		t.Fatal("negative replicas accepted")
+	}
+	if err := (ShardConfig{Shards: 3}).Validate(); err != nil {
+		t.Fatalf("defaulted config rejected: %v", err)
+	}
+}
+
+// TestShardTopologyAddShard: the epoch advances, the new shard gets
+// fresh server IDs, and only keys claimed by the new shard move.
+func TestShardTopologyAddShard(t *testing.T) {
+	old := MustNewShardTopology(ShardConfig{Shards: 3, Replicas: 2})
+	next, err := old.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != old.Epoch()+1 {
+		t.Fatalf("epoch %d after AddShard on epoch %d", next.Epoch(), old.Epoch())
+	}
+	if old.Shards() != 3 || old.NumServers() != 6 {
+		t.Fatal("AddShard mutated its receiver")
+	}
+	newID := old.NextShardID()
+	if !next.HasShard(newID) || next.Shards() != 4 {
+		t.Fatalf("new shard %d missing: ids %v", newID, next.ShardIDs())
+	}
+	for _, sid := range next.ReplicaServers(newID) {
+		if old.ShardOfServer(sid) != -1 {
+			t.Fatalf("new shard reuses server %d", sid)
+		}
+	}
+	moved, movedWrong := 0, 0
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		a, b := old.ShardOfKey(k), next.ShardOfKey(k)
+		if a != b {
+			moved++
+			if b != newID {
+				movedWrong++
+			}
+		}
+	}
+	if movedWrong > 0 {
+		t.Fatalf("%d keys moved between pre-existing shards", movedWrong)
+	}
+	if frac := float64(moved) / keys; frac > 0.45 || frac == 0 {
+		t.Fatalf("adding one shard to 3 moved %.1f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+// TestShardTopologyRemoveShard: only the removed shard's keys move, its
+// servers retire, and the last shard cannot be removed.
+func TestShardTopologyRemoveShard(t *testing.T) {
+	old := MustNewShardTopology(ShardConfig{Shards: 3, Replicas: 2})
+	next, err := old.RemoveShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Epoch() != old.Epoch()+1 || next.Shards() != 2 || next.HasShard(1) {
+		t.Fatalf("bad removal result: epoch %d shards %v", next.Epoch(), next.ShardIDs())
+	}
+	for _, sid := range old.ReplicaServers(1) {
+		if next.ShardOfServer(sid) != -1 {
+			t.Fatalf("server %d of removed shard still assigned", sid)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		a, b := old.ShardOfKey(k), next.ShardOfKey(k)
+		if a != 1 && a != b {
+			t.Fatalf("%s moved off surviving shard %d", k, a)
+		}
+		if b == 1 {
+			t.Fatalf("%s still routed to removed shard", k)
+		}
+	}
+	if _, err := old.RemoveShard(9); err == nil {
+		t.Fatal("removing an unknown shard accepted")
+	}
+	one := MustNewShardTopology(ShardConfig{Shards: 1, Replicas: 1})
+	if _, err := one.RemoveShard(0); err == nil {
+		t.Fatal("removing the last shard accepted")
+	}
+}
+
+// TestShardTopologyAddAfterRemove: IDs retire permanently — re-adding
+// after a removal allocates a fresh shard ID and fresh server IDs.
+func TestShardTopologyAddAfterRemove(t *testing.T) {
+	t0 := MustNewShardTopology(ShardConfig{Shards: 2, Replicas: 2})
+	t1, err := t0.RemoveShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := t1.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t2.HasShard(1) {
+		t.Fatal("removed shard ID reused")
+	}
+	if got := t2.ShardIDs(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("shard IDs after remove+add: %v, want [0 2]", got)
+	}
+	for _, sid := range t2.ReplicaServers(2) {
+		if sid < 4 {
+			t.Fatalf("retired server ID %d reused", sid)
+		}
+	}
+	if t2.Epoch() != 3 {
+		t.Fatalf("epoch %d after two changes, want 3", t2.Epoch())
+	}
+}
+
+func TestShardTopologyAddrsAndAssemble(t *testing.T) {
+	t0 := MustNewShardTopology(ShardConfig{Shards: 2, Replicas: 2})
+	addrs := []string{"a:1", "a:2", "b:1", "b:2"}
+	bound, err := t0.WithAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.Epoch() != t0.Epoch() {
+		t.Fatal("WithAddrs changed the epoch")
+	}
+	for i, sid := range bound.Servers() {
+		if bound.Addr(sid) != addrs[i] {
+			t.Fatalf("server %d addr %q, want %q", sid, bound.Addr(sid), addrs[i])
+		}
+	}
+	if _, err := t0.WithAddrs(addrs[:3]); err == nil {
+		t.Fatal("short address list accepted")
+	}
+
+	grown, err := bound.AddShard("c:1", "c:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the export/assemble pair (the wire path).
+	re, err := AssembleTopology(grown.Epoch(), grown.Replicas(), grown.VirtualNodes(), grown.Assignments())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Epoch() != grown.Epoch() || re.Shards() != grown.Shards() || re.NumServers() != grown.NumServers() {
+		t.Fatalf("assemble mismatch: %d/%d/%d vs %d/%d/%d",
+			re.Epoch(), re.Shards(), re.NumServers(), grown.Epoch(), grown.Shards(), grown.NumServers())
+	}
+	for _, sid := range grown.Servers() {
+		if re.Addr(sid) != grown.Addr(sid) || re.ShardOfServer(sid) != grown.ShardOfServer(sid) {
+			t.Fatalf("server %d not preserved through assemble", sid)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if re.ShardOfKey(k) != grown.ShardOfKey(k) {
+			t.Fatalf("%s routed differently after assemble", k)
+		}
+	}
+	// Assemble validation.
+	if _, err := AssembleTopology(0, 2, 0, grown.Assignments()); err == nil {
+		t.Fatal("epoch 0 accepted")
+	}
+	if _, err := AssembleTopology(1, 2, 0, nil); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	if _, err := AssembleTopology(1, 2, 0, []ShardAssignment{
+		{ID: 0, Servers: []int{0, 1}}, {ID: 1, Servers: []int{1, 2}},
+	}); err == nil {
+		t.Fatal("server in two shards accepted")
+	}
+}

@@ -16,6 +16,9 @@ package kv
 import (
 	"hash/fnv"
 	"sync"
+	"time"
+
+	"github.com/brb-repro/brb/internal/metrics"
 )
 
 const defaultShards = 64
@@ -23,6 +26,14 @@ const defaultShards = 64
 // Store is a sharded in-memory key-value store, safe for concurrent use.
 type Store struct {
 	shards []shard
+
+	// Tombstone GC state (StartTombstoneGC); gcMu orders starts against
+	// Stop so a late Start cannot race Stop's Wait and a double Stop
+	// cannot double-close.
+	gcMu      sync.Mutex
+	gcStop    chan struct{}
+	gcStopped bool
+	gcWG      sync.WaitGroup
 }
 
 type shard struct {
@@ -33,11 +44,13 @@ type shard struct {
 // entry is one key's state: the value, its write version, and whether
 // the latest versioned write was a delete (tombstone). Tombstones keep
 // the version so late-arriving older Sets lose; they are invisible to
-// Get/Len/Keys.
+// Get/Len/Keys. deadAt records when the tombstone was laid, so the GC
+// sweep can age it out.
 type entry struct {
-	val  []byte
-	ver  uint64
-	dead bool
+	val    []byte
+	ver    uint64
+	dead   bool
+	deadAt int64 // unix nanos of the tombstoning, 0 for live entries
 }
 
 // New returns a store with the given shard count (0 = 64). More shards
@@ -149,7 +162,7 @@ func (s *Store) DeleteVersion(key string, ver uint64) bool {
 		sh.mu.Unlock()
 		return false
 	}
-	sh.m[key] = entry{ver: ver, dead: true}
+	sh.m[key] = entry{ver: ver, dead: true, deadAt: time.Now().UnixNano()}
 	sh.mu.Unlock()
 	return true
 }
@@ -184,5 +197,134 @@ func (s *Store) Keys(fn func(key string) bool) {
 			}
 		}
 		s.shards[i].mu.RUnlock()
+	}
+}
+
+// NumShards returns the store's internal shard count — the cursor space
+// of ScanShard.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ScanShard calls fn for every entry of internal shard i — live entries
+// AND tombstones (dead=true, val=nil), since a migration stream must
+// carry deletes or a moved key could resurrect on its new owner. fn runs
+// under the shard's read lock: it must be fast and must not call back
+// into the store. Returned values alias stored slices and must not be
+// modified; they remain valid after the scan (the store never mutates a
+// stored value in place). Iterating shard by shard gives a natural
+// paging unit: one ScanShard is ~1/NumShards of the keyspace.
+func (s *Store) ScanShard(i int, fn func(key string, val []byte, ver uint64, dead bool) bool) {
+	if i < 0 || i >= len(s.shards) {
+		return
+	}
+	sh := &s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	for k, e := range sh.m {
+		if !fn(k, e.val, e.ver, e.dead) {
+			return
+		}
+	}
+}
+
+// TombstoneCount returns the number of tombstoned entries (operations
+// and test hook).
+func (s *Store) TombstoneCount() int {
+	n := 0
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+		for _, e := range s.shards[i].m {
+			if e.dead {
+				n++
+			}
+		}
+		s.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+var tombstonesSwept = metrics.GetCounter("kv_tombstones_swept_total")
+
+// StartTombstoneGC begins a bounded periodic sweep that drops tombstones
+// older than horizon: every interval, ONE internal shard is swept (round
+// robin), so a tick's work is ~1/NumShards of the keyspace and a full
+// pass takes NumShards intervals. It returns a stop function (idempotent;
+// Stop also runs it).
+//
+// Dropping a tombstone forgets the delete's version, so a versioned
+// write older than the delete that replays AFTER the sweep could
+// resurrect the key. The horizon must therefore exceed the longest
+// plausible replay delay (hinted-handoff revival plus read-repair lag);
+// hours in production, milliseconds only in tests.
+func (s *Store) StartTombstoneGC(horizon, interval time.Duration) (stop func()) {
+	if horizon <= 0 || interval <= 0 {
+		return func() {}
+	}
+	stopCh := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(stopCh) }) }
+	s.gcMu.Lock()
+	if s.gcStopped {
+		s.gcMu.Unlock()
+		return func() {}
+	}
+	if s.gcStop == nil {
+		s.gcStop = make(chan struct{})
+	}
+	s.gcWG.Add(1)
+	globalStop := s.gcStop
+	s.gcMu.Unlock()
+	go func() {
+		defer s.gcWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		cursor := 0
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-globalStop:
+				return
+			case <-ticker.C:
+			}
+			s.sweepShard(cursor, time.Now().Add(-horizon).UnixNano())
+			cursor = (cursor + 1) % len(s.shards)
+		}
+	}()
+	return stop
+}
+
+// Stop terminates every sweeper started by StartTombstoneGC and waits
+// for them. Safe to call with none running, concurrently, and more
+// than once; Starts after Stop are no-ops.
+func (s *Store) Stop() {
+	s.gcMu.Lock()
+	if !s.gcStopped {
+		s.gcStopped = true
+		if s.gcStop != nil {
+			close(s.gcStop)
+		}
+	}
+	s.gcMu.Unlock()
+	s.gcWG.Wait()
+}
+
+// sweepShard drops every tombstone in internal shard i laid before
+// cutoff (unix nanos).
+func (s *Store) sweepShard(i int, cutoff int64) {
+	if i < 0 || i >= len(s.shards) {
+		return
+	}
+	sh := &s.shards[i]
+	swept := 0
+	sh.mu.Lock()
+	for k, e := range sh.m {
+		if e.dead && e.deadAt < cutoff {
+			delete(sh.m, k)
+			swept++
+		}
+	}
+	sh.mu.Unlock()
+	if swept > 0 {
+		tombstonesSwept.Add(uint64(swept))
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestSetGet(t *testing.T) {
@@ -239,4 +240,115 @@ func BenchmarkSetParallel(b *testing.B) {
 			i++
 		}
 	})
+}
+
+// ScanShard enumerates every entry of one internal shard — live and
+// tombstoned — and the shard cursor space covers the whole store.
+func TestScanShard(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 100; i++ {
+		s.SetVersion(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i)), uint64(i+1))
+	}
+	if !s.DeleteVersion("k7", 1000) {
+		t.Fatal("delete did not apply")
+	}
+	if s.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", s.NumShards())
+	}
+	seen := map[string]uint64{}
+	deadSeen := false
+	for i := 0; i < s.NumShards(); i++ {
+		s.ScanShard(i, func(k string, v []byte, ver uint64, dead bool) bool {
+			if _, dup := seen[k]; dup {
+				t.Fatalf("key %s scanned twice", k)
+			}
+			seen[k] = ver
+			if k == "k7" {
+				if !dead || v != nil || ver != 1000 {
+					t.Fatalf("tombstone scanned wrong: dead=%v v=%q ver=%d", dead, v, ver)
+				}
+				deadSeen = true
+			} else if dead {
+				t.Fatalf("live key %s scanned dead", k)
+			} else if string(v) != "v"+k[1:] {
+				t.Fatalf("key %s scanned value %q", k, v)
+			}
+			return true
+		})
+	}
+	if len(seen) != 100 {
+		t.Fatalf("scan covered %d entries, want 100", len(seen))
+	}
+	if !deadSeen {
+		t.Fatal("tombstone not scanned")
+	}
+	// Out-of-range cursors are a no-op, not a panic.
+	s.ScanShard(-1, func(string, []byte, uint64, bool) bool { t.Fatal("called"); return false })
+	s.ScanShard(99, func(string, []byte, uint64, bool) bool { t.Fatal("called"); return false })
+}
+
+// Tombstones older than the horizon are swept; fresh ones survive, and
+// a swept key can be re-set.
+func TestTombstoneGC(t *testing.T) {
+	s := New(1) // single internal shard: one sweep tick covers everything
+	defer s.Stop()
+	s.SetVersion("old", []byte("x"), 1)
+	s.DeleteVersion("old", 2)
+	if s.TombstoneCount() != 1 {
+		t.Fatalf("tombstones = %d, want 1", s.TombstoneCount())
+	}
+	// Horizon 30ms: wait until the old tombstone is past it, lay a fresh
+	// one, and let the sweeper run.
+	stop := s.StartTombstoneGC(30*time.Millisecond, 5*time.Millisecond)
+	defer stop()
+	time.Sleep(60 * time.Millisecond)
+	s.SetVersion("fresh", []byte("y"), 1)
+	s.DeleteVersion("fresh", 2)
+	deadline := time.Now().Add(2 * time.Second)
+	for s.TombstoneCount() != 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := s.TombstoneCount(); n != 1 {
+		t.Fatalf("tombstones after sweep = %d, want 1 (only the fresh one)", n)
+	}
+	if _, _, ok := s.GetVersion("fresh"); ok {
+		t.Fatal("fresh tombstone readable")
+	}
+	// The swept key's version is forgotten: an old-version write CAN now
+	// apply — the documented horizon trade-off.
+	if !s.SetVersion("old", []byte("back"), 1) {
+		t.Fatal("write to swept key rejected")
+	}
+	if v, _ := s.Get("old"); string(v) != "back" {
+		t.Fatal("swept key not writable")
+	}
+}
+
+// The sweep is bounded: one internal shard per tick.
+func TestTombstoneGCRoundRobin(t *testing.T) {
+	s := New(8)
+	defer s.Stop()
+	for i := 0; i < 64; i++ {
+		s.DeleteVersion(fmt.Sprintf("k%d", i), uint64(i+1))
+	}
+	time.Sleep(2 * time.Millisecond)
+	// Sweep manually with an immediate cutoff: each call clears one shard.
+	cleared := s.TombstoneCount()
+	if cleared != 64 {
+		t.Fatalf("tombstones = %d, want 64", cleared)
+	}
+	s.sweepShard(0, time.Now().UnixNano())
+	after := s.TombstoneCount()
+	if after == 64 {
+		t.Fatal("sweep of shard 0 cleared nothing (all 64 tombstones missed it?)")
+	}
+	if after == 0 {
+		t.Fatal("one shard sweep cleared every shard")
+	}
+	for i := 1; i < s.NumShards(); i++ {
+		s.sweepShard(i, time.Now().UnixNano())
+	}
+	if n := s.TombstoneCount(); n != 0 {
+		t.Fatalf("tombstones after full pass = %d, want 0", n)
+	}
 }

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a process-wide monotonic event counter. Counters are cheap
+// enough for hot paths (one atomic add) and registered by name so
+// operational tooling can snapshot them all at once.
+type Counter struct{ n atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.n.Add(d) }
+
+// Load returns the current count.
+func (c *Counter) Load() uint64 { return c.n.Load() }
+
+var counterRegistry sync.Map // string -> *Counter
+
+// GetCounter returns the process-wide counter registered under name,
+// creating it on first use. Callers should capture the result in a
+// package variable rather than re-resolving per event.
+func GetCounter(name string) *Counter {
+	if c, ok := counterRegistry.Load(name); ok {
+		return c.(*Counter)
+	}
+	c, _ := counterRegistry.LoadOrStore(name, new(Counter))
+	return c.(*Counter)
+}
+
+// CounterValue reads a named counter (0 if never registered).
+func CounterValue(name string) uint64 {
+	if c, ok := counterRegistry.Load(name); ok {
+		return c.(*Counter).Load()
+	}
+	return 0
+}
+
+// Counters snapshots every registered counter.
+func Counters() map[string]uint64 {
+	out := make(map[string]uint64)
+	counterRegistry.Range(func(k, v any) bool {
+		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	return out
+}
+
+// CounterNames returns the registered counter names, sorted — for
+// stable operational dumps.
+func CounterNames() []string {
+	var names []string
+	counterRegistry.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

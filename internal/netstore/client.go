@@ -110,12 +110,13 @@ func (c *Client) Close() {
 }
 
 // Set writes a key to every replica of its group, stamped with one
-// version so all replicas store identical state for the write.
+// version so all replicas store identical state for the write. The flat
+// client is not epoch-routed: its Sets carry a zero Shard/Epoch header.
 func (c *Client) Set(key string, value []byte) error {
 	g := c.opts.Topology.GroupOfKey(key)
 	ver := c.versions.next()
 	for _, sid := range c.opts.Topology.Replicas(g) {
-		if err := c.conns[sid].set(key, value, ver); err != nil {
+		if err := c.conns[sid].set(key, value, ver, writeRoute{}, 0); err != nil {
 			return err
 		}
 	}
@@ -131,7 +132,7 @@ func (c *Client) Delete(key string) error {
 	g := c.opts.Topology.GroupOfKey(key)
 	ver := c.versions.next()
 	for _, sid := range c.opts.Topology.Replicas(g) {
-		if err := c.conns[sid].del(key, ver); err != nil {
+		if err := c.conns[sid].del(key, ver, writeRoute{}, 0); err != nil {
 			return err
 		}
 	}
@@ -359,6 +360,26 @@ func (c *Client) headroom(s cluster.ServerID) float64 {
 // (test hook).
 func (c *Client) Outstanding(s cluster.ServerID) int64 { return c.outstanding[s].Load() }
 
+// NotOwnerError is a write rejection by a server that does not own the
+// key under its (newer) topology: the caller should refresh its cached
+// topology and re-route. Epoch is the server's topology epoch;
+// OwnerShard is where the server believes the key lives.
+type NotOwnerError struct {
+	Epoch      uint64
+	OwnerShard int
+}
+
+func (e *NotOwnerError) Error() string {
+	return fmt.Sprintf("netstore: server does not own key (its epoch %d says shard %d)", e.Epoch, e.OwnerShard)
+}
+
+// writeRoute is the topology routing header stamped on Set/Del frames;
+// the zero value means "not epoch-routed" (flat clients, legacy loads).
+type writeRoute struct {
+	shard int
+	epoch uint64
+}
+
 // serverConn multiplexes batches over one TCP connection. Outbound
 // frames ride a coalescing ConnWriter: concurrent sub-task goroutines
 // queue their batches into one buffer and share Write syscalls.
@@ -369,7 +390,8 @@ type serverConn struct {
 	mu       sync.Mutex
 	nextID   uint64
 	pending  map[uint64]chan *wire.BatchResp
-	pendAck  map[uint64]chan struct{} // Set and Del acknowledgments
+	pendAck  map[uint64]chan error      // Set/Del acks (nil) or NotOwner rejections
+	pendTopo map[uint64]chan *wire.Topo // TopoGet replies
 	closed   bool
 	closeErr error
 }
@@ -383,10 +405,11 @@ func newServerConn(conn net.Conn) *serverConn {
 // Ping/Pong on, so no buffered byte is lost in the swap.
 func newServerConnReader(conn net.Conn, r *bufio.Reader) *serverConn {
 	sc := &serverConn{
-		conn:    conn,
-		w:       wire.NewConnWriter(conn),
-		pending: make(map[uint64]chan *wire.BatchResp),
-		pendAck: make(map[uint64]chan struct{}),
+		conn:     conn,
+		w:        wire.NewConnWriter(conn),
+		pending:  make(map[uint64]chan *wire.BatchResp),
+		pendAck:  make(map[uint64]chan error),
+		pendTopo: make(map[uint64]chan *wire.Topo),
 	}
 	go sc.readLoop(r)
 	return sc
@@ -405,8 +428,12 @@ func (sc *serverConn) readLoop(r *bufio.Reader) {
 			for _, ch := range sc.pendAck {
 				close(ch)
 			}
+			for _, ch := range sc.pendTopo {
+				close(ch)
+			}
 			sc.pending = map[uint64]chan *wire.BatchResp{}
-			sc.pendAck = map[uint64]chan struct{}{}
+			sc.pendAck = map[uint64]chan error{}
+			sc.pendTopo = map[uint64]chan *wire.Topo{}
 			sc.mu.Unlock()
 			return
 		}
@@ -430,9 +457,22 @@ func (sc *serverConn) readLoop(r *bufio.Reader) {
 			default:
 			}
 		case *wire.SetResp:
-			sc.ack(m.Seq)
+			sc.ack(m.Seq, nil)
 		case *wire.DelResp:
-			sc.ack(m.Seq)
+			sc.ack(m.Seq, nil)
+		case *wire.NotOwner:
+			sc.ack(m.ID, &NotOwnerError{Epoch: m.Epoch, OwnerShard: int(m.Hint)})
+		case *wire.Topo:
+			sc.mu.Lock()
+			ch, live := sc.pendTopo[m.Seq]
+			delete(sc.pendTopo, m.Seq)
+			sc.mu.Unlock()
+			if live {
+				select {
+				case ch <- m:
+				default:
+				}
+			}
 		}
 	}
 }
@@ -465,26 +505,33 @@ func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 	return resp, nil
 }
 
-// ack delivers a write acknowledgment (SetResp or DelResp — they share
-// the connection's seq space) to its waiter.
-func (sc *serverConn) ack(seq uint64) {
+// ack delivers a write acknowledgment (SetResp/DelResp, result nil) or
+// rejection (NotOwner, result non-nil) to its waiter; Set and Del share
+// the connection's seq space.
+func (sc *serverConn) ack(seq uint64, result error) {
 	sc.mu.Lock()
 	ch, live := sc.pendAck[seq]
 	delete(sc.pendAck, seq)
 	sc.mu.Unlock()
 	if live {
 		select {
-		case ch <- struct{}{}:
+		case ch <- result:
 		default:
 		}
 	}
 }
 
 // awaitAck registers an ack channel under a fresh seq, sends the message
-// built from that seq, and blocks until the server acknowledges it or
-// the connection dies.
-func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string) error {
-	ch := make(chan struct{}, 1)
+// built from that seq, and blocks until the server acknowledges or
+// rejects it, the connection dies, or (timeout > 0) the wait expires.
+// Foreground writes pass timeout 0 — they block until the connection
+// resolves, the pre-existing semantics; background repair traffic
+// (hint replay/re-route, read-repair) bounds its waits so one wedged
+// server cannot capture the prober or a repair slot forever. On
+// timeout the waiter deregisters; a late verdict parks harmlessly in
+// the buffered channel.
+func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string, timeout time.Duration) error {
+	ch := make(chan error, 1)
 	sc.mu.Lock()
 	if sc.closed {
 		sc.mu.Unlock()
@@ -500,28 +547,89 @@ func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string)
 		sc.mu.Unlock()
 		return err
 	}
-	// A signal on the channel is the acknowledgment; the read loop
-	// closing it instead means the connection died with the write
-	// unacknowledged — an error, not success.
-	if _, acked := <-ch; !acked {
-		return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
+	// A value on the channel is the server's verdict (nil ack or a
+	// NotOwner rejection); the read loop closing it instead means the
+	// connection died with the write unacknowledged — an error, not
+	// success.
+	if timeout <= 0 {
+		result, acked := <-ch
+		if !acked {
+			return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
+		}
+		return result
 	}
-	return nil
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case result, acked := <-ch:
+		if !acked {
+			return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
+		}
+		return result
+	case <-timer.C:
+		sc.mu.Lock()
+		delete(sc.pendAck, id)
+		sc.mu.Unlock()
+		return fmt.Errorf("netstore: %s timed out after %v", what, timeout)
+	}
 }
 
 // set writes one versioned key (version 0 = server-assigned local
-// version) and waits for the acknowledgment.
-func (sc *serverConn) set(key string, value []byte, version uint64) error {
+// version) under the given topology route and waits for the
+// acknowledgment (timeout 0 = until the connection resolves). A
+// *NotOwnerError return means the server rejected the key as not its
+// own.
+func (sc *serverConn) set(key string, value []byte, version uint64, rt writeRoute, timeout time.Duration) error {
 	return sc.awaitAck(func(seq uint64) wire.Message {
-		return &wire.Set{Seq: seq, Version: version, Key: key, Value: value}
-	}, "set")
+		return &wire.Set{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Key: key, Value: value}
+	}, "set", timeout)
 }
 
 // del deletes one versioned key and waits for the acknowledgment.
-func (sc *serverConn) del(key string, version uint64) error {
+func (sc *serverConn) del(key string, version uint64, rt writeRoute, timeout time.Duration) error {
 	return sc.awaitAck(func(seq uint64) wire.Message {
-		return &wire.Del{Seq: seq, Version: version, Key: key}
-	}, "del")
+		return &wire.Del{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Key: key}
+	}, "del", timeout)
+}
+
+// topoGet asks the server for its current topology and waits for the
+// reply (nil Epoch-0 topologies come back as-is; the caller decides
+// whether that is useful). The wait is bounded: topology refresh runs
+// under the client's single-flight lock, and one wedged server — TCP
+// alive, process stalled — must not stall every operation behind it.
+// The reply channel is buffered, so a reply racing the timeout parks
+// harmlessly instead of blocking the read loop.
+func (sc *serverConn) topoGet(timeout time.Duration) (*wire.Topo, error) {
+	ch := make(chan *wire.Topo, 1)
+	sc.mu.Lock()
+	if sc.closed {
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("netstore: connection closed: %v", sc.closeErr)
+	}
+	sc.nextID++
+	id := sc.nextID
+	sc.pendTopo[id] = ch
+	sc.mu.Unlock()
+	if err := sc.w.Send(&wire.TopoGet{Seq: id}); err != nil {
+		sc.mu.Lock()
+		delete(sc.pendTopo, id)
+		sc.mu.Unlock()
+		return nil, err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case tp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("netstore: connection closed awaiting topology: %v", sc.closeError())
+		}
+		return tp, nil
+	case <-timer.C:
+		sc.mu.Lock()
+		delete(sc.pendTopo, id)
+		sc.mu.Unlock()
+		return nil, fmt.Errorf("netstore: topology fetch timed out after %v", timeout)
+	}
 }
 
 func (sc *serverConn) closeError() error {

@@ -11,14 +11,19 @@ import (
 	"github.com/brb-repro/brb/internal/c3"
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/core"
+	"github.com/brb-repro/brb/internal/metrics"
 	"github.com/brb-repro/brb/internal/wire"
 )
 
 // ClusterOptions configure a sharded, replica-aware cluster client.
 type ClusterOptions struct {
-	// Shards is the cluster layout: keys consistent-hash to shard
-	// groups, each served by a fixed set of replica servers. Required.
-	Shards *cluster.ShardMap
+	// Topology is the epoch-versioned cluster layout: keys
+	// consistent-hash to shard groups, each served by a fixed set of
+	// replica servers, with a monotonic epoch that advances on
+	// rebalances. Required. The client treats it as a starting point: it
+	// refreshes to newer epochs from the servers whenever one rejects a
+	// key as not-owned.
+	Topology *cluster.ShardTopology
 	// Assigner is the priority-assignment algorithm applied across the
 	// whole multiget fan-out (default EqualMax).
 	Assigner core.Assigner
@@ -46,7 +51,8 @@ type ClusterOptions struct {
 	// down replica (latest write per key; default 4096 keys). Negative
 	// disables hint buffering — a revived replica then converges only
 	// through read-repair. Writes beyond the bound are dropped from the
-	// buffer (read-repair covers them), never failed.
+	// buffer (read-repair covers them), never failed; each drop counts
+	// in metrics ("netstore_hint_overflow_total") and HintOverflows.
 	MaxHintsPerReplica int
 }
 
@@ -78,11 +84,63 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 	return o
 }
 
+// maxEpochHops bounds how many topology refreshes a single operation
+// will chase: during a rebalance each hop crosses one epoch, and
+// rebalances do not stack faster than a client can follow, so running
+// out means the cluster and client genuinely disagree.
+const maxEpochHops = 4
+
+// Cluster-client counters (process-wide; see internal/metrics).
+var (
+	hintOverflowsTotal = metrics.GetCounter("netstore_hint_overflow_total")
+	topoRefreshesTotal = metrics.GetCounter("netstore_topology_refresh_total")
+	strayRetriesTotal  = metrics.GetCounter("netstore_stray_key_retries_total")
+)
+
+// serverSlot is one server's client-side state: the live connection
+// (swapped atomically by the revival prober), the down mark, and the
+// hinted-handoff buffer. Slots are keyed by stable server ID and
+// SHARED between topology states, so hints and down-marks survive a
+// topology refresh.
+type serverSlot struct {
+	id   int
+	addr string
+	conn atomic.Pointer[serverConn]
+	down atomic.Bool
+	// hints buffers writes this server missed while down, for replay
+	// when the prober revives it.
+	hints hintBuffer
+}
+
+// topoState is one epoch's immutable view of the cluster: the topology
+// plus per-server slots and per-shard scorers. Operations load the
+// current state once and work against it; a concurrent refresh installs
+// a new state without disturbing them (slots are shared by ID).
+type topoState struct {
+	topo *cluster.ShardTopology
+	// slots maps stable server IDs to their client-side state.
+	slots map[int]*serverSlot
+	// scorers[shardID] ranks that shard's replicas from piggybacked
+	// feedback; carried over across epochs for surviving shards.
+	scorers map[int]*c3.Scorer
+}
+
+func (st *topoState) slotOf(shard, replica int) *serverSlot {
+	return st.slots[st.topo.Server(shard, replica)]
+}
+
 // Cluster is the sharded, replica-aware client of the networked store:
 // keys consistent-hash across shard groups, a multiget decomposes into
 // one BRB sub-task per shard with task-aware priorities preserved
 // end-to-end, each sub-task picks its replica by C3 score, and batches
 // scatter-gather with failover to the next-ranked replica when one dies.
+//
+// Routing is epoch-versioned: the client caches a cluster.ShardTopology
+// and servers validate ownership per key against their own. When a
+// rebalance moves keys, stale clients see stray rejections (reads) or
+// NotOwner (writes), refresh their topology from the servers, and retry
+// exactly the misrouted keys under the new epoch — a multiget can span
+// epochs mid-flight without failing.
 //
 // The replica set self-heals: a replica that fails a read or write is
 // marked down (never permanently blacklisted), a background prober
@@ -91,16 +149,16 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 // reads that reveal a replica serving versions older than this client
 // last wrote trigger read-repair pushes. See revive.go.
 type Cluster struct {
-	opts  ClusterOptions
-	addrs []string // dial addresses, dense by ShardMap server index
+	opts ClusterOptions
 
-	// conns[sid] is the live connection to server sid, swapped
-	// atomically by the revival prober; nil while the server is down.
-	conns []atomic.Pointer[serverConn]
-	down  []atomic.Bool // servers marked dead after transport errors
-
-	// scorers[s] ranks shard s's replicas from piggybacked feedback.
-	scorers []*c3.Scorer
+	// state is the current topology epoch's view, swapped atomically on
+	// refresh. topoMu guards installs (and Close's slot sweep) — held
+	// only across in-memory swaps plus the bounded dials of newly joined
+	// servers. refreshMu single-flights the slower server poll, so the
+	// poll's network I/O never blocks Close or an in-process install.
+	state     atomic.Pointer[topoState]
+	topoMu    sync.Mutex
+	refreshMu sync.Mutex
 
 	// sizes caches learned value sizes for cost forecasting.
 	sizes sync.Map // string -> int64
@@ -116,10 +174,6 @@ type Cluster struct {
 	// versions stamps writes; servers apply them last-writer-wins.
 	versions versionClock
 
-	// hints[sid] buffers writes a down server missed, for replay when
-	// the prober revives it.
-	hints []hintBuffer
-
 	// credits are granted by the controller (nil without one).
 	credits *creditGate
 
@@ -127,14 +181,20 @@ type Cluster struct {
 
 	// Revival/repair machinery (revive.go). repairMu orders
 	// scheduleRepair's closed-check+Add against Close's Wait.
-	stopProbe chan struct{}
-	probeWG   sync.WaitGroup
-	repairMu  sync.Mutex
-	repairWG  sync.WaitGroup
-	repairSem chan struct{}
-	repairing sync.Map // string -> struct{}: keys with an in-flight repair
-	revivals  atomic.Uint64
-	closed    atomic.Bool
+	stopProbe     chan struct{}
+	probeWG       sync.WaitGroup
+	repairMu      sync.Mutex
+	repairWG      sync.WaitGroup
+	repairSem     chan struct{}
+	repairing     sync.Map // string -> struct{}: keys with an in-flight repair
+	revivals      atomic.Uint64
+	refreshes     atomic.Uint64
+	hintOverflows atomic.Uint64
+	// epochLag is set when a batch response reveals a server running a
+	// newer epoch than ours without rejecting anything; the prober's
+	// next tick refreshes proactively instead of waiting for a stray.
+	epochLag atomic.Bool
+	closed   atomic.Bool
 }
 
 // AttachController connects the cluster client to a credits controller
@@ -142,9 +202,12 @@ type Cluster struct {
 // shard·R+replica server space): demand reports flow every interval, and
 // replica selection prefers positive-balance replicas before falling back
 // to pure C3 ranking — credits steer placement across shards the same way
-// they steer it across a flat tier.
+// they steer it across a flat tier. Grants cover the server-ID space of
+// the topology at attach time; servers added by later rebalances run
+// uncredited until re-attach.
 func (c *Cluster) AttachController(addr string, interval time.Duration) error {
-	g, err := dialCreditGate(addr, len(c.conns), c.opts.Client, c.opts.DialTimeout, interval)
+	st := c.state.Load()
+	g, err := dialCreditGate(addr, st.topo.NumServers(), c.opts.Client, c.opts.DialTimeout, interval)
 	if err != nil {
 		return err
 	}
@@ -155,33 +218,46 @@ func (c *Cluster) AttachController(addr string, interval time.Duration) error {
 // ErrNoReplica is returned when every replica of a shard is down.
 var ErrNoReplica = errors.New("netstore: no live replica for shard")
 
-// DialCluster connects to every server of the cluster. addrs[i] must be
-// the server at dense index i of the shard map (replica r of shard s at
-// index s·R+r — the order `cmd/brb-server -shard s -group-listen …`
-// launches them).
+// ErrTopologySkew is returned when an operation ran out of epoch hops:
+// servers kept rejecting keys as not-owned faster than the client could
+// refresh — a sign the cluster's topology push never completed.
+var ErrTopologySkew = errors.New("netstore: topology skew not resolved after refresh")
+
+// DialCluster connects to every server of the cluster. addrs, when
+// non-nil, binds dial addresses to the topology's servers in dense
+// order (replica r of shard s at index s·R+r — the order `cmd/brb-server
+// -shard s -group-listen …` launches them); a nil addrs requires the
+// topology to carry addresses already (cluster.ShardTopology.WithAddrs
+// or a fetched topology).
 func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	opts = opts.withDefaults()
-	if opts.Shards == nil {
-		return nil, errors.New("netstore: ClusterOptions.Shards is required")
+	if opts.Topology == nil {
+		return nil, errors.New("netstore: ClusterOptions.Topology is required")
 	}
-	if len(addrs) != opts.Shards.NumServers() {
-		return nil, fmt.Errorf("netstore: %d addresses for %d servers (%d shards × %d replicas)",
-			len(addrs), opts.Shards.NumServers(), opts.Shards.Shards(), opts.Shards.Replicas())
+	topo := opts.Topology
+	if len(addrs) != 0 {
+		bound, err := topo.WithAddrs(addrs)
+		if err != nil {
+			return nil, fmt.Errorf("netstore: %v (%d shards × %d replicas)", err, topo.Shards(), topo.Replicas())
+		}
+		topo = bound
+	}
+	for _, sid := range topo.Servers() {
+		if topo.Addr(sid) == "" {
+			return nil, fmt.Errorf("netstore: topology has no address for server %d (pass addrs or use WithAddrs)", sid)
+		}
 	}
 	c := &Cluster{
 		opts:      opts,
-		addrs:     append([]string(nil), addrs...),
-		conns:     make([]atomic.Pointer[serverConn], len(addrs)),
-		down:      make([]atomic.Bool, len(addrs)),
-		scorers:   make([]*c3.Scorer, opts.Shards.Shards()),
-		hints:     make([]hintBuffer, len(addrs)),
 		repairSem: make(chan struct{}, maxConcurrentRepairs),
 	}
-	for s := range c.scorers {
-		c.scorers[s] = c3.NewScorer(opts.Shards.Replicas(), c3.ScorerOptions{
-			Clients:     float64(opts.Clients),
-			Concurrency: float64(opts.ServerWorkers),
-		})
+	st := &topoState{
+		topo:    topo,
+		slots:   make(map[int]*serverSlot, topo.NumServers()),
+		scorers: make(map[int]*c3.Scorer, topo.Shards()),
+	}
+	for _, sh := range topo.ShardIDs() {
+		st.scorers[sh] = c.newScorer(topo.Replicas())
 	}
 	// Unreachable replicas start marked down rather than failing the
 	// dial — the client tolerates dead replicas at connect time the same
@@ -189,26 +265,29 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	// come back) — but every shard needs at least one live replica to be
 	// servable.
 	var lastErr error
-	for i, addr := range addrs {
-		conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	for _, sid := range topo.Servers() {
+		slot := &serverSlot{id: sid, addr: topo.Addr(sid)}
+		conn, err := net.DialTimeout("tcp", slot.addr, opts.DialTimeout)
 		if err != nil {
-			c.down[i].Store(true)
-			lastErr = fmt.Errorf("netstore: dial %s: %w", addr, err)
-			continue
+			slot.down.Store(true)
+			lastErr = fmt.Errorf("netstore: dial %s: %w", slot.addr, err)
+		} else {
+			slot.conn.Store(newServerConn(conn))
 		}
-		c.conns[i].Store(newServerConn(conn))
+		st.slots[sid] = slot
 	}
-	for s := 0; s < opts.Shards.Shards(); s++ {
+	c.state.Store(st)
+	for _, sh := range topo.ShardIDs() {
 		alive := false
-		for r := 0; r < opts.Shards.Replicas(); r++ {
-			if !c.down[opts.Shards.Server(s, r)].Load() {
+		for r := 0; r < topo.Replicas(); r++ {
+			if !st.slotOf(sh, r).down.Load() {
 				alive = true
 				break
 			}
 		}
 		if !alive {
 			c.Close()
-			return nil, fmt.Errorf("%w %d: %v", ErrNoReplica, s, lastErr)
+			return nil, fmt.Errorf("%w %d: %v", ErrNoReplica, sh, lastErr)
 		}
 	}
 	if opts.ProbeInterval > 0 {
@@ -219,25 +298,32 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	return c, nil
 }
 
-// conn returns the live connection to server sid, or nil while it is
-// down or being swapped by the prober.
-func (c *Cluster) conn(sid int) *serverConn {
-	return c.conns[sid].Load()
+// newScorer sizes a shard's scorer for the replica count of the
+// topology it will serve under — NOT opts.Topology's: a refresh can
+// install a fetched topology whose replication differs from the one
+// the client was configured with (a misconfigured -replication flag),
+// and a scorer ranging over the wrong replica count walks off the
+// replica arrays.
+func (c *Cluster) newScorer(replicas int) *c3.Scorer {
+	return c3.NewScorer(replicas, c3.ScorerOptions{
+		Clients:     float64(c.opts.Clients),
+		Concurrency: float64(c.opts.ServerWorkers),
+	})
 }
 
-// markDown records a transport failure at server sid: the connection
-// the caller observed failing is torn down and the server skipped until
-// the prober revives it. Never a permanent blacklist — recording the
+// markDown records a transport failure at a server: the connection the
+// caller observed failing is torn down and the server skipped until the
+// prober revives it. Never a permanent blacklist — recording the
 // failure is exactly what arms the probe loop. The compare-and-swap on
 // the connection identity makes stragglers harmless: an operation that
 // started on the pre-crash connection and fails after the prober has
 // already swapped in a fresh one must not tear the revived replica back
 // down.
-func (c *Cluster) markDown(sid int, failed *serverConn) {
-	if !c.conns[sid].CompareAndSwap(failed, nil) {
+func (c *Cluster) markDown(slot *serverSlot, failed *serverConn) {
+	if !slot.conn.CompareAndSwap(failed, nil) {
 		return
 	}
-	c.down[sid].Store(true)
+	slot.down.Store(true)
 	failed.close()
 }
 
@@ -255,12 +341,20 @@ func (c *Cluster) Close() {
 	// CAS finishes its repairWG.Add while holding repairMu; any later
 	// one sees closed and bails. After this, the Wait below races no Add.
 	c.repairMu.Lock()
-	c.repairMu.Unlock() //nolint:staticcheck // empty critical section is the barrier
-	for i := range c.conns {
-		if sc := c.conns[i].Swap(nil); sc != nil {
+	//lint:ignore SA2001 the empty critical section IS the barrier
+	c.repairMu.Unlock()
+	// The slot sweep runs under topoMu so it cannot race an in-flight
+	// installLocked: an install finishing before us publishes its state
+	// (whose slots we sweep), and one arriving after sees closed and
+	// no-ops — either way no freshly dialed connection escapes.
+	c.topoMu.Lock()
+	st := c.state.Load()
+	for _, slot := range st.slots {
+		if sc := slot.conn.Swap(nil); sc != nil {
 			sc.close()
 		}
 	}
+	c.topoMu.Unlock()
 	// Repair goroutines unblock once their connections die.
 	c.repairWG.Wait()
 	if c.credits != nil {
@@ -268,12 +362,182 @@ func (c *Cluster) Close() {
 	}
 }
 
+// refreshTopology polls the cluster for a topology newer than prev's
+// and installs it, returning the freshest state (prev's if nothing
+// newer surfaced). Single-flight under refreshMu — concurrent
+// stray-hit operations share one poll — while topoMu is taken only for
+// the final install, so the poll's per-server timeouts never stall
+// Close or InstallTopology.
+func (c *Cluster) refreshTopology(prev *topoState) *topoState {
+	if st := c.state.Load(); st.topo.Epoch() > prev.topo.Epoch() {
+		return st
+	}
+	c.refreshMu.Lock()
+	defer c.refreshMu.Unlock()
+	st := c.state.Load()
+	if st.topo.Epoch() > prev.topo.Epoch() {
+		// Someone refreshed while we waited for the lock.
+		return st
+	}
+	// Poll every live server concurrently: polled serially, one wedged
+	// server (TCP alive, process stalled) would cost a full topoGet
+	// timeout before the poll even reached a server that knows the
+	// newer epoch, stalling every stray-hit operation behind refreshMu.
+	// In parallel the refresh completes as soon as the first newer
+	// answer lands; stragglers time out into the buffered channel and
+	// their goroutines exit on their own.
+	var live []*serverConn
+	for _, sid := range st.topo.Servers() {
+		slot := st.slots[sid]
+		if sc := slot.conn.Load(); sc != nil && !slot.down.Load() {
+			live = append(live, sc)
+		}
+	}
+	results := make(chan *cluster.ShardTopology, len(live))
+	for _, sc := range live {
+		go func(sc *serverConn) {
+			tp, err := sc.topoGet(c.opts.DialTimeout)
+			if err != nil {
+				results <- nil
+				return
+			}
+			nt, err := topoFromWire(tp)
+			if err != nil {
+				results <- nil
+				return
+			}
+			results <- nt
+		}(sc)
+	}
+	var best *cluster.ShardTopology
+	for range live {
+		nt := <-results
+		if nt == nil {
+			continue
+		}
+		if best == nil || nt.Epoch() > best.Epoch() {
+			best = nt
+		}
+		if best.Epoch() > st.topo.Epoch() {
+			// One newer answer is enough; rebalances are serialized, so
+			// the first newer epoch seen is the newest there is.
+			break
+		}
+	}
+	if best == nil || best.Epoch() < st.topo.Epoch() {
+		return st
+	}
+	// A same-epoch topology that differs from ours is adopted too: this
+	// poll only runs on rejection evidence, and a rejecting server that
+	// is not AHEAD of us must be on another lineage entirely — the
+	// client was configured with a layout the cluster never had, and
+	// the servers are authoritative.
+	if best.Epoch() == st.topo.Epoch() && best.Equal(st.topo) {
+		return st
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	// Re-validate against the state as it stands now that the poll is
+	// done (an InstallTopology may have landed meanwhile).
+	cur := c.state.Load()
+	if best.Epoch() < cur.topo.Epoch() ||
+		(best.Epoch() == cur.topo.Epoch() && best.Equal(cur.topo)) {
+		return cur
+	}
+	return c.installLocked(cur, best)
+}
+
+// InstallTopology hands the client a newer topology directly (the
+// in-process path used by orchestration tooling; remote clients learn
+// through refreshTopology). Older or equal epochs are ignored.
+func (c *Cluster) InstallTopology(nt *cluster.ShardTopology) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	st := c.state.Load()
+	if nt == nil || nt.Epoch() <= st.topo.Epoch() {
+		return
+	}
+	c.installLocked(st, nt)
+}
+
+// installLocked (topoMu held) builds the new epoch's state: slots are
+// reused by server ID so connections, down-marks and buffered hints
+// survive; servers joining the topology are dialed; servers leaving it
+// forward their buffered hints to the keys' new owners and are closed
+// after the swap.
+func (c *Cluster) installLocked(st *topoState, nt *cluster.ShardTopology) *topoState {
+	if c.closed.Load() {
+		// Close is (or has been) sweeping connections under this same
+		// lock; dialing new ones now would leak them.
+		return st
+	}
+	ns := &topoState{
+		topo:    nt,
+		slots:   make(map[int]*serverSlot, nt.NumServers()),
+		scorers: make(map[int]*c3.Scorer, nt.Shards()),
+	}
+	for _, sid := range nt.Servers() {
+		if slot := st.slots[sid]; slot != nil {
+			ns.slots[sid] = slot
+			continue
+		}
+		slot := &serverSlot{id: sid, addr: nt.Addr(sid)}
+		conn, err := net.DialTimeout("tcp", slot.addr, c.opts.DialTimeout)
+		if err != nil {
+			// Down from birth; the prober takes it from here.
+			slot.down.Store(true)
+		} else {
+			slot.conn.Store(newServerConn(conn))
+		}
+		ns.slots[sid] = slot
+	}
+	for _, sh := range nt.ShardIDs() {
+		if sc := st.scorers[sh]; sc != nil && sc.Replicas() == nt.Replicas() {
+			ns.scorers[sh] = sc
+		} else {
+			ns.scorers[sh] = c.newScorer(nt.Replicas())
+		}
+	}
+	c.state.Store(ns)
+	// Retired servers: their hint buffers may hold the only surviving
+	// copy of acknowledged writes (a donor replica that died before the
+	// migration scan), and the prober only walks the new topology's
+	// servers — forward every hint to its key's new owner slots before
+	// the retired slot becomes unreachable, then close the connection
+	// (in-flight operations on the old state fail over or error like
+	// any transport loss). The forwarded hints drain on the prober's
+	// next flushHints/revival pass, versioned and idempotent as ever.
+	for sid, slot := range st.slots {
+		if ns.slots[sid] != nil {
+			continue
+		}
+		slot.hints.mu.Lock()
+		orphaned := slot.hints.hints
+		slot.hints.hints = nil
+		slot.hints.mu.Unlock()
+		for key, h := range orphaned {
+			owner := nt.ShardOfKey(key)
+			for _, osid := range nt.ReplicaServers(owner) {
+				c.addHint(ns.slots[osid], key, h.value, h.version, h.del)
+			}
+		}
+		if sc := slot.conn.Swap(nil); sc != nil {
+			sc.close()
+		}
+	}
+	c.refreshes.Add(1)
+	topoRefreshesTotal.Inc()
+	return ns
+}
+
 // Set writes a key to every replica of its shard in parallel, stamped
 // with one version so replicas are comparable. A replica that is down or
 // fails the write gets the write buffered as a hint for replay on
 // revival (and is marked down, arming the prober — not permanently
-// blacklisted). Set returns an error only when no replica accepted the
-// write; short-of-full-replication writes heal via hinted handoff and
+// blacklisted). A NotOwner rejection (the shard moved) triggers a
+// topology refresh and a re-route of the same versioned write. Set
+// returns an error only when no replica accepted the write;
+// short-of-full-replication writes heal via hinted handoff and
 // read-repair once the missing replicas revive.
 func (c *Cluster) Set(key string, value []byte) error {
 	return c.write(key, value, false)
@@ -289,75 +553,126 @@ func (c *Cluster) Delete(key string) error {
 }
 
 func (c *Cluster) write(key string, value []byte, del bool) error {
-	shard := c.opts.Shards.ShardOfKey(key)
 	ver := c.versions.next()
-	reps := c.opts.Shards.Replicas()
-	acked := make([]bool, reps)
-	var wg sync.WaitGroup
-	for r := 0; r < reps; r++ {
-		sid := c.opts.Shards.Server(shard, r)
-		sc := c.conn(sid)
-		if c.down[sid].Load() || sc == nil {
-			c.addHint(sid, key, value, ver, del)
-			continue
-		}
-		wg.Add(1)
-		go func(r, sid int, sc *serverConn) {
-			defer wg.Done()
-			var err error
-			if del {
-				err = sc.del(key, ver)
-			} else {
-				err = sc.set(key, value, ver)
-			}
-			if err != nil {
-				// Hint before marking down so a racing revival can only
-				// replay the hint, never miss it.
-				c.addHint(sid, key, value, ver, del)
-				c.markDown(sid, sc)
-				return
-			}
-			acked[r] = true
-		}(r, sid, sc)
-	}
-	wg.Wait()
-	wrote := 0
-	for _, ok := range acked {
-		if ok {
-			wrote++
-		}
-	}
-	if wrote == 0 {
-		// The caller is told the write failed, so it must not
-		// materialize later: retract the hints this write buffered
-		// (best-effort — a server that died mid-acknowledgment may still
-		// have applied it, as with any distributed write).
+	st := c.state.Load()
+	for hop := 0; hop < maxEpochHops; hop++ {
+		shard := st.topo.ShardOfKey(key)
+		rt := writeRoute{shard: shard, epoch: st.topo.Epoch()}
+		reps := st.topo.Replicas()
+		acked := make([]bool, reps)
+		rejected := make([]bool, reps)      // NotOwner verdicts
+		hinted := make([]*serverSlot, reps) // disjoint per-replica writes: no lock needed
+		var wg sync.WaitGroup
 		for r := 0; r < reps; r++ {
-			c.removeHint(c.opts.Shards.Server(shard, r), key, ver)
+			slot := st.slotOf(shard, r)
+			sc := slot.conn.Load()
+			if slot.down.Load() || sc == nil {
+				c.addHint(slot, key, value, ver, del)
+				hinted[r] = slot
+				continue
+			}
+			wg.Add(1)
+			go func(r int, slot *serverSlot, sc *serverConn) {
+				defer wg.Done()
+				var err error
+				if del {
+					err = sc.del(key, ver, rt, 0)
+				} else {
+					err = sc.set(key, value, ver, rt, 0)
+				}
+				switch {
+				case err == nil:
+					acked[r] = true
+				case errors.As(err, new(*NotOwnerError)):
+					// The server's (newer) topology places the key
+					// elsewhere: no hint — this replica will never own it.
+					rejected[r] = true
+				default:
+					// Hint before marking down so a racing revival can only
+					// replay the hint, never miss it.
+					c.addHint(slot, key, value, ver, del)
+					hinted[r] = slot
+					c.markDown(slot, sc)
+				}
+			}(r, slot, sc)
+		}
+		wg.Wait()
+		wrote, notOwner := 0, 0
+		for r := 0; r < reps; r++ {
+			if acked[r] {
+				wrote++
+			}
+			if rejected[r] {
+				notOwner++
+			}
+		}
+		if notOwner > 0 {
+			// Even when other replicas acked (the write succeeds below),
+			// the rejection proves a newer epoch exists: arm the prober's
+			// proactive refresh so later writes stop bouncing off
+			// already-pushed donors.
+			c.epochLag.Store(true)
+		}
+		if wrote > 0 {
+			c.written.Store(key, ver)
+			if del {
+				c.sizes.Delete(key)
+			} else {
+				learnSize(&c.sizes, key, int64(len(value)))
+			}
+			if notOwner > 0 {
+				// Mixed verdict: stale donors acked (the write succeeds),
+				// already-pushed replicas rejected. The rejecting replicas
+				// will never hold this write, and if the acking donors die
+				// before the migration's catch-up scan, theirs could be
+				// the only copies — top up redundancy by buffering the
+				// same versioned write for the key's owners under the
+				// freshest topology; the prober's flush delivers it,
+				// idempotently.
+				if nst := c.refreshTopology(st); nst != st {
+					nshard := nst.topo.ShardOfKey(key)
+					for _, sid := range nst.topo.ReplicaServers(nshard) {
+						c.addHint(nst.slots[sid], key, value, ver, del)
+					}
+				}
+			}
+			return nil
+		}
+		// No replica accepted: whatever this attempt hinted must not
+		// materialize later without an acknowledgment backing it.
+		for _, slot := range hinted {
+			if slot != nil {
+				c.removeHint(slot, key, ver)
+			}
+		}
+		if notOwner > 0 || c.state.Load() != st {
+			// The shard moved under us — either a replica said so
+			// (NotOwner) or a concurrent refresh replaced the state we
+			// fanned out against (closing a drained shard's connections
+			// mid-write). Refresh and re-route the same versioned write.
+			st = c.refreshTopology(st)
+			continue
 		}
 		return fmt.Errorf("%w %d (write %q)", ErrNoReplica, shard, key)
 	}
-	c.written.Store(key, ver)
-	if del {
-		c.sizes.Delete(key)
-	} else {
-		learnSize(&c.sizes, key, int64(len(value)))
-	}
-	return nil
+	return fmt.Errorf("%w (write %q)", ErrTopologySkew, key)
 }
 
 // Multiget performs one batched read across the cluster: the full BRB
 // pipeline (forecast → decompose per shard → prioritize → C3 replica
 // selection → scatter-gather), with failover to the next-ranked replica
-// on transport errors. On error the partial TaskResult is still
-// returned — shards that answered have their Values/Found filled — with
-// all per-shard errors joined (errors.Is(err, ErrNoReplica) matches a
-// shard whose whole replica set was down).
+// on transport errors and per-key re-routing across topology epochs
+// when a rebalance moves keys mid-flight. On error the partial
+// TaskResult is still returned — shards that answered have their
+// Values/Found filled — with all per-shard errors joined
+// (errors.Is(err, ErrNoReplica) matches a shard whose whole replica set
+// was down).
 func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	if len(keys) == 0 {
 		return &TaskResult{}, nil
 	}
 	start := time.Now()
+	st := c.state.Load()
 
 	// Build the task with forecasted costs; Group carries the shard so
 	// core.Decompose yields exactly one sub-task per shard touched. The
@@ -374,7 +689,7 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 			ID:      uint64(i),
 			TaskID:  task.ID,
 			Client:  c.opts.Client,
-			Group:   cluster.GroupID(c.opts.Shards.ShardOfKey(k)),
+			Group:   cluster.GroupID(st.topo.ShardOfKey(k)),
 			Size:    size,
 			EstCost: c.opts.CostModel.Estimate(size),
 		}
@@ -394,7 +709,20 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := c.fetchShard(sub, keys, res); err != nil {
+			b := shardBatch{
+				shard:  int(sub.Group),
+				taskID: task.ID,
+				cost:   sub.Cost,
+				keys:   make([]string, len(sub.Requests)),
+				prios:  make([]int64, len(sub.Requests)),
+				idx:    make([]int, len(sub.Requests)),
+			}
+			for j, r := range sub.Requests {
+				b.keys[j] = keys[r.ID]
+				b.prios[j] = r.Priority
+				b.idx[j] = int(r.ID)
+			}
+			if err := c.fetchBatch(st, b, res, 0); err != nil {
 				errCh <- err
 			}
 		}()
@@ -412,24 +740,32 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	return res, nil
 }
 
-// fetchShard sends one shard's sub-task to its C3-ranked best replica,
-// failing over through the remaining replicas on transport errors.
-// Result slots are disjoint across shards, so writes into res need no
-// locking.
-func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) error {
-	shard := int(sub.Group)
-	n := len(sub.Requests)
-	batchKeys := make([]string, n)
-	prios := make([]int64, n)
-	for i, r := range sub.Requests {
-		batchKeys[i] = keys[r.ID]
-		prios[i] = r.Priority
-	}
+// shardBatch is one shard's worth of a multiget: keys, their BRB
+// priorities, and their slots in the original key list. Stray keys
+// re-bucket into fresh shardBatches under the refreshed topology.
+type shardBatch struct {
+	shard  int
+	taskID uint64
+	cost   int64
+	keys   []string
+	prios  []int64
+	idx    []int
+}
 
-	scorer := c.scorers[shard]
-	tried := make([]bool, c.opts.Shards.Replicas())
+// fetchBatch sends one shard's sub-task to its C3-ranked best replica,
+// failing over through the remaining replicas on transport errors.
+// Keys the server rejects as strays (a rebalance moved them) are
+// re-bucketed under a refreshed topology and retried, up to
+// maxEpochHops epochs deep. Result slots are disjoint across concurrent
+// calls, so writes into res need no locking.
+func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth int) error {
+	// b.shard is always bucketed from st.topo by the caller (Multiget or
+	// retryStrays), so the shard exists in st by construction.
+	scorer := st.scorers[b.shard]
+	n := len(b.keys)
+	tried := make([]bool, st.topo.Replicas())
 	eligible := func(r int) bool {
-		return !tried[r] && !c.down[c.opts.Shards.Server(shard, r)].Load()
+		return !tried[r] && !st.slotOf(b.shard, r).down.Load()
 	}
 	for {
 		// With a controller attached, prefer replicas the client still
@@ -438,18 +774,26 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 		rep := -1
 		if c.credits != nil {
 			rep = scorer.Best(func(r int) bool {
-				return eligible(r) && c.credits.balance(c.opts.Shards.Server(shard, r)) > 0
+				return eligible(r) && c.credits.balance(st.topo.Server(b.shard, r)) > 0
 			})
 		}
 		if rep < 0 {
 			rep = scorer.Best(eligible)
 		}
 		if rep < 0 {
-			return fmt.Errorf("%w %d", ErrNoReplica, shard)
+			// Every replica of the shard is exhausted under THIS state. If
+			// the topology moved on meanwhile — a concurrent refresh
+			// installed a new epoch and closed a drained shard's
+			// connections out from under us — the shard is not dead, our
+			// view of it is: re-bucket the batch under the fresh state.
+			if depth < maxEpochHops && c.state.Load() != st {
+				return c.retryStrays(st, b, res, b.idx, b.keys, b.prios, depth)
+			}
+			return fmt.Errorf("%w %d", ErrNoReplica, b.shard)
 		}
 		tried[rep] = true
-		sid := c.opts.Shards.Server(shard, rep)
-		sc := c.conn(sid)
+		slot := st.slotOf(b.shard, rep)
+		sc := slot.conn.Load()
 		if sc == nil {
 			// Lost a race with markDown's connection teardown: treat like
 			// a transport failure and fail over.
@@ -457,16 +801,17 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 		}
 
 		if c.credits != nil {
-			c.credits.spend(sid, float64(sub.Cost))
+			c.credits.spend(slot.id, float64(b.cost))
 		}
 		scorer.OnSend(rep, n)
 		sent := time.Now()
 		resp, err := sc.batch(&wire.BatchReq{
-			TaskID:   sub.Requests[0].TaskID,
-			Shard:    uint32(shard),
+			TaskID:   b.taskID,
+			Shard:    uint32(b.shard),
 			Replica:  uint32(rep),
-			Priority: prios,
-			Keys:     batchKeys,
+			Epoch:    st.topo.Epoch(),
+			Priority: b.prios,
+			Keys:     b.keys,
 		})
 		if err != nil {
 			// Transport failure: mark the replica down (arming the
@@ -474,43 +819,122 @@ func (c *Cluster) fetchShard(sub *core.SubTask, keys []string, res *TaskResult) 
 			// scorer only unwinds outstanding — a dead connection says
 			// nothing about service times.
 			scorer.OnError(rep, n)
-			c.markDown(sid, sc)
+			c.markDown(slot, sc)
 			continue
 		}
 		rtt := float64(time.Since(sent).Nanoseconds())
 		scorer.Observe(rep, n, rtt, float64(resp.ServiceNanos)/float64(n), int(resp.QueueLen))
+		if resp.Epoch > st.topo.Epoch() {
+			// The server is ahead of us. Our keys were still served (any
+			// strays are handled below), so no retry is needed — but flag
+			// the lag so the prober refreshes before a stray forces it.
+			c.epochLag.Store(true)
+		}
 		if resp.Misrouted() {
-			// Configuration skew between client and server is not
-			// survivable by failover; surface it.
-			return fmt.Errorf("netstore: server %d rejected batch for shard %d as misrouted", sid, shard)
+			// Pre-topology servers cannot tell us what moved; this is
+			// configuration skew, not an epoch change, and failover
+			// cannot fix it.
+			return fmt.Errorf("netstore: server %d rejected batch for shard %d as misrouted", slot.id, b.shard)
 		}
 		if len(resp.Values) != n {
-			return fmt.Errorf("netstore: shard %d returned %d values for %d keys", shard, len(resp.Values), n)
+			return fmt.Errorf("netstore: shard %d returned %d values for %d keys", b.shard, len(resp.Values), n)
 		}
-		for i, r := range sub.Requests {
-			res.Values[r.ID] = resp.Values[i]
-			res.Found[r.ID] = resp.Found[i]
+		var strayIdx []int
+		var strayKeys []string
+		var strayPrios []int64
+		for i := range b.keys {
+			if resp.Stray != nil && resp.Stray[i] {
+				strayIdx = append(strayIdx, b.idx[i])
+				strayKeys = append(strayKeys, b.keys[i])
+				strayPrios = append(strayPrios, b.prios[i])
+				continue
+			}
+			orig := b.idx[i]
+			res.Values[orig] = resp.Values[i]
+			res.Found[orig] = resp.Found[i]
 			if resp.Found[i] {
-				learnSize(&c.sizes, batchKeys[i], int64(len(resp.Values[i])))
+				learnSize(&c.sizes, b.keys[i], int64(len(resp.Values[i])))
 			}
 			// Read-repair trigger: the response reveals this replica
 			// holds an older version than this client last wrote (or
 			// misses the key entirely) — push the fresh copy to it in the
 			// background.
-			if wv, ok := c.written.Load(batchKeys[i]); ok && len(resp.Versions) == n &&
+			if wv, ok := c.written.Load(b.keys[i]); ok && len(resp.Versions) == n &&
 				resp.Versions[i] < wv.(uint64) {
-				c.scheduleRepair(shard, rep, batchKeys[i])
+				c.scheduleRepair(b.shard, rep, b.keys[i])
 			}
 		}
-		return nil
+		if len(strayIdx) == 0 {
+			return nil
+		}
+		// The server owns only part of this batch under its (newer)
+		// topology: refresh ours and re-route exactly the strays. The
+		// multiget now spans two epochs — served keys stand, strays go
+		// around again.
+		strayRetriesTotal.Add(uint64(len(strayIdx)))
+		if depth >= maxEpochHops {
+			return fmt.Errorf("%w (%d stray keys on shard %d)", ErrTopologySkew, len(strayIdx), b.shard)
+		}
+		return c.retryStrays(st, b, res, strayIdx, strayKeys, strayPrios, depth)
 	}
 }
+
+// retryStrays refreshes the topology and re-buckets the given keys by
+// their new owners, fetching each bucket one epoch deeper. A server
+// that rejected keys holds a newer topology by definition, so if the
+// poll comes back empty it raced the rebalancer's push — wait a beat
+// and poll again before declaring skew.
+func (c *Cluster) retryStrays(st *topoState, b shardBatch, res *TaskResult, idx []int, keys []string, prios []int64, depth int) error {
+	nst := c.refreshTopology(st)
+	for i := 0; i < 4 && nst == st; i++ {
+		time.Sleep(25 * time.Millisecond)
+		nst = c.refreshTopology(st)
+	}
+	if nst == st && nst.topo.HasShard(b.shard) {
+		return fmt.Errorf("%w (%d keys of shard %d)", ErrTopologySkew, len(keys), b.shard)
+	}
+	buckets := make(map[int]*shardBatch)
+	for i, k := range keys {
+		sh := nst.topo.ShardOfKey(k)
+		nb := buckets[sh]
+		if nb == nil {
+			nb = &shardBatch{shard: sh, taskID: b.taskID, cost: b.cost}
+			buckets[sh] = nb
+		}
+		nb.keys = append(nb.keys, k)
+		nb.prios = append(nb.prios, prios[i])
+		nb.idx = append(nb.idx, idx[i])
+	}
+	var errs []error
+	for _, nb := range buckets {
+		if err := c.fetchBatch(nst, *nb, res, depth+1); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Topology returns the client's current cached topology (operations and
+// test hook).
+func (c *Cluster) Topology() *cluster.ShardTopology { return c.state.Load().topo }
+
+// TopologyEpoch returns the epoch the client currently routes under.
+func (c *Cluster) TopologyEpoch() uint64 { return c.state.Load().topo.Epoch() }
+
+// TopologyRefreshes returns how many times this client installed a
+// newer topology (test and operations hook).
+func (c *Cluster) TopologyRefreshes() uint64 { return c.refreshes.Load() }
+
+// HintOverflows returns how many writes were dropped from full
+// hinted-handoff buffers (test and operations hook; the process-wide
+// counterpart is metrics counter "netstore_hint_overflow_total").
+func (c *Cluster) HintOverflows() uint64 { return c.hintOverflows.Load() }
 
 // ReplicaDown reports whether the client currently considers a replica's
 // connection dead (test and operations hook). With revival enabled this
 // is transient state, not a verdict.
 func (c *Cluster) ReplicaDown(shard, replica int) bool {
-	return c.down[c.opts.Shards.Server(shard, replica)].Load()
+	return c.state.Load().slotOf(shard, replica).down.Load()
 }
 
 // Revivals returns how many times the prober has revived a down replica
@@ -520,7 +944,7 @@ func (c *Cluster) Revivals() uint64 { return c.revivals.Load() }
 // PendingHints returns the number of keys hint-buffered for one replica
 // (test and operations hook).
 func (c *Cluster) PendingHints(shard, replica int) int {
-	hb := &c.hints[c.opts.Shards.Server(shard, replica)]
+	hb := &c.state.Load().slotOf(shard, replica).hints
 	hb.mu.Lock()
 	defer hb.mu.Unlock()
 	return len(hb.hints)
@@ -528,7 +952,7 @@ func (c *Cluster) PendingHints(shard, replica int) int {
 
 // ScoreOf exposes the C3 score of one replica of one shard (test hook).
 func (c *Cluster) ScoreOf(shard, replica int) float64 {
-	return c.scorers[shard].ScoreOf(replica)
+	return c.state.Load().scorers[shard].ScoreOf(replica)
 }
 
 // CreditBalance returns the client's credit balance at one replica, or 0
@@ -537,5 +961,5 @@ func (c *Cluster) CreditBalance(shard, replica int) float64 {
 	if c.credits == nil {
 		return 0
 	}
-	return c.credits.balance(c.opts.Shards.Server(shard, replica))
+	return c.credits.balance(c.state.Load().topo.Server(shard, replica))
 }

@@ -11,8 +11,8 @@ import (
 )
 
 // startShardedCluster launches shards×replicas shard-checking servers on
-// loopback, each with its own store, in dense ShardMap order.
-func startShardedCluster(t *testing.T, m *cluster.ShardMap, optsFor func(shard, replica int) ServerOptions) ([]string, []*Server) {
+// loopback, each with its own store, in dense topology order.
+func startShardedCluster(t *testing.T, m *cluster.ShardTopology, optsFor func(shard, replica int) ServerOptions) ([]string, []*Server) {
 	t.Helper()
 	addrs := make([]string, m.NumServers())
 	servers := make([]*Server, m.NumServers())
@@ -40,9 +40,9 @@ func startShardedCluster(t *testing.T, m *cluster.ShardMap, optsFor func(shard, 
 }
 
 func TestClusterMultigetScatterGather(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 3, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 3, Replicas: 2})
 	addrs, _ := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,9 +85,9 @@ func TestClusterMultigetScatterGather(t *testing.T) {
 }
 
 func TestClusterFailoverOnKilledReplica(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 3, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 3, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,9 +148,9 @@ func TestClusterFailoverOnKilledReplica(t *testing.T) {
 }
 
 func TestClusterAllReplicasDead(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestClusterAllReplicasDead(t *testing.T) {
 // 20× slower than the other; after a feedback warm-up the C3 scorer must
 // route the bulk of the work to the fast replica.
 func TestClusterC3SteersToFastReplica(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, func(shard, replica int) ServerOptions {
 		delay := 200 * time.Microsecond
 		if replica == 0 {
@@ -188,7 +188,7 @@ func TestClusterC3SteersToFastReplica(t *testing.T) {
 			ServiceDelay: func(int64) time.Duration { return delay },
 		}
 	})
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ServerWorkers: 1})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ServerWorkers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,8 +226,8 @@ func TestClusterMisroutedSurfaces(t *testing.T) {
 	go func() { _ = srv.Serve(ln) }()
 	t.Cleanup(srv.Close)
 
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 1})
-	c, err := DialCluster([]string{ln.Addr().String()}, ClusterOptions{Shards: m})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 1})
+	c, err := DialCluster([]string{ln.Addr().String()}, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,10 +241,10 @@ func TestClusterMisroutedSurfaces(t *testing.T) {
 // connect time starts marked down; the client comes up on the survivors.
 // A shard with no live replica at all fails the dial.
 func TestDialClusterToleratesDeadReplica(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
 	servers[m.Server(0, 0)].Close()
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatalf("dial with one dead replica: %v", err)
 	}
@@ -263,7 +263,7 @@ func TestDialClusterToleratesDeadReplica(t *testing.T) {
 	// Kill the whole of shard 1: dialing must now fail with ErrNoReplica.
 	servers[m.Server(1, 0)].Close()
 	servers[m.Server(1, 1)].Close()
-	if _, err := DialCluster(addrs, ClusterOptions{Shards: m}); err == nil {
+	if _, err := DialCluster(addrs, ClusterOptions{Topology: m}); err == nil {
 		t.Fatal("dial succeeded with a fully-dead shard")
 	}
 }
@@ -272,14 +272,14 @@ func TestDialClusterToleratesDeadReplica(t *testing.T) {
 // controller reports demand and receives grants over the dense
 // shard·R+replica server space; the workload keeps completing.
 func TestClusterAttachController(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 2})
 	addrs, _ := startShardedCluster(t, m, nil)
 	ctrl, ctrlAddr := startController(t, ControllerOptions{
 		Clients: 1, Servers: m.NumServers(), CapacityPerNano: 2, Interval: 20 * time.Millisecond,
 	})
 	defer ctrl.Close()
 
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,8 +320,8 @@ func TestDialClusterValidation(t *testing.T) {
 	if _, err := DialCluster(nil, ClusterOptions{}); err == nil {
 		t.Fatal("nil shard map accepted")
 	}
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 2})
-	if _, err := DialCluster([]string{"127.0.0.1:1"}, ClusterOptions{Shards: m}); err == nil {
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	if _, err := DialCluster([]string{"127.0.0.1:1"}, ClusterOptions{Topology: m}); err == nil {
 		t.Fatal("address/shard-map size mismatch accepted")
 	}
 }

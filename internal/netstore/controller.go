@@ -225,16 +225,25 @@ func dialCreditGate(addr string, servers, client int, dialTimeout, interval time
 	return g, nil
 }
 
+// balance and spend bounds-check the stable server ID: the gate's
+// vectors are sized to the topology at attach time, and servers added
+// by a later rebalance (IDs past the end) run uncredited — balance 0,
+// spend unreported — until the client re-attaches.
 func (g *creditGate) balance(s int) float64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if s < 0 || s >= len(g.bal) {
+		return 0
+	}
 	return g.bal[s]
 }
 
 func (g *creditGate) spend(s int, cost float64) {
 	g.mu.Lock()
-	g.bal[s] -= cost
-	g.demand[s] += cost
+	if s >= 0 && s < len(g.bal) {
+		g.bal[s] -= cost
+		g.demand[s] += cost
+	}
 	g.mu.Unlock()
 }
 

@@ -1,0 +1,427 @@
+package netstore
+
+// Live shard rebalancing: the controller-side orchestration that grows
+// or shrinks an epoch-versioned cluster under traffic, without a
+// stop-the-world.
+//
+// The safety argument leans entirely on versioned, idempotent writes
+// (PR 3): every migrated entry is replayed onto its new owner with its
+// ORIGINAL version via SetVersion/DeleteVersion, so copies can race
+// client writes, repeat, or arrive out of order and the
+// last-writer-wins check resolves them correctly. Receivers accept the
+// stream even before they hold the new topology, because servers apply
+// versioned writes stamped with an epoch NEWER than their own (see
+// Server.ownsKey). That reduces live migration to an ordering problem:
+//
+//  1. Compute next = cur.AddShard(...)/RemoveShard(...) (epoch+1).
+//  2. Copy pass: stream every donor replica's store (tombstones too) via
+//     Scan pages, keep the max-version copy of each moving key, and
+//     replay it onto all replicas of its new owner — stamped with
+//     next's epoch, which the receivers honor whatever topology they
+//     hold. No server advertises the new epoch yet, so clients keep
+//     reading moved keys from the donors, where the data still is: a
+//     drained shard's keys never pass through a window where their
+//     advertised owner is empty.
+//  3. Push next to the receivers, then to every other server including
+//     retiring donors. Once a donor holds next it rejects reads/writes
+//     of moved keys (stray/NotOwner), so clients refresh and re-route;
+//     no new write for a moved key can land on a donor.
+//  4. Catch-up pass: re-scan the donors (their moved-key set is now
+//     frozen) and replay anything the first pass missed — writes that
+//     raced step 2. After this pass the new owners hold every
+//     acknowledged write; the donors' leftover copies are unreachable
+//     garbage (servers reject stray reads) that future compaction can
+//     drop.
+//
+// Clients need no coordination: a stray/NotOwner rejection tells them
+// to refresh, and the rejecting server is — by construction — already
+// able to name a newer epoch.
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// RebalanceOptions tune a rebalance run.
+type RebalanceOptions struct {
+	// DialTimeout bounds connection establishment and per-page I/O
+	// deadlines (default 5s).
+	DialTimeout time.Duration
+	// WriteWindow is how many migration writes ride the wire before the
+	// stream waits for their acknowledgments (default 128) — simple
+	// pipelining, bounded memory.
+	WriteWindow int
+	// Logf, when non-nil, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (o RebalanceOptions) withDefaults() RebalanceOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+	if o.WriteWindow <= 0 {
+		o.WriteWindow = 128
+	}
+	return o
+}
+
+func (o RebalanceOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// AddShard grows the cluster by one shard under live traffic: newAddrs
+// (one per replica) must already be serving empty shard-checking
+// servers for shard cur.NextShardID(). It returns the installed
+// topology (epoch cur+1) once migration has converged.
+func AddShard(cur *cluster.ShardTopology, newAddrs []string, opts RebalanceOptions) (*cluster.ShardTopology, error) {
+	opts = opts.withDefaults()
+	next, err := cur.AddShard(newAddrs...)
+	if err != nil {
+		return nil, err
+	}
+	newID := cur.NextShardID()
+	receivers := next.ReplicaServers(newID)
+	donors := cur.ShardIDs()
+	opts.logf("rebalance: adding shard %d (epoch %d → %d), receivers %v", newID, cur.Epoch(), next.Epoch(), newAddrs)
+	if err := migrate(cur, next, donors, receivers, opts); err != nil {
+		return nil, fmt.Errorf("netstore: add shard %d: %w", newID, err)
+	}
+	return next, nil
+}
+
+// RemoveShard drains one shard out of the cluster under live traffic:
+// its keys migrate to the surviving shards' existing arcs, then the
+// shard's servers are dropped from the topology. The servers themselves
+// keep running (they reject everything once they hold the new topology)
+// and can be decommissioned at leisure.
+func RemoveShard(cur *cluster.ShardTopology, shardID int, opts RebalanceOptions) (*cluster.ShardTopology, error) {
+	opts = opts.withDefaults()
+	next, err := cur.RemoveShard(shardID)
+	if err != nil {
+		return nil, err
+	}
+	var receivers []int
+	for _, sh := range next.ShardIDs() {
+		receivers = append(receivers, next.ReplicaServers(sh)...)
+	}
+	donors := []int{shardID}
+	opts.logf("rebalance: removing shard %d (epoch %d → %d)", shardID, cur.Epoch(), next.Epoch())
+	if err := migrate(cur, next, donors, receivers, opts); err != nil {
+		return nil, fmt.Errorf("netstore: remove shard %d: %w", shardID, err)
+	}
+	return next, nil
+}
+
+// migrate runs the ordered copy/push/catch-up protocol described in the
+// package comment. donors are shard IDs of cur whose keys may move;
+// receivers are server IDs of next that take them in.
+func migrate(cur, next *cluster.ShardTopology, donors []int, receivers []int, opts RebalanceOptions) error {
+	// Step 2: copy pass, before any server advertises the new epoch —
+	// receivers accept the next-epoch-stamped stream regardless of the
+	// topology they hold, and clients keep reading moved keys from the
+	// donors throughout.
+	moved, err := copyMoved(cur, next, donors, opts)
+	if err != nil {
+		return fmt.Errorf("copy pass: %w", err)
+	}
+	opts.logf("rebalance: copy pass moved %d keys", moved)
+	// Step 3: publish the new epoch — receivers first (they hold the
+	// data now), then everyone else.
+	pushed := map[int]bool{}
+	for _, sid := range receivers {
+		if err := pushTopologyTo(next.Addr(sid), next, opts); err != nil {
+			return fmt.Errorf("push topology to receiver %d (%s): %w", sid, next.Addr(sid), err)
+		}
+		pushed[sid] = true
+	}
+	for _, sid := range next.Servers() {
+		if pushed[sid] {
+			continue
+		}
+		if err := pushTopologyTo(next.Addr(sid), next, opts); err != nil {
+			return fmt.Errorf("push topology to %d (%s): %w", sid, next.Addr(sid), err)
+		}
+		pushed[sid] = true
+	}
+	// Servers leaving the topology (RemoveShard donors) get it too, so
+	// they start rejecting everything instead of serving stale data.
+	for _, d := range donors {
+		if !next.HasShard(d) {
+			for _, sid := range cur.ReplicaServers(d) {
+				if err := pushTopologyTo(cur.Addr(sid), next, opts); err != nil {
+					return fmt.Errorf("push topology to retiring %d (%s): %w", sid, cur.Addr(sid), err)
+				}
+			}
+		}
+	}
+	// Step 4: catch-up pass over the now-frozen donors.
+	caught, err := copyMoved(cur, next, donors, opts)
+	if err != nil {
+		return fmt.Errorf("catch-up pass: %w", err)
+	}
+	opts.logf("rebalance: catch-up pass replayed %d keys", caught)
+	return nil
+}
+
+// movedEntry is the freshest copy of one migrating key across the donor
+// shard's replicas.
+type movedEntry struct {
+	val  []byte
+	ver  uint64
+	dead bool
+}
+
+// copyMoved streams every donor replica's store and replays the
+// max-version copy of each key whose owner changes between cur and next
+// onto all replicas of its new owner. Returns the number of keys
+// replayed. Unreachable donor replicas are skipped: writes they alone
+// acknowledged (1-ack writes during an outage) are not scannable here,
+// but their siblings hold those writes as hints and the hint-replay
+// path forwards NotOwner-rejected hints to the key's new owner, so the
+// data still converges. An unreachable RECEIVER is an error — migration
+// must not silently under-replicate the new owner.
+func copyMoved(cur, next *cluster.ShardTopology, donors []int, opts RebalanceOptions) (int, error) {
+	// Gather max-version copies of moving keys, donor shard by donor
+	// shard. Held in memory: migration moves ~1/(shards+1) of the
+	// keyspace; for stores too large for that, page the donor scans per
+	// kv-shard (the Scan cursor already supports it) and flush per page.
+	byOwner := make(map[int]map[string]movedEntry)
+	for _, d := range donors {
+		reachable := 0
+		for _, sid := range cur.ReplicaServers(d) {
+			addr := cur.Addr(sid)
+			err := scanAll(addr, opts, func(key string, val []byte, ver uint64, dead bool) {
+				owner := next.ShardOfKey(key)
+				if owner == d && next.HasShard(d) {
+					return // not moving
+				}
+				if cur.ShardOfKey(key) != d {
+					// A leftover from an earlier migration this server was
+					// a donor in: unreachable garbage, not this run's data.
+					return
+				}
+				m := byOwner[owner]
+				if m == nil {
+					m = make(map[string]movedEntry)
+					byOwner[owner] = m
+				}
+				if cu, ok := m[key]; !ok || ver > cu.ver {
+					m[key] = movedEntry{val: val, ver: ver, dead: dead}
+				}
+			})
+			if err != nil {
+				opts.logf("rebalance: donor %d replica %s unreachable, relying on siblings: %v", d, addr, err)
+				continue
+			}
+			reachable++
+		}
+		if reachable == 0 {
+			return 0, fmt.Errorf("no reachable replica of donor shard %d", d)
+		}
+	}
+	// Replay onto every replica of each new owner.
+	total := 0
+	for owner, entries := range byOwner {
+		if len(entries) == 0 {
+			continue
+		}
+		for _, sid := range next.ReplicaServers(owner) {
+			if err := replayEntries(next.Addr(sid), owner, next.Epoch(), entries, opts); err != nil {
+				return total, fmt.Errorf("replay %d keys to shard %d server %s: %w", len(entries), owner, next.Addr(sid), err)
+			}
+		}
+		total += len(entries)
+	}
+	return total, nil
+}
+
+// adminConn is a dedicated synchronous connection for rebalance traffic:
+// scans, topology pushes, and migration replays, one request/response
+// at a time (the server answers these inline and in order).
+type adminConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+	seq  uint64
+}
+
+func dialAdmin(addr string, opts RebalanceOptions) (*adminConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return &adminConn{conn: conn, r: bufio.NewReaderSize(conn, 256<<10)}, nil
+}
+
+func (a *adminConn) close() { _ = a.conn.Close() }
+
+func (a *adminConn) send(m wire.Message, timeout time.Duration) error {
+	_ = a.conn.SetDeadline(time.Now().Add(timeout))
+	return wire.WriteMessage(a.conn, m)
+}
+
+func (a *adminConn) recv(timeout time.Duration) (wire.Message, error) {
+	_ = a.conn.SetDeadline(time.Now().Add(timeout))
+	return wire.ReadMessage(a.r)
+}
+
+// call is one synchronous round trip.
+func (a *adminConn) call(m wire.Message, timeout time.Duration) (wire.Message, error) {
+	if err := a.send(m, timeout); err != nil {
+		return nil, err
+	}
+	return a.recv(timeout)
+}
+
+// FetchTopology asks one server for its current topology (nil if the
+// server holds none).
+func FetchTopology(addr string, timeout time.Duration) (*cluster.ShardTopology, error) {
+	a, err := dialAdmin(addr, RebalanceOptions{DialTimeout: timeout}.withDefaults())
+	if err != nil {
+		return nil, err
+	}
+	defer a.close()
+	a.seq++
+	reply, err := a.call(&wire.TopoGet{Seq: a.seq}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	tp, ok := reply.(*wire.Topo)
+	if !ok {
+		return nil, fmt.Errorf("netstore: topology fetch from %s got %T", addr, reply)
+	}
+	return topoFromWire(tp)
+}
+
+// PushTopology delivers a topology to every server it names (and only
+// those; retiring servers of an old topology need pushTopologyTo
+// directly). Used to bootstrap a fresh cluster to epoch 1 before any
+// epoch-versioned client traffic.
+func PushTopology(t *cluster.ShardTopology, opts RebalanceOptions) error {
+	opts = opts.withDefaults()
+	for _, sid := range t.Servers() {
+		if err := pushTopologyTo(t.Addr(sid), t, opts); err != nil {
+			return fmt.Errorf("netstore: push topology to server %d (%s): %w", sid, t.Addr(sid), err)
+		}
+	}
+	return nil
+}
+
+// pushTopologyTo installs t on one server and confirms the server now
+// reports an epoch at least t's.
+func pushTopologyTo(addr string, t *cluster.ShardTopology, opts RebalanceOptions) error {
+	if addr == "" {
+		return fmt.Errorf("no address bound")
+	}
+	a, err := dialAdmin(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer a.close()
+	a.seq++
+	msg := topoToWire(t, a.seq)
+	reply, err := a.call(msg, opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	tp, ok := reply.(*wire.Topo)
+	if !ok {
+		return fmt.Errorf("push got %T", reply)
+	}
+	if tp.Epoch < t.Epoch() {
+		return fmt.Errorf("server kept epoch %d after push of %d", tp.Epoch, t.Epoch())
+	}
+	return nil
+}
+
+// scanAll streams every entry of one server's store through fn, page by
+// page: the cursor walks the internal kv shards, and a size-bounded
+// shard continues within one cursor via the After key (a response
+// echoing the same cursor names its last key as the resume point).
+func scanAll(addr string, opts RebalanceOptions, fn func(key string, val []byte, ver uint64, dead bool)) error {
+	a, err := dialAdmin(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer a.close()
+	cursor, after := uint32(0), ""
+	for {
+		a.seq++
+		reply, err := a.call(&wire.Scan{Seq: a.seq, Cursor: cursor, After: after}, opts.DialTimeout)
+		if err != nil {
+			return err
+		}
+		sr, ok := reply.(*wire.ScanResp)
+		if !ok {
+			return fmt.Errorf("scan got %T", reply)
+		}
+		for i, k := range sr.Keys {
+			fn(k, sr.Values[i], sr.Versions[i], sr.Dead[i])
+		}
+		switch {
+		case sr.NextCursor == wire.ScanDone:
+			return nil
+		case sr.NextCursor == cursor:
+			if len(sr.Keys) == 0 {
+				return fmt.Errorf("scan of %s made no progress at cursor %d", addr, cursor)
+			}
+			after = sr.Keys[len(sr.Keys)-1]
+		default:
+			cursor, after = sr.NextCursor, ""
+		}
+	}
+}
+
+// replayEntries pushes migrated entries onto one receiving server with
+// their original versions (idempotent), pipelining WriteWindow writes
+// between acknowledgment waits.
+func replayEntries(addr string, shard int, epoch uint64, entries map[string]movedEntry, opts RebalanceOptions) error {
+	a, err := dialAdmin(addr, opts)
+	if err != nil {
+		return err
+	}
+	defer a.close()
+	inFlight := 0
+	drain := func() error {
+		for ; inFlight > 0; inFlight-- {
+			reply, err := a.recv(opts.DialTimeout)
+			if err != nil {
+				return err
+			}
+			switch m := reply.(type) {
+			case *wire.SetResp, *wire.DelResp:
+			case *wire.NotOwner:
+				// The receiver refuses a key migration says it owns: the
+				// topologies disagree, stop rather than lose data silently.
+				return fmt.Errorf("receiver rejected migrated key as not owned (its epoch %d, hint shard %d)", m.Epoch, m.Hint)
+			default:
+				return fmt.Errorf("migration write got %T", reply)
+			}
+		}
+		return nil
+	}
+	for key, e := range entries {
+		a.seq++
+		var msg wire.Message
+		if e.dead {
+			msg = &wire.Del{Seq: a.seq, Version: e.ver, Shard: uint32(shard), Epoch: epoch, Key: key}
+		} else {
+			msg = &wire.Set{Seq: a.seq, Version: e.ver, Shard: uint32(shard), Epoch: epoch, Key: key, Value: e.val}
+		}
+		if err := a.send(msg, opts.DialTimeout); err != nil {
+			return err
+		}
+		if inFlight++; inFlight >= opts.WriteWindow {
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+	}
+	return drain()
+}

@@ -1,0 +1,579 @@
+package netstore
+
+// End-to-end tests of epoch-versioned topology and live rebalancing:
+// scale-out (AddShard) and scale-in (RemoveShard) under concurrent
+// reads and writes, with zero lost acknowledged writes and a post-run
+// convergence scan, plus focused tests of the server's per-key
+// ownership checks and the client's NotOwner-driven refresh.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// startShardServers launches n shard-checking servers for one shard on
+// loopback, returning their addresses (used to grow a cluster mid-test).
+func startShardServers(t *testing.T, shardID, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for r := 0; r < n; r++ {
+		srv := NewServer(kv.New(0), ServerOptions{Workers: 2, Shard: shardID, CheckShard: true})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		addrs[r] = ln.Addr().String()
+		t.Cleanup(srv.Close)
+	}
+	return addrs
+}
+
+// checkOwnerConvergence scans, for every key, ALL replicas of its owner
+// shard under topo and asserts they are found with identical versions
+// at least wantVer[key] — the "every key lands on exactly its new
+// owner, zero lost writes" acceptance check.
+func checkOwnerConvergence(t *testing.T, topo *cluster.ShardTopology, keys []string, wantVer map[string]uint64) {
+	t.Helper()
+	byShard := map[int][]string{}
+	for _, k := range keys {
+		sh := topo.ShardOfKey(k)
+		byShard[sh] = append(byShard[sh], k)
+	}
+	for sh, ks := range byShard {
+		var ref []uint64
+		for r := 0; r < topo.Replicas(); r++ {
+			addr := topo.Addr(topo.Server(sh, r))
+			vers, found, err := ScanVersions(addr, sh, ks, 5*time.Second)
+			if err != nil {
+				t.Fatalf("scan shard %d replica %d (%s): %v", sh, r, addr, err)
+			}
+			for i, k := range ks {
+				if !found[i] {
+					t.Fatalf("key %s missing on its owner shard %d replica %d", k, sh, r)
+				}
+				if want := wantVer[k]; want != 0 && vers[i] < want {
+					t.Fatalf("key %s on shard %d replica %d has version %d < last acked %d (lost write)",
+						k, sh, r, vers[i], want)
+				}
+			}
+			if r == 0 {
+				ref = vers
+				continue
+			}
+			for i, k := range ks {
+				if vers[i] != ref[i] {
+					t.Fatalf("key %s diverged on shard %d: replica 0 v%d, replica %d v%d", k, sh, ref[i], r, vers[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterLiveAddShard is the tentpole scenario: 3 shards serving
+// concurrent reads and writes, a 4th shard added mid-run, and afterward
+// every key lives on exactly its new owner with zero lost acknowledged
+// writes — while the long-lived client crossed the epoch boundary
+// without a restart.
+func TestClusterLiveAddShard(t *testing.T) {
+	base := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 3, Replicas: 2})
+	addrs, _ := startShardedCluster(t, base, nil)
+	topo, err := base.WithAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialCluster(nil, ClusterOptions{Topology: topo, ProbeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 240
+	allKeys := make([]string, keys)
+	for i := range allKeys {
+		allKeys[i] = fmt.Sprintf("key:%d", i)
+		if err := c.Set(allKeys[i], []byte(fmt.Sprintf("v0-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Concurrent load: 2 writers own disjoint key ranges (so "last acked
+	// value" is well-defined) and 2 readers hammer random keys. No
+	// operation may fail across the epoch change.
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	type lastWrite struct {
+		mu   sync.Mutex
+		vals map[string]string
+	}
+	last := &lastWrite{vals: make(map[string]string)}
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := allKeys[(w*keys/2+i%(keys/2))%keys]
+				v := fmt.Sprintf("w%d-%d", w, i)
+				if err := c.Set(k, []byte(v)); err != nil {
+					errCh <- fmt.Errorf("Set %s: %w", k, err)
+					return
+				}
+				last.mu.Lock()
+				last.vals[k] = v
+				last.mu.Unlock()
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ks := make([]string, 8)
+				for j := range ks {
+					ks[j] = allKeys[(r*31+i*7+j)%keys]
+				}
+				if _, err := c.Multiget(ks); err != nil {
+					errCh <- fmt.Errorf("Multiget: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	// Let the load run, then grow the cluster under it.
+	time.Sleep(150 * time.Millisecond)
+	newID := topo.NextShardID()
+	newAddrs := startShardServers(t, newID, topo.Replicas())
+	grown, err := AddShard(topo, newAddrs, RebalanceOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	if grown.Epoch() != topo.Epoch()+1 || !grown.HasShard(newID) {
+		t.Fatalf("grown topology wrong: epoch %d shards %v", grown.Epoch(), grown.ShardIDs())
+	}
+
+	// Keep the load crossing the boundary for a while, then stop it.
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatalf("operation failed across the epoch change: %v", err)
+	}
+
+	// The long-lived client learned the new epoch from NotOwner/stray
+	// rejections alone.
+	if got := c.TopologyEpoch(); got != grown.Epoch() {
+		t.Fatalf("client stuck on epoch %d, cluster at %d", got, grown.Epoch())
+	}
+	if c.TopologyRefreshes() == 0 {
+		t.Fatal("client never refreshed its topology")
+	}
+
+	// The new shard actually owns keys (≈1/4 of the keyspace).
+	movedToNew := 0
+	for _, k := range allKeys {
+		if grown.ShardOfKey(k) == newID {
+			movedToNew++
+		}
+	}
+	if movedToNew == 0 {
+		t.Fatal("no key moved to the new shard; rebalance tested nothing")
+	}
+
+	// Every key reads back with its last acknowledged value through the
+	// surviving client.
+	res, err := c.Multiget(allKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last.mu.Lock()
+	defer last.mu.Unlock()
+	for i, k := range allKeys {
+		if !res.Found[i] {
+			t.Fatalf("%s missing after rebalance", k)
+		}
+		if want, ok := last.vals[k]; ok && string(res.Values[i]) != want {
+			t.Fatalf("%s = %q after rebalance, want last acked %q", k, res.Values[i], want)
+		}
+	}
+
+	// Convergence: every key on exactly its new owner, all replicas
+	// agreeing. (Write versions are internal to the client, so the scan
+	// asserts found + replica agreement.)
+	checkOwnerConvergence(t, grown, allKeys, nil)
+}
+
+// TestClusterLiveRemoveShard drains a shard under load: its keys
+// migrate onto the survivors, the long-lived client re-routes, and the
+// retired shard's servers reject everything.
+func TestClusterLiveRemoveShard(t *testing.T) {
+	base := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 3, Replicas: 2})
+	addrs, _ := startShardedCluster(t, base, nil)
+	topo, err := base.WithAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialCluster(nil, ClusterOptions{Topology: topo, ProbeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const keys = 180
+	allKeys := make([]string, keys)
+	for i := range allKeys {
+		allKeys[i] = fmt.Sprintf("key:%d", i)
+		if err := c.Set(allKeys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const victim = 2
+	victimKeys := 0
+	for _, k := range allKeys {
+		if topo.ShardOfKey(k) == victim {
+			victimKeys++
+		}
+	}
+	if victimKeys == 0 {
+		t.Fatal("victim shard holds no keys; removal tests nothing")
+	}
+
+	stop := make(chan struct{})
+	errCh := make(chan error, 4)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := c.Multiget([]string{allKeys[i%keys]}); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	time.Sleep(100 * time.Millisecond)
+	shrunk, err := RemoveShard(topo, victim, RebalanceOptions{Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("RemoveShard: %v", err)
+	}
+	if shrunk.HasShard(victim) || shrunk.Shards() != 2 {
+		t.Fatalf("shrunk topology wrong: %v", shrunk.ShardIDs())
+	}
+	time.Sleep(200 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		t.Fatalf("read failed across shard removal: %v", err)
+	}
+
+	if got := c.TopologyEpoch(); got != shrunk.Epoch() {
+		t.Fatalf("client stuck on epoch %d, cluster at %d", got, shrunk.Epoch())
+	}
+	res, err := c.Multiget(allKeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range allKeys {
+		if !res.Found[i] || string(res.Values[i]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s wrong after removal: found=%v val=%q", k, res.Found[i], res.Values[i])
+		}
+	}
+	checkOwnerConvergence(t, shrunk, allKeys, nil)
+
+	// The retired shard's servers hold the new topology and own nothing:
+	// direct scans there must be rejected, proving reads can no longer
+	// land on the drained shard.
+	if _, _, err := ScanVersions(topo.Addr(topo.Server(victim, 0)), victim, allKeys[:1], time.Second); err == nil {
+		t.Fatal("retired server still serves reads for its old shard")
+	}
+}
+
+// TestServerPerKeyOwnership exercises the wire-level ownership checks
+// directly: a server holding a topology marks stray keys per key in
+// batches (serving the rest) and rejects writes with NotOwner.
+func TestServerPerKeyOwnership(t *testing.T) {
+	topo := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	// One real server for shard 0; shard 1's server is never contacted.
+	srv := NewServer(kv.New(0), ServerOptions{Workers: 1, Shard: 0, CheckShard: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Close)
+	if !srv.SetTopology(topo) {
+		t.Fatal("topology not installed")
+	}
+	if srv.SetTopology(topo) {
+		t.Fatal("same-epoch topology re-installed")
+	}
+	if srv.TopologyEpoch() != topo.Epoch() {
+		t.Fatalf("server epoch %d, want %d", srv.TopologyEpoch(), topo.Epoch())
+	}
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newServerConn(conn)
+	defer sc.close()
+
+	// Find one key per shard.
+	var owned, foreign string
+	for i := 0; owned == "" || foreign == ""; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if topo.ShardOfKey(k) == 0 && owned == "" {
+			owned = k
+		}
+		if topo.ShardOfKey(k) == 1 && foreign == "" {
+			foreign = k
+		}
+	}
+
+	// Writes: owned accepted, foreign rejected with the owner hint.
+	rt := writeRoute{shard: 0, epoch: topo.Epoch()}
+	if err := sc.set(owned, []byte("mine"), 7, rt, 0); err != nil {
+		t.Fatalf("owned Set rejected: %v", err)
+	}
+	err = sc.set(foreign, []byte("stray"), 8, rt, 0)
+	var noe *NotOwnerError
+	if !errors.As(err, &noe) {
+		t.Fatalf("foreign Set err = %v, want NotOwnerError", err)
+	}
+	if noe.OwnerShard != 1 || noe.Epoch != topo.Epoch() {
+		t.Fatalf("NotOwner hint = %+v, want owner 1 epoch %d", noe, topo.Epoch())
+	}
+	if err := sc.del(foreign, 9, rt, 0); err == nil {
+		t.Fatal("foreign Del accepted")
+	}
+	if _, ok := srv.Store().Get(foreign); ok {
+		t.Fatal("rejected write reached the store")
+	}
+
+	// Batch: the owned key is served, the foreign one marked stray (not
+	// "missing"), and the response names the server's epoch.
+	resp, err := sc.batch(&wire.BatchReq{
+		Shard: 0, Epoch: topo.Epoch(),
+		Priority: []int64{0, 0}, Keys: []string{owned, foreign},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Epoch != topo.Epoch() {
+		t.Fatalf("batch response epoch %d, want %d", resp.Epoch, topo.Epoch())
+	}
+	if resp.Stray == nil || resp.Stray[0] || !resp.Stray[1] {
+		t.Fatalf("stray marks = %v, want [false true]", resp.Stray)
+	}
+	if !resp.Found[0] || string(resp.Values[0]) != "mine" {
+		t.Fatalf("owned key not served: found=%v val=%q", resp.Found[0], resp.Values[0])
+	}
+	if resp.Found[1] {
+		t.Fatal("stray key reported found")
+	}
+
+	// All-stray batches answer immediately without scheduling.
+	resp, err = sc.batch(&wire.BatchReq{
+		Shard: 0, Epoch: topo.Epoch(),
+		Priority: []int64{0}, Keys: []string{foreign},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Stray == nil || !resp.Stray[0] {
+		t.Fatalf("all-stray batch served: %+v", resp)
+	}
+}
+
+// Regression: a topology pushed over the wire is decoded off a pooled
+// frame in aliasing mode — the installed topology must deep-copy its
+// address strings, or later frames reusing the buffer corrupt them.
+func TestTopoPushDoesNotAliasFrame(t *testing.T) {
+	srv := NewServer(kv.New(0), ServerOptions{Workers: 1, Shard: 0, CheckShard: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	t.Cleanup(srv.Close)
+
+	base := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	topo, err := base.WithAddrs([]string{"10.0.0.1:7001", "10.0.0.2:7001"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pushTopologyTo(ln.Addr().String(), topo, RebalanceOptions{}.withDefaults()); err != nil {
+		t.Fatal(err)
+	}
+	// Hammer the connection-handling path with frames that recycle the
+	// pooled buffers the push rode in on.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := newServerConn(conn)
+	defer sc.close()
+	var owned string
+	for i := 0; owned == ""; i++ {
+		k := fmt.Sprintf("kkkkkkkkkkkkkkkkkkkkkkkk:%d", i)
+		if topo.ShardOfKey(k) == 0 {
+			owned = k
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if err := sc.set(owned, []byte("kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk"), uint64(i+1), writeRoute{shard: 0, epoch: 1}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := srv.Topology()
+	if got == nil {
+		t.Fatal("topology lost")
+	}
+	if a := got.Addr(0); a != "10.0.0.1:7001" {
+		t.Fatalf("server topology address corrupted by frame reuse: %q", a)
+	}
+	if a := got.Addr(1); a != "10.0.0.2:7001" {
+		t.Fatalf("server topology address corrupted by frame reuse: %q", a)
+	}
+}
+
+// Regression: scan pages are size-bounded — a kv shard larger than one
+// page splits across responses via the After continuation key instead
+// of producing a frame that can outgrow wire.MaxFrame.
+func TestScanStorePaging(t *testing.T) {
+	store := kv.New(1) // everything in one kv shard
+	const entries = 6
+	for i := 0; i < entries; i++ {
+		store.SetVersion(fmt.Sprintf("big:%d", i), make([]byte, 1<<20), uint64(i+1))
+	}
+	store.DeleteVersion("tomb", 99)
+	srv := NewServer(store, ServerOptions{Workers: 1})
+	defer srv.Close()
+
+	seen := map[string]uint64{}
+	cursor, after, pages := uint32(0), "", 0
+	for {
+		resp := srv.scanStore(1, cursor, after)
+		pages++
+		pageBytes := 0
+		for i, k := range resp.Keys {
+			if _, dup := seen[k]; dup {
+				t.Fatalf("key %s scanned twice", k)
+			}
+			seen[k] = resp.Versions[i]
+			pageBytes += len(k) + len(resp.Values[i])
+		}
+		if pageBytes > maxScanPageBytes+(1<<20) {
+			t.Fatalf("page of %d bytes exceeds the bound", pageBytes)
+		}
+		if resp.NextCursor == wire.ScanDone {
+			break
+		}
+		if resp.NextCursor == cursor {
+			if len(resp.Keys) == 0 {
+				t.Fatal("same-cursor page made no progress")
+			}
+			after = resp.Keys[len(resp.Keys)-1]
+		} else {
+			cursor, after = resp.NextCursor, ""
+		}
+		if pages > 100 {
+			t.Fatal("scan never terminated")
+		}
+	}
+	if pages < 2 {
+		t.Fatalf("oversized shard served in %d page(s); want a split", pages)
+	}
+	if len(seen) != entries+1 {
+		t.Fatalf("scan covered %d entries, want %d", len(seen), entries+1)
+	}
+	if v, ok := seen["tomb"]; !ok || v != 99 {
+		t.Fatal("tombstone missing from paged scan")
+	}
+}
+
+// Regression: a client dialed with the WRONG layout (1×1) against
+// servers holding the real 2×2 topology must refresh to it — resizing
+// its per-shard scorers to the fetched replica count instead of
+// panicking — and then serve from the full cluster.
+func TestClusterMisconfiguredLayoutSelfHeals(t *testing.T) {
+	base := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	addrs, _ := startShardedCluster(t, base, nil)
+	topo, err := base.WithAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Seed data through a correctly configured client.
+	seed, err := DialCluster(nil, ClusterOptions{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, 40)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%d", i)
+		if err := seed.Set(keys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seed.Close()
+
+	// The misconfigured client believes the cluster is 1 shard × 1
+	// replica, all behind server 0.
+	wrong := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 1})
+	c, err := DialCluster(addrs[:1], ClusterOptions{Topology: wrong, ProbeInterval: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	res, err := c.Multiget(keys)
+	if err != nil {
+		t.Fatalf("misconfigured client did not self-heal: %v", err)
+	}
+	for i, k := range keys {
+		if !res.Found[i] || string(res.Values[i]) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("%s wrong after self-heal: found=%v val=%q", k, res.Found[i], res.Values[i])
+		}
+	}
+	if c.TopologyEpoch() != topo.Epoch() || c.Topology().Replicas() != 2 {
+		t.Fatalf("client topology not healed: epoch %d replicas %d", c.TopologyEpoch(), c.Topology().Replicas())
+	}
+}

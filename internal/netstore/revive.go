@@ -20,10 +20,15 @@ package netstore
 //
 // All repair writes carry their original versions and servers apply
 // them last-writer-wins (kv.SetVersion/DeleteVersion), so replays and
-// races are idempotent and can never roll a replica backwards.
+// races are idempotent and can never roll a replica backwards. Repair
+// traffic is topology-aware: a hint whose key moved to another shard by
+// the time it replays is forwarded to the key's current owner (it may
+// hold the only surviving copy of an acknowledged write), never forced
+// onto a server that no longer owns it and never dropped.
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -53,14 +58,70 @@ type hintBuffer struct {
 	hints map[string]hint
 }
 
-// addHint buffers a write server sid missed. Values are copied (the
-// caller's buffer may be reused); newer versions replace older ones for
-// the same key without growing the buffer.
-func (c *Cluster) addHint(sid int, key string, value []byte, version uint64, del bool) {
+// addHint buffers a write the slot's server missed. Values are copied
+// (the caller's buffer may be reused); newer versions replace older ones
+// for the same key without growing the buffer. Overflow drops are
+// counted — they widen the window read-repair must cover.
+//
+// A slot that a topology install retired is a dead drop: the prober
+// walks only current servers and installs drain only current slots, so
+// a hint parked there would never be seen again. Hints aimed at a
+// retired slot redirect (in memory, no I/O) to the key's current owner
+// slots, whose buffers the prober's flushHints pass drains.
+func (c *Cluster) addHint(slot *serverSlot, key string, value []byte, version uint64, del bool) {
 	if c.opts.MaxHintsPerReplica < 0 {
 		return
 	}
-	hb := &c.hints[sid]
+	if c.redirectIfRetired(slot, key, value, version, del) {
+		return
+	}
+	c.bufferHint(slot, key, value, version, del)
+	// Post-hoc recheck: an install could retire the slot (and drain its
+	// buffer) between the check above and the buffer write, leaving the
+	// hint parked where nothing will ever look. Pull the buffer back out
+	// and push it through the redirect path — installs are serialized,
+	// so the chase terminates at the then-current owners.
+	if c.state.Load().slots[slot.id] != slot {
+		c.drainRetired(slot)
+	}
+}
+
+// redirectIfRetired forwards a hint aimed at a slot that is no longer
+// part of the current topology to the key's current owner slots,
+// reporting whether it did.
+func (c *Cluster) redirectIfRetired(slot *serverSlot, key string, value []byte, version uint64, del bool) bool {
+	st := c.state.Load()
+	if st.slots[slot.id] == slot {
+		return false
+	}
+	shard := st.topo.ShardOfKey(key)
+	redirected := false
+	for _, sid := range st.topo.ReplicaServers(shard) {
+		if tgt := st.slots[sid]; tgt != nil && tgt != slot {
+			c.bufferHint(tgt, key, value, version, del)
+			redirected = true
+		}
+	}
+	return redirected
+}
+
+// drainRetired empties a retired slot's hint buffer back through
+// addHint, whose redirect lands each hint on its key's current owners.
+func (c *Cluster) drainRetired(slot *serverSlot) {
+	hb := &slot.hints
+	hb.mu.Lock()
+	orphaned := hb.hints
+	hb.hints = nil
+	hb.mu.Unlock()
+	for k, h := range orphaned {
+		c.addHint(slot, k, h.value, h.version, h.del)
+	}
+}
+
+// bufferHint is addHint's storage half: the bare buffer write, without
+// the retired-slot redirect.
+func (c *Cluster) bufferHint(slot *serverSlot, key string, value []byte, version uint64, del bool) {
+	hb := &slot.hints
 	hb.mu.Lock()
 	defer hb.mu.Unlock()
 	if cur, ok := hb.hints[key]; ok {
@@ -68,6 +129,8 @@ func (c *Cluster) addHint(sid int, key string, value []byte, version uint64, del
 			return
 		}
 	} else if len(hb.hints) >= c.opts.MaxHintsPerReplica {
+		c.hintOverflows.Add(1)
+		hintOverflowsTotal.Inc()
 		return
 	}
 	var cp []byte
@@ -83,8 +146,8 @@ func (c *Cluster) addHint(sid int, key string, value []byte, version uint64, del
 // removeHint retracts the hint for key at exactly version ver — a write
 // that failed on every replica takes back what it buffered. A newer
 // hint for the key (a later write) stays.
-func (c *Cluster) removeHint(sid int, key string, ver uint64) {
-	hb := &c.hints[sid]
+func (c *Cluster) removeHint(slot *serverSlot, key string, ver uint64) {
+	hb := &slot.hints
 	hb.mu.Lock()
 	if h, ok := hb.hints[key]; ok && h.version == ver {
 		delete(hb.hints, key)
@@ -92,22 +155,54 @@ func (c *Cluster) removeHint(sid int, key string, ver uint64) {
 	hb.mu.Unlock()
 }
 
-// replayHints pushes every buffered write for server sid over sc,
+// replayHints pushes every buffered write for the slot's server over sc,
 // reporting whether the replay completed. On a transport failure the
 // unreplayed remainder is merged back (newer hints buffered meanwhile
-// win) and the revival is abandoned.
-func (c *Cluster) replayHints(sid int, sc *serverConn) bool {
-	hb := &c.hints[sid]
+// win) and the revival is abandoned. A NotOwner rejection re-routes the
+// hint instead: the key's shard moved while the server was down, and a
+// hint can hold the only surviving copy of an acknowledged write (a
+// 1-ack write whose acking donor replica never got scanned), so it must
+// reach the key's CURRENT owner — never be force-fed to this server,
+// never silently dropped.
+func (c *Cluster) replayHints(slot *serverSlot, sc *serverConn) bool {
+	hb := &slot.hints
 	hb.mu.Lock()
 	pending := hb.hints
 	hb.hints = nil
 	hb.mu.Unlock()
+	st := c.state.Load()
+	// A NotOwner during replay proves the rejecting server holds a newer
+	// (or off-lineage) topology than ours — re-route under a REFRESHED
+	// one, or the forward just re-targets the same stale owner and the
+	// hint bounces. One refresh covers the whole batch.
+	refreshed := false
+	freshState := func() *topoState {
+		if !refreshed {
+			st = c.refreshTopology(st)
+			refreshed = true
+		}
+		return st
+	}
+	rt := writeRoute{shard: st.topo.ShardOfServer(slot.id), epoch: st.topo.Epoch()}
+	if rt.shard < 0 {
+		// The server retired from the topology while down: forward every
+		// hint to its key's current owner.
+		for key, h := range pending {
+			c.rerouteHint(st, key, h)
+		}
+		return true
+	}
 	for key, h := range pending {
 		var err error
 		if h.del {
-			err = sc.del(key, h.version)
+			err = sc.del(key, h.version, rt, c.opts.DialTimeout)
 		} else {
-			err = sc.set(key, h.value, h.version)
+			err = sc.set(key, h.value, h.version, rt, c.opts.DialTimeout)
+		}
+		if errors.As(err, new(*NotOwnerError)) {
+			c.rerouteHint(freshState(), key, h)
+			delete(pending, key)
+			continue
 		}
 		if err != nil {
 			hb.mu.Lock()
@@ -120,6 +215,14 @@ func (c *Cluster) replayHints(sid int, sc *serverConn) bool {
 				}
 			}
 			hb.mu.Unlock()
+			// If a topology install retired this slot while the replay
+			// was in flight, the merge above parked the remainder on a
+			// buffer nothing will ever revisit (the install's drain pass
+			// ran before or during our replay) — pull it back out and
+			// redirect each hint to its key's current owners.
+			if c.state.Load().slots[slot.id] != slot {
+				c.drainRetired(slot)
+			}
 			return false
 		}
 		delete(pending, key)
@@ -127,9 +230,40 @@ func (c *Cluster) replayHints(sid int, sc *serverConn) bool {
 	return true
 }
 
+// rerouteHint forwards a hint whose key no longer belongs to the server
+// it was buffered for onto the key's current owner replicas. Versioned
+// writes make the forward idempotent; replicas that are down or fail —
+// including a NotOwner, which means the topology moved AGAIN between
+// the caller's refresh and this forward — get the hint re-buffered
+// under their own slot, so the data keeps chasing its owner across
+// epochs (each prober pass re-resolves ownership afresh) instead of
+// vanishing.
+func (c *Cluster) rerouteHint(st *topoState, key string, h hint) {
+	shard := st.topo.ShardOfKey(key)
+	rt := writeRoute{shard: shard, epoch: st.topo.Epoch()}
+	for r := 0; r < st.topo.Replicas(); r++ {
+		owner := st.slotOf(shard, r)
+		osc := owner.conn.Load()
+		if osc == nil || owner.down.Load() {
+			c.addHint(owner, key, h.value, h.version, h.del)
+			continue
+		}
+		var err error
+		if h.del {
+			err = osc.del(key, h.version, rt, c.opts.DialTimeout)
+		} else {
+			err = osc.set(key, h.value, h.version, rt, c.opts.DialTimeout)
+		}
+		if err != nil {
+			c.addHint(owner, key, h.value, h.version, h.del)
+		}
+	}
+}
+
 // probeLoop periodically probes down-marked servers and revives the ones
 // that answer. One goroutine per cluster client, started by DialCluster,
-// stopped by Close.
+// stopped by Close. Each tick walks the CURRENT topology's servers, so
+// replicas added by a rebalance are probed and retired ones are not.
 func (c *Cluster) probeLoop() {
 	defer c.probeWG.Done()
 	ticker := time.NewTicker(c.opts.ProbeInterval)
@@ -140,16 +274,24 @@ func (c *Cluster) probeLoop() {
 			return
 		case <-ticker.C:
 		}
-		for sid := range c.down {
+		st := c.state.Load()
+		if c.epochLag.Swap(false) {
+			// A batch response showed a server running a newer epoch:
+			// refresh proactively so the next rebalance-moved key is
+			// routed right the first time instead of via a stray bounce.
+			st = c.refreshTopology(st)
+		}
+		for _, sid := range st.topo.Servers() {
 			select {
 			case <-c.stopProbe:
 				return
 			default:
 			}
-			if c.down[sid].Load() {
-				c.tryRevive(sid)
+			slot := st.slots[sid]
+			if slot.down.Load() {
+				c.tryRevive(st, slot)
 			} else {
-				c.flushHints(sid)
+				c.flushHints(slot)
 			}
 		}
 	}
@@ -160,16 +302,16 @@ func (c *Cluster) probeLoop() {
 // and buffer a hint for a replica that is already back up. The prober
 // drains such stragglers on its next tick, so no hint is stranded while
 // its replica is live.
-func (c *Cluster) flushHints(sid int) {
-	hb := &c.hints[sid]
+func (c *Cluster) flushHints(slot *serverSlot) {
+	hb := &slot.hints
 	hb.mu.Lock()
 	n := len(hb.hints)
 	hb.mu.Unlock()
 	if n == 0 {
 		return
 	}
-	if sc := c.conn(sid); sc != nil {
-		_ = c.replayHints(sid, sc)
+	if sc := slot.conn.Load(); sc != nil {
+		_ = c.replayHints(slot, sc)
 	}
 }
 
@@ -177,8 +319,8 @@ func (c *Cluster) flushHints(sid int) {
 // Ping/Pong, replays its hinted writes, and only then swaps the fresh
 // connection in and clears the down mark — reads never hit a revived
 // replica this client hasn't caught up yet.
-func (c *Cluster) tryRevive(sid int) {
-	sc, err := probeDial(c.addrs[sid], c.opts.DialTimeout)
+func (c *Cluster) tryRevive(st *topoState, slot *serverSlot) {
+	sc, err := probeDial(slot.addr, c.opts.DialTimeout)
 	if err != nil {
 		return
 	}
@@ -188,7 +330,7 @@ func (c *Cluster) tryRevive(sid int) {
 	// remainder re-buffers; already-replayed hints are gone from the
 	// snapshot, so retries make progress even through a huge buffer.
 	_ = sc.conn.SetDeadline(time.Now().Add(c.opts.DialTimeout))
-	if !c.replayHints(sid, sc) {
+	if !c.replayHints(slot, sc) {
 		sc.close()
 		return
 	}
@@ -196,8 +338,17 @@ func (c *Cluster) tryRevive(sid int) {
 	// The revived process shares nothing with the crashed one: drop the
 	// replica's C3 outstanding/EWMA state so stale pre-crash feedback
 	// neither penalizes nor favors it.
-	shard := c.opts.Shards.ShardOfServer(sid)
-	c.scorers[shard].Reset(sid - c.opts.Shards.Server(shard, 0))
+	shard := st.topo.ShardOfServer(slot.id)
+	if shard >= 0 {
+		if scorer := st.scorers[shard]; scorer != nil {
+			for r, sid := range st.topo.ReplicaServers(shard) {
+				if sid == slot.id {
+					scorer.Reset(r)
+					break
+				}
+			}
+		}
+	}
 	// Clear the down mark BEFORE publishing the connection. In the
 	// reverse order, an operation failing on the freshly swapped conn
 	// could markDown (conns→nil, down→true) and then lose its down mark
@@ -206,9 +357,20 @@ func (c *Cluster) tryRevive(sid int) {
 	// set by any failure on the new conn survives, and the only race
 	// window is a read skipping the replica for the instant between the
 	// two stores.
-	c.down[sid].Store(false)
-	if old := c.conns[sid].Swap(sc); old != nil {
+	slot.down.Store(false)
+	if old := slot.conn.Swap(sc); old != nil {
 		old.close()
+	}
+	// A topology install may have retired this slot while the revival
+	// was in flight: no state references it anymore, so nothing —
+	// neither Close's sweep nor a later install — would ever close the
+	// connection we just published. Retract it ourselves (the Swap hands
+	// the conn to exactly one closer even if an install raced us here).
+	if cur := c.state.Load(); cur.slots[slot.id] != slot {
+		if mine := slot.conn.Swap(nil); mine != nil {
+			mine.close()
+		}
+		return
 	}
 	c.revivals.Add(1)
 }
@@ -289,28 +451,40 @@ func (c *Cluster) scheduleRepair(shard, staleRep int, key string) {
 // repairKey reads key from the other live replicas of its shard, takes
 // the freshest copy (value or tombstone), and pushes it to the stale
 // replica with its original version — the server's last-writer-wins
-// check makes a racing newer write safe.
+// check makes a racing newer write safe. It re-resolves the topology at
+// run time: if a rebalance moved the key or removed the shard since the
+// stale read, the repair is moot and aborts.
 func (c *Cluster) repairKey(shard, staleRep int, key string) {
+	st := c.state.Load()
+	if !st.topo.HasShard(shard) || st.topo.ShardOfKey(key) != shard {
+		return
+	}
+	rt := writeRoute{shard: shard, epoch: st.topo.Epoch()}
 	var bestVal []byte
 	var bestVer uint64
 	bestDel := false
-	for r := 0; r < c.opts.Shards.Replicas(); r++ {
+	for r := 0; r < st.topo.Replicas(); r++ {
 		if r == staleRep {
 			continue
 		}
-		sid := c.opts.Shards.Server(shard, r)
-		sc := c.conn(sid)
-		if sc == nil || c.down[sid].Load() {
+		slot := st.slotOf(shard, r)
+		sc := slot.conn.Load()
+		if sc == nil || slot.down.Load() {
 			continue
 		}
 		resp, err := sc.batch(&wire.BatchReq{
 			Shard:    uint32(shard),
 			Replica:  uint32(r),
+			Epoch:    st.topo.Epoch(),
 			Priority: []int64{0},
 			Keys:     []string{key},
 		})
 		if err != nil || resp.Misrouted() || len(resp.Values) != 1 || len(resp.Versions) != 1 {
 			continue
+		}
+		if resp.Stray != nil && resp.Stray[0] {
+			// The key moved off this shard entirely; nothing to repair.
+			return
 		}
 		if resp.Versions[0] > bestVer {
 			bestVer = resp.Versions[0]
@@ -321,15 +495,15 @@ func (c *Cluster) repairKey(shard, staleRep int, key string) {
 	if bestVer == 0 {
 		return
 	}
-	staleSid := c.opts.Shards.Server(shard, staleRep)
-	sc := c.conn(staleSid)
-	if sc == nil || c.down[staleSid].Load() {
+	staleSlot := st.slotOf(shard, staleRep)
+	sc := staleSlot.conn.Load()
+	if sc == nil || staleSlot.down.Load() {
 		return
 	}
 	if bestDel {
-		_ = sc.del(key, bestVer)
+		_ = sc.del(key, bestVer, rt, c.opts.DialTimeout)
 	} else {
-		_ = sc.set(key, bestVal, bestVer)
+		_ = sc.set(key, bestVal, bestVer, rt, c.opts.DialTimeout)
 	}
 }
 
@@ -338,7 +512,8 @@ func (c *Cluster) repairKey(shard, staleRep int, key string) {
 // fault-injection tooling (`brb-load -kill-replica`) use it to check
 // that the replicas of a shard have version-converged after recovery;
 // shard is the server's shard group (shard-checking servers reject
-// mismatches).
+// mismatches, and topology-holding servers reject keys they do not own
+// — scan only keys the target owns).
 func ScanVersions(addr string, shard int, keys []string, timeout time.Duration) (versions []uint64, found []bool, err error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -356,6 +531,17 @@ func ScanVersions(addr string, shard int, keys []string, timeout time.Duration) 
 	}
 	if resp.Misrouted() {
 		return nil, nil, fmt.Errorf("netstore: server %s rejected scan for shard %d as misrouted", addr, shard)
+	}
+	if resp.Stray != nil {
+		n := 0
+		for _, s := range resp.Stray {
+			if s {
+				n++
+			}
+		}
+		if n > 0 {
+			return nil, nil, fmt.Errorf("netstore: server %s rejected %d of %d scanned keys as not owned", addr, n, len(keys))
+		}
 	}
 	if len(resp.Versions) != len(keys) || len(resp.Found) != len(keys) {
 		return nil, nil, fmt.Errorf("netstore: scan of %s returned %d versions for %d keys", addr, len(resp.Versions), len(keys))

@@ -57,9 +57,9 @@ func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool)
 // without being restarted itself, hinted writes replay, and a full-key
 // version scan of the shard's replicas converges.
 func TestClusterReplicaRevival(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: 20 * time.Millisecond})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: 20 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,10 +159,10 @@ func TestClusterReplicaRevival(t *testing.T) {
 // second repair path: a read revealing a stale version triggers a
 // background push of the fresh copy to the lagging replica.
 func TestClusterReadRepair(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
 	c, err := DialCluster(addrs, ClusterOptions{
-		Shards:             m,
+		Topology:           m,
 		ProbeInterval:      20 * time.Millisecond,
 		MaxHintsPerReplica: -1, // isolate read-repair
 	})
@@ -205,10 +205,10 @@ func TestClusterReadRepair(t *testing.T) {
 // revived with the old value still standing gets the tombstone pushed
 // by read-repair (hints disabled to isolate the path).
 func TestClusterReadRepairDelete(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
 	c, err := DialCluster(addrs, ClusterOptions{
-		Shards:             m,
+		Topology:           m,
 		ProbeInterval:      20 * time.Millisecond,
 		MaxHintsPerReplica: -1,
 	})
@@ -249,9 +249,9 @@ func TestClusterReadRepairDelete(t *testing.T) {
 // accepted reports an error and must not resurface later — the hints it
 // buffered are taken back.
 func TestClusterWriteTotalFailureRetractsHints(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: -1})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,9 +273,9 @@ func TestClusterWriteTotalFailureRetractsHints(t *testing.T) {
 // so they survive revival ordering, and the learned size cache forgets
 // the key.
 func TestClusterDelete(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -318,9 +318,9 @@ func TestClusterDelete(t *testing.T) {
 // TestClusterMultigetPartialResults: with a whole shard dead, Multiget
 // returns the joined error AND the values the live shards produced.
 func TestClusterMultigetPartialResults(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: -1})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,9 +368,9 @@ func TestClusterMultigetPartialResults(t *testing.T) {
 // this exercises the probe loop's connection swaps against concurrent
 // batch traffic. The surviving replica means no operation may fail.
 func TestClusterProbeRaceWithMultigets(t *testing.T) {
-	m := cluster.MustNewShardMap(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
 	addrs, servers := startShardedCluster(t, m, nil)
-	c, err := DialCluster(addrs, ClusterOptions{Shards: m, ProbeInterval: 5 * time.Millisecond})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: 5 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -21,7 +21,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/metrics"
 	"github.com/brb-repro/brb/internal/wire"
 )
 
@@ -53,10 +55,23 @@ type ServerOptions struct {
 	// different shard are rejected with wire.FlagMisrouted instead of
 	// silently answering "not found" for keys the server never stored.
 	Shard int
-	// CheckShard enables shard-header validation. Single-tier
-	// deployments (the plain Client) leave it off and the server accepts
-	// every batch.
+	// CheckShard enables shard validation. Single-tier deployments (the
+	// plain Client) leave it off and the server accepts every batch.
+	// With a topology installed (SetTopology or a wire push), validation
+	// upgrades from the whole-batch header check to per-key ownership:
+	// keys the topology assigns elsewhere are rejected as strays
+	// (BatchResp.Stray) or NotOwner (writes) instead of trusting the
+	// client's routing.
 	CheckShard bool
+	// TombstoneGCHorizon, when positive, enables tombstone garbage
+	// collection on the server's store: tombstones older than the
+	// horizon are dropped by a bounded periodic sweep. The horizon must
+	// exceed the longest plausible delayed-replay window (see
+	// kv.Store.StartTombstoneGC).
+	TombstoneGCHorizon time.Duration
+	// TombstoneGCInterval is the sweep tick (default horizon/10, floor
+	// 1s; each tick sweeps 1/NumShards of the store).
+	TombstoneGCInterval time.Duration
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -72,11 +87,17 @@ type Server struct {
 	store *kv.Store
 	sched *scheduler
 
+	// topo is the server's current epoch-versioned topology (nil until
+	// installed by SetTopology or a wire Topo push). With CheckShard set
+	// it upgrades shard validation to per-key ownership checks.
+	topo atomic.Pointer[cluster.ShardTopology]
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+	gcStop func()
 
 	served atomic.Uint64
 }
@@ -93,11 +114,48 @@ func NewServer(store *kv.Store, opts ServerOptions) *Server {
 		sched: newScheduler(opts.Discipline),
 		conns: make(map[net.Conn]struct{}),
 	}
+	if opts.TombstoneGCHorizon > 0 {
+		interval := opts.TombstoneGCInterval
+		if interval <= 0 {
+			interval = opts.TombstoneGCHorizon / 10
+			if interval < time.Second {
+				interval = time.Second
+			}
+		}
+		s.gcStop = store.StartTombstoneGC(opts.TombstoneGCHorizon, interval)
+	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s
+}
+
+// SetTopology installs a topology if it is newer than the current one
+// (a nil current accepts any), reporting whether it was installed. The
+// wire Topo push goes through here too.
+func (s *Server) SetTopology(t *cluster.ShardTopology) bool {
+	for {
+		cur := s.topo.Load()
+		if cur != nil && (t == nil || t.Epoch() <= cur.Epoch()) {
+			return false
+		}
+		if s.topo.CompareAndSwap(cur, t) {
+			return true
+		}
+	}
+}
+
+// Topology returns the server's current topology (nil if none
+// installed).
+func (s *Server) Topology() *cluster.ShardTopology { return s.topo.Load() }
+
+// TopologyEpoch returns the installed topology's epoch (0 if none).
+func (s *Server) TopologyEpoch() uint64 {
+	if t := s.topo.Load(); t != nil {
+		return t.Epoch()
+	}
+	return 0
 }
 
 // Store exposes the underlying KV store (loaders use it in-process).
@@ -168,6 +226,9 @@ func (s *Server) Close() {
 		_ = c.Close()
 	}
 	s.mu.Unlock()
+	if s.gcStop != nil {
+		s.gcStop()
+	}
 	s.sched.close()
 	s.wg.Wait()
 }
@@ -216,11 +277,13 @@ type batchState struct {
 var batchPool = sync.Pool{New: func() any { return new(batchState) }}
 
 // newBatchState readies a pooled batchState for a decoded request whose
-// keys alias frame.
-func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame) *batchState {
+// keys alias frame. stray, when non-nil, marks keys the server refused
+// for ownership: they are answered in place (found=false, stray=true)
+// and never enqueued — only owned keys become work items. epoch is the
+// server's topology epoch, piggybacked on the response.
+func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame, stray []bool, epoch uint64) *batchState {
 	n := len(m.Keys)
 	bs := batchPool.Get().(*batchState)
-	bs.remaining = n
 	bs.enqueued = time.Now()
 	bs.svcNanos = 0
 	bs.cs = cs
@@ -234,25 +297,42 @@ func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame) *batchSta
 			values[i], found[i], versions[i] = nil, false, 0
 		}
 	}
-	bs.resp = wire.BatchResp{Batch: m.Batch, Values: values, Found: found, Versions: versions}
-	if cap(bs.items) < n {
-		bs.items = make([]workItem, n)
-	} else {
-		bs.items = bs.items[:n]
+	bs.resp = wire.BatchResp{Batch: m.Batch, Epoch: epoch, Values: values, Found: found, Versions: versions, Stray: stray}
+	owned := n
+	if stray != nil {
+		for _, st := range stray {
+			if st {
+				owned--
+			}
+		}
 	}
-	for i := range bs.items {
-		bs.items[i] = workItem{key: m.Keys[i], priority: m.Priority[i], index: i, batch: bs}
+	bs.remaining = owned
+	if cap(bs.items) < owned {
+		bs.items = make([]workItem, owned)
+	} else {
+		bs.items = bs.items[:owned]
+	}
+	j := 0
+	for i := range m.Keys {
+		if stray != nil && stray[i] {
+			continue
+		}
+		bs.items[j] = workItem{key: m.Keys[i], priority: m.Priority[i], index: i, batch: bs}
+		j++
 	}
 	return bs
 }
 
 // release recycles the batch after its response has been encoded: store
 // value references are dropped, the request frame returns to the frame
-// pool, and the state itself to the batch pool.
+// pool, and the state itself to the batch pool. The Stray mask is not
+// pooled (it is nil on the hot all-owned path, allocated only during
+// topology skew).
 func (bs *batchState) release() {
 	for i := range bs.resp.Values {
 		bs.resp.Values[i] = nil
 	}
+	bs.resp.Stray = nil
 	bs.cs = nil
 	bs.frame.Release()
 	bs.frame = nil
@@ -294,6 +374,18 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case *wire.Set:
+			// Ownership gate first: with a topology installed, a key this
+			// server does not own is rejected, not silently stored where
+			// no reader will ever look for it.
+			if owner, epoch, ok := s.ownsKey(m.Key, m.Epoch); !ok {
+				srvNotOwnerWrites.Inc()
+				seq := m.Seq
+				frame.Release()
+				if cs.send(&wire.NotOwner{ID: seq, Epoch: epoch, Hint: uint32(owner)}) != nil {
+					return
+				}
+				continue
+			}
 			// The store copies the value, but its map retains the key:
 			// clone the key off the pooled frame before it recycles.
 			// Version 0 is a local (loader) write that auto-advances the
@@ -305,12 +397,40 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				s.store.SetVersion(strings.Clone(m.Key), m.Value, m.Version)
 			}
+			// Ownership is re-checked AFTER the apply: a topology install
+			// landing between the check above and the store write could
+			// otherwise let a migration's catch-up scan pass this key
+			// before the write became visible — the donor would then ack
+			// a write the new owner never receives. Post-apply, either
+			// the install came later (the catch-up scan, which starts
+			// after the push completes, sees the applied write) or this
+			// recheck sees the new topology and converts the ack into
+			// NotOwner, making the client re-route the same versioned
+			// write to the real owner.
+			if owner, epoch, ok := s.ownsKey(m.Key, m.Epoch); !ok {
+				srvNotOwnerWrites.Inc()
+				seq := m.Seq
+				frame.Release()
+				if cs.send(&wire.NotOwner{ID: seq, Epoch: epoch, Hint: uint32(owner)}) != nil {
+					return
+				}
+				continue
+			}
 			seq := m.Seq
 			frame.Release()
 			if cs.send(&wire.SetResp{Seq: seq}) != nil {
 				return
 			}
 		case *wire.Del:
+			if owner, epoch, ok := s.ownsKey(m.Key, m.Epoch); !ok {
+				srvNotOwnerWrites.Inc()
+				seq := m.Seq
+				frame.Release()
+				if cs.send(&wire.NotOwner{ID: seq, Epoch: epoch, Hint: uint32(owner)}) != nil {
+					return
+				}
+				continue
+			}
 			// DeleteVersion retains the key in its tombstone: clone it off
 			// the pooled frame like Set does.
 			if m.Version == 0 {
@@ -318,9 +438,47 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				s.store.DeleteVersion(strings.Clone(m.Key), m.Version)
 			}
+			// Post-apply ownership recheck, for the same catch-up-scan
+			// race Set guards against above.
+			if owner, epoch, ok := s.ownsKey(m.Key, m.Epoch); !ok {
+				srvNotOwnerWrites.Inc()
+				seq := m.Seq
+				frame.Release()
+				if cs.send(&wire.NotOwner{ID: seq, Epoch: epoch, Hint: uint32(owner)}) != nil {
+					return
+				}
+				continue
+			}
 			seq := m.Seq
 			frame.Release()
 			if cs.send(&wire.DelResp{Seq: seq}) != nil {
+				return
+			}
+		case *wire.TopoGet:
+			seq := m.Seq
+			frame.Release()
+			if cs.send(topoToWire(s.topo.Load(), seq)) != nil {
+				return
+			}
+		case *wire.Topo:
+			// A topology push: install if newer, answer with the current
+			// one either way (the pusher's ack, and how lagging pushers
+			// learn they lost).
+			seq := m.Seq
+			nt, err := topoFromWire(m)
+			frame.Release()
+			if err == nil && nt != nil {
+				s.SetTopology(nt)
+			}
+			if cs.send(topoToWire(s.topo.Load(), seq)) != nil {
+				return
+			}
+		case *wire.Scan:
+			// m.After aliases the frame; scanStore only compares it, so
+			// the frame is released after the scan, before the send.
+			resp := s.scanStore(m.Seq, m.Cursor, m.After)
+			frame.Release()
+			if cs.send(resp) != nil {
 				return
 			}
 		case *wire.BatchReq:
@@ -335,23 +493,289 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// Ownership-rejection counters: how often this process refused work for
+// keys it does not own — sustained nonzero rates mean clients with
+// stale topologies (normal for a moment after a rebalance, a
+// misconfiguration if it persists).
+var (
+	srvNotOwnerWrites = metrics.GetCounter("netstore_server_notowner_writes_total")
+	srvStrayKeys      = metrics.GetCounter("netstore_server_stray_keys_total")
+	// srvStaleEpochBatches counts epoch-routed batches from clients whose
+	// topology lags this server's — elevated briefly around every
+	// rebalance, a misconfiguration signal if it persists.
+	srvStaleEpochBatches = metrics.GetCounter("netstore_server_stale_epoch_batches_total")
+)
+
+// ownsKey reports whether this server accepts a write for key under its
+// current topology. Without CheckShard, or before any topology is
+// installed, every key is owned (writes were never ownership-checked
+// pre-topology, and flat deployments must keep working).
+//
+// writerEpoch is the topology epoch the writer routed under. A writer
+// AHEAD of this server — the rebalancer streaming a migration before
+// the epoch push, or a client that refreshed faster — is trusted: the
+// write is versioned and last-writer-wins makes applying it safe, while
+// rejecting it on stale local information would force migration to push
+// topologies before data (re-opening a read-missing window on drained
+// shards). Writers at or behind our epoch get the full per-key check.
+// On rejection it returns the owning shard and the server's epoch for
+// the NotOwner hint.
+func (s *Server) ownsKey(key string, writerEpoch uint64) (owner int, epoch uint64, ok bool) {
+	if !s.opts.CheckShard {
+		return 0, 0, true
+	}
+	t := s.topo.Load()
+	if t == nil {
+		return 0, 0, true
+	}
+	epoch = t.Epoch()
+	owner = t.ShardOfKey(key)
+	if writerEpoch > epoch {
+		return owner, epoch, true
+	}
+	if owner == s.opts.Shard {
+		return owner, epoch, true
+	}
+	return owner, epoch, false
+}
+
+// maxScanPageBytes bounds one ScanResp's encoded payload so no page can
+// approach wire.MaxFrame (16 MiB) no matter how large a kv shard grows;
+// oversized shards split across pages via the After continuation key. A
+// single entry always fits alone on a page (its value arrived in a
+// ≤16 MiB Set frame, and the 4 MiB bound applies only from the second
+// entry on). scanEntryOverhead accounts for the per-entry framing (key
+// length, version, dead flag, value length) — without it, a page of
+// millions of tiny entries would stay under a key+value-only budget
+// while encoding past MaxFrame.
+const (
+	maxScanPageBytes  = 4 << 20
+	scanEntryOverhead = 16
+)
+
+// scanStore answers one Scan page: entries (tombstones included) of
+// internal store shard cursor with keys > after, in key order, up to
+// maxScanPageBytes. NextCursor echoes the same cursor when the shard
+// has more (continue with After = the page's last key), advances when
+// it is exhausted, and is ScanDone after the last shard. Keys and
+// values alias the store — safe because the store never mutates a
+// stored value in place.
+func (s *Server) scanStore(seq uint64, cursor uint32, after string) *wire.ScanResp {
+	resp := &wire.ScanResp{Seq: seq, NextCursor: wire.ScanDone}
+	n := s.store.NumShards()
+	if int(cursor) >= n {
+		return resp
+	}
+	// Partial selection, not a full collect-and-sort: the page retains
+	// only the smallest keys that fit the byte budget (a max-heap evicts
+	// the largest key whenever the budget overflows), so a page over a
+	// huge shard costs O(K log P) and O(P) memory instead of re-sorting
+	// all K remaining entries for every one of K/P pages.
+	//
+	// The page MUST be a prefix of the shard's key order or the After
+	// continuation skips entries: once a key is evicted, no key at or
+	// above it may be admitted later — without the bound, a small entry
+	// arriving after larger evicted keys would slip back in, After would
+	// jump past the evicted keys, and the next page would never see
+	// them. Evictions pop the current max, so the bound only tightens.
+	var page scanPageHeap
+	pageBytes, evicted := 0, false
+	bound, haveBound := "", false
+	s.store.ScanShard(int(cursor), func(key string, val []byte, ver uint64, dead bool) bool {
+		if after != "" && key <= after {
+			return true
+		}
+		if haveBound && key >= bound {
+			evicted = true
+			return true
+		}
+		page.push(scanEnt{key: key, val: val, ver: ver, dead: dead})
+		pageBytes += len(key) + len(val) + scanEntryOverhead
+		for len(page) > 1 && pageBytes > maxScanPageBytes {
+			e := page.pop()
+			pageBytes -= len(e.key) + len(e.val) + scanEntryOverhead
+			evicted = true
+			bound, haveBound = e.key, true
+		}
+		return true
+	})
+	// Heapsort in place: popping the max into the shrinking tail leaves
+	// ents in ascending key order.
+	ents := []scanEnt(page)
+	for m := len(page); m > 1; m = len(page) {
+		ents[m-1] = page.pop()
+	}
+	for i := range ents {
+		e := ents[i]
+		resp.Keys = append(resp.Keys, e.key)
+		resp.Versions = append(resp.Versions, e.ver)
+		resp.Dead = append(resp.Dead, e.dead)
+		if e.dead {
+			resp.Values = append(resp.Values, nil)
+		} else {
+			resp.Values = append(resp.Values, e.val)
+		}
+	}
+	switch {
+	case evicted:
+		resp.NextCursor = cursor // more in this shard; caller continues with After
+	case int(cursor)+1 < n:
+		resp.NextCursor = cursor + 1
+	}
+	return resp
+}
+
+// scanEnt is one store entry staged for a scan page.
+type scanEnt struct {
+	key  string
+	val  []byte
+	ver  uint64
+	dead bool
+}
+
+// scanPageHeap is a max-heap on key (largest on top), hand-rolled like
+// the scheduler's itemHeap so paging allocates nothing beyond the slice.
+type scanPageHeap []scanEnt
+
+func (h *scanPageHeap) push(e scanEnt) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[i].key <= s[parent].key {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *scanPageHeap) pop() scanEnt {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = scanEnt{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		max := i
+		if l < n && s[l].key > s[max].key {
+			max = l
+		}
+		if r < n && s[r].key > s[max].key {
+			max = r
+		}
+		if max == i {
+			break
+		}
+		s[i], s[max] = s[max], s[i]
+		i = max
+	}
+	return top
+}
+
+// topoToWire encodes a topology (nil → the empty epoch-0 Topo).
+func topoToWire(t *cluster.ShardTopology, seq uint64) *wire.Topo {
+	tp := &wire.Topo{Seq: seq}
+	if t == nil {
+		return tp
+	}
+	tp.Epoch = t.Epoch()
+	tp.Replicas = uint32(t.Replicas())
+	tp.VNodes = uint32(t.VirtualNodes())
+	for _, sa := range t.Assignments() {
+		sh := wire.TopoShard{ID: uint32(sa.ID)}
+		for i, sid := range sa.Servers {
+			sh.Servers = append(sh.Servers, uint32(sid))
+			if len(sa.Addrs) != 0 {
+				sh.Addrs = append(sh.Addrs, sa.Addrs[i])
+			} else {
+				sh.Addrs = append(sh.Addrs, "")
+			}
+		}
+		tp.Shards = append(tp.Shards, sh)
+	}
+	return tp
+}
+
+// topoFromWire decodes a wire Topo into a topology (nil for the empty
+// epoch-0 form). Address strings are cloned: the server decodes pushed
+// frames in aliasing mode (wire.DecodeAlias), and the assembled
+// topology outlives the pooled frame by design — retaining aliased
+// strings would corrupt every address the moment the frame recycles.
+func topoFromWire(tp *wire.Topo) (*cluster.ShardTopology, error) {
+	if tp.Epoch == 0 || len(tp.Shards) == 0 {
+		return nil, nil
+	}
+	shards := make([]cluster.ShardAssignment, 0, len(tp.Shards))
+	for _, sh := range tp.Shards {
+		sa := cluster.ShardAssignment{ID: int(sh.ID)}
+		for i, sid := range sh.Servers {
+			sa.Servers = append(sa.Servers, int(sid))
+			sa.Addrs = append(sa.Addrs, strings.Clone(sh.Addrs[i]))
+		}
+		shards = append(shards, sa)
+	}
+	return cluster.AssembleTopology(tp.Epoch, int(tp.Replicas), int(tp.VNodes), shards)
+}
+
 // enqueueBatch splits a batch into per-key work items. All items enter
 // the scheduler before workers are woken, so priority decisions see the
 // whole batch (the simultaneous-arrival semantics of Figure 1). The
 // items are one slab owned by the batch's pooled state; m's keys alias
 // frame, which is released when the batch completes.
+//
+// Shard validation has two tiers. Before a topology is installed, the
+// whole batch is checked against the client's Shard header (the static
+// pre-epoch behavior: configuration skew → FlagMisrouted). With a
+// topology, ownership is checked per key against the ring — the server
+// no longer trusts the client's routing — and keys owned elsewhere are
+// answered as strays while the rest are served, so one moved key does
+// not fail its whole batch mid-rebalance.
 func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq, frame *wire.Frame) {
-	if s.opts.CheckShard && m.Shard != uint32(s.opts.Shard) {
-		_ = cs.send(&wire.BatchResp{Batch: m.Batch, Flags: wire.FlagMisrouted})
-		frame.Release()
-		return
+	var epoch uint64
+	var stray []bool
+	if s.opts.CheckShard {
+		if t := s.topo.Load(); t != nil {
+			epoch = t.Epoch()
+			if m.Epoch != 0 && m.Epoch < epoch {
+				srvStaleEpochBatches.Inc()
+			}
+			strays := 0
+			for i, k := range m.Keys {
+				if t.ShardOfKey(k) != s.opts.Shard {
+					if stray == nil {
+						stray = make([]bool, len(m.Keys))
+					}
+					stray[i] = true
+					strays++
+				}
+			}
+			if strays > 0 {
+				srvStrayKeys.Add(uint64(strays))
+			}
+		} else if m.Shard != uint32(s.opts.Shard) {
+			_ = cs.send(&wire.BatchResp{Batch: m.Batch, Flags: wire.FlagMisrouted})
+			frame.Release()
+			return
+		}
 	}
 	if len(m.Keys) == 0 {
-		_ = cs.send(&wire.BatchResp{Batch: m.Batch})
+		_ = cs.send(&wire.BatchResp{Batch: m.Batch, Epoch: epoch})
 		frame.Release()
 		return
 	}
-	bs := newBatchState(cs, m, frame)
+	bs := newBatchState(cs, m, frame, stray, epoch)
+	if bs.remaining == 0 {
+		// Every key was a stray: nothing to schedule, answer now.
+		_ = bs.cs.send(&bs.resp)
+		bs.release()
+		return
+	}
 	s.sched.pushAll(bs.items)
 }
 

@@ -35,6 +35,7 @@ func (m *BatchReq) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.TaskID)
 	dst = appendU32(dst, m.Shard)
 	dst = appendU32(dst, m.Replica)
+	dst = appendU64(dst, m.Epoch)
 	if len(m.Priority) != len(m.Keys) {
 		panic("wire: BatchReq Priority/Keys length mismatch")
 	}
@@ -47,7 +48,7 @@ func (m *BatchReq) appendBody(dst []byte) []byte {
 }
 
 func decodeBatchReq(r *reader) (*BatchReq, error) {
-	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32()}
+	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32(), Epoch: r.u64()}
 	n := r.count(10) // 8-byte priority + 2-byte key length floor
 	if c := preallocCount(n); c > 0 {
 		m.Priority = make([]int64, 0, c)
@@ -60,10 +61,17 @@ func decodeBatchReq(r *reader) (*BatchReq, error) {
 	return m, r.done()
 }
 
+// Per-key flag bits in a BatchResp entry.
+const (
+	keyFound uint8 = 1 << 0
+	keyStray uint8 = 1 << 1
+)
+
 func (m *BatchResp) msgType() MsgType { return TBatchResp }
 func (m *BatchResp) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Batch)
 	dst = append(dst, m.Flags)
+	dst = appendU64(dst, m.Epoch)
 	dst = appendU32(dst, m.QueueLen)
 	dst = appendI64(dst, m.WaitNanos)
 	dst = appendI64(dst, m.ServiceNanos)
@@ -72,6 +80,9 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 	}
 	if m.Versions != nil && len(m.Versions) != len(m.Values) {
 		panic("wire: BatchResp Versions/Values length mismatch")
+	}
+	if m.Stray != nil && len(m.Stray) != len(m.Values) {
+		panic("wire: BatchResp Stray/Values length mismatch")
 	}
 	dst = appendU32(dst, uint32(len(m.Values)))
 	for i, v := range m.Values {
@@ -83,28 +94,44 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 		if m.Versions != nil {
 			ver = m.Versions[i]
 		}
+		var flags uint8
 		if m.Found[i] {
-			dst = append(dst, 1)
-			dst = appendU64(dst, ver)
+			flags |= keyFound
+		}
+		if m.Stray != nil && m.Stray[i] {
+			flags |= keyStray
+		}
+		dst = append(dst, flags)
+		dst = appendU64(dst, ver)
+		if m.Found[i] {
 			dst = appendVal(dst, v)
-		} else {
-			dst = append(dst, 0)
-			dst = appendU64(dst, ver)
 		}
 	}
 	return dst
 }
 
 func decodeBatchResp(r *reader) (*BatchResp, error) {
-	m := &BatchResp{Batch: r.u64(), Flags: r.u8(), QueueLen: r.u32(), WaitNanos: r.i64(), ServiceNanos: r.i64()}
-	n := r.count(9) // 1-byte found flag + 8-byte version floor
+	m := &BatchResp{Batch: r.u64(), Flags: r.u8(), Epoch: r.u64(), QueueLen: r.u32(), WaitNanos: r.i64(), ServiceNanos: r.i64()}
+	n := r.count(9) // 1-byte flag + 8-byte version floor
 	if c := preallocCount(n); c > 0 {
 		m.Values = make([][]byte, 0, c)
 		m.Found = make([]bool, 0, c)
 		m.Versions = make([]uint64, 0, c)
 	}
 	for i := 0; i < n && r.err == nil; i++ {
-		found := r.u8() == 1
+		flags := r.u8()
+		found := flags&keyFound != 0
+		if flags&keyStray != 0 {
+			// Lazily materialized (and grown in proportion to data actually
+			// parsed): the common all-owned response pays no per-batch
+			// Stray allocation, and a corrupt count cannot amplify.
+			for len(m.Stray) < i {
+				m.Stray = append(m.Stray, false)
+			}
+			m.Stray = append(m.Stray, true)
+		} else if m.Stray != nil {
+			m.Stray = append(m.Stray, false)
+		}
 		m.Versions = append(m.Versions, r.u64())
 		m.Found = append(m.Found, found)
 		if found {
@@ -120,12 +147,14 @@ func (m *Set) msgType() MsgType { return TSet }
 func (m *Set) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Seq)
 	dst = appendU64(dst, m.Version)
+	dst = appendU32(dst, m.Shard)
+	dst = appendU64(dst, m.Epoch)
 	dst = appendKey(dst, m.Key)
 	return appendVal(dst, m.Value)
 }
 
 func decodeSet(r *reader) (*Set, error) {
-	m := &Set{Seq: r.u64(), Version: r.u64(), Key: r.key(), Value: r.val()}
+	m := &Set{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Key: r.key(), Value: r.val()}
 	return m, r.done()
 }
 
@@ -133,11 +162,13 @@ func (m *Del) msgType() MsgType { return TDel }
 func (m *Del) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Seq)
 	dst = appendU64(dst, m.Version)
+	dst = appendU32(dst, m.Shard)
+	dst = appendU64(dst, m.Epoch)
 	return appendKey(dst, m.Key)
 }
 
 func decodeDel(r *reader) (*Del, error) {
-	m := &Del{Seq: r.u64(), Version: r.u64(), Key: r.key()}
+	m := &Del{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Key: r.key()}
 	return m, r.done()
 }
 
@@ -216,6 +247,125 @@ func decodePong(r *reader) (*Pong, error) {
 	return m, r.done()
 }
 
+func (m *NotOwner) msgType() MsgType { return TNotOwner }
+func (m *NotOwner) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.ID)
+	dst = appendU64(dst, m.Epoch)
+	return appendU32(dst, m.Hint)
+}
+
+func decodeNotOwner(r *reader) (*NotOwner, error) {
+	m := &NotOwner{ID: r.u64(), Epoch: r.u64(), Hint: r.u32()}
+	return m, r.done()
+}
+
+func (m *TopoGet) msgType() MsgType             { return TTopoGet }
+func (m *TopoGet) appendBody(dst []byte) []byte { return appendU64(dst, m.Seq) }
+
+func decodeTopoGet(r *reader) (*TopoGet, error) {
+	m := &TopoGet{Seq: r.u64()}
+	return m, r.done()
+}
+
+func (m *Topo) msgType() MsgType { return TTopo }
+func (m *Topo) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, m.Replicas)
+	dst = appendU32(dst, m.VNodes)
+	dst = appendU32(dst, uint32(len(m.Shards)))
+	for _, sh := range m.Shards {
+		if len(sh.Addrs) != len(sh.Servers) {
+			panic("wire: TopoShard Servers/Addrs length mismatch")
+		}
+		dst = appendU32(dst, sh.ID)
+		dst = appendU32(dst, uint32(len(sh.Servers)))
+		for i, sid := range sh.Servers {
+			dst = appendU32(dst, sid)
+			dst = appendKey(dst, sh.Addrs[i])
+		}
+	}
+	return dst
+}
+
+func decodeTopo(r *reader) (*Topo, error) {
+	m := &Topo{Seq: r.u64(), Epoch: r.u64(), Replicas: r.u32(), VNodes: r.u32()}
+	n := r.count(8) // 4-byte ID + 4-byte server count floor
+	if c := preallocCount(n); c > 0 {
+		m.Shards = make([]TopoShard, 0, c)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		sh := TopoShard{ID: r.u32()}
+		k := r.count(6) // 4-byte server ID + 2-byte addr length floor
+		if c := preallocCount(k); c > 0 {
+			sh.Servers = make([]uint32, 0, c)
+			sh.Addrs = make([]string, 0, c)
+		}
+		for j := 0; j < k && r.err == nil; j++ {
+			sh.Servers = append(sh.Servers, r.u32())
+			sh.Addrs = append(sh.Addrs, r.key())
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+	return m, r.done()
+}
+
+func (m *Scan) msgType() MsgType { return TScan }
+func (m *Scan) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendU32(dst, m.Cursor)
+	return appendKey(dst, m.After)
+}
+
+func decodeScan(r *reader) (*Scan, error) {
+	m := &Scan{Seq: r.u64(), Cursor: r.u32(), After: r.key()}
+	return m, r.done()
+}
+
+func (m *ScanResp) msgType() MsgType { return TScanResp }
+func (m *ScanResp) appendBody(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	dst = appendU32(dst, m.NextCursor)
+	if len(m.Versions) != len(m.Keys) || len(m.Dead) != len(m.Keys) || len(m.Values) != len(m.Keys) {
+		panic("wire: ScanResp parallel slice length mismatch")
+	}
+	dst = appendU32(dst, uint32(len(m.Keys)))
+	for i, k := range m.Keys {
+		dst = appendKey(dst, k)
+		dst = appendU64(dst, m.Versions[i])
+		if m.Dead[i] {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+			dst = appendVal(dst, m.Values[i])
+		}
+	}
+	return dst
+}
+
+func decodeScanResp(r *reader) (*ScanResp, error) {
+	m := &ScanResp{Seq: r.u64(), NextCursor: r.u32()}
+	n := r.count(11) // 2-byte key length + 8-byte version + 1-byte dead floor
+	if c := preallocCount(n); c > 0 {
+		m.Keys = make([]string, 0, c)
+		m.Versions = make([]uint64, 0, c)
+		m.Dead = make([]bool, 0, c)
+		m.Values = make([][]byte, 0, c)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		m.Keys = append(m.Keys, r.key())
+		m.Versions = append(m.Versions, r.u64())
+		dead := r.u8() == 1
+		m.Dead = append(m.Dead, dead)
+		if dead {
+			m.Values = append(m.Values, nil)
+		} else {
+			m.Values = append(m.Values, r.val())
+		}
+	}
+	return m, r.done()
+}
+
 // AppendEncode appends m's framed encoding (length prefix, type byte,
 // body) to dst and returns the extended slice. It is the allocation-free
 // encode path: callers that reuse dst across messages pay only the
@@ -276,6 +426,16 @@ func decodeFrame(frame []byte, alias bool) (Message, error) {
 		return decodeDel(r)
 	case TDelResp:
 		return decodeDelResp(r)
+	case TNotOwner:
+		return decodeNotOwner(r)
+	case TTopoGet:
+		return decodeTopoGet(r)
+	case TTopo:
+		return decodeTopo(r)
+	case TScan:
+		return decodeScan(r)
+	case TScanResp:
+		return decodeScanResp(r)
 	}
 	return nil, fmt.Errorf("wire: unknown message type %d", frame[0])
 }

@@ -51,6 +51,22 @@ const (
 	TDel MsgType = 9
 	// TDelResp acknowledges a TDel.
 	TDelResp MsgType = 10
+	// TNotOwner rejects a Set/Del whose key the serving server does not
+	// own under its current topology (batched reads mark strays per key
+	// instead; see BatchResp.Stray).
+	TNotOwner MsgType = 11
+	// TTopoGet asks a server for its current topology.
+	TTopoGet MsgType = 12
+	// TTopo carries a full epoch-versioned topology: the reply to
+	// TTopoGet, and — sent unsolicited — the rebalancer's topology push
+	// (the receiver installs it if newer and replies with its current
+	// topology).
+	TTopo MsgType = 13
+	// TScan asks a server to enumerate one internal store shard,
+	// tombstones included — the migration stream's read side.
+	TScan MsgType = 14
+	// TScanResp answers a TScan.
+	TScanResp MsgType = 15
 )
 
 // MaxFrame bounds frame payloads (16 MiB) to fail fast on corrupt length
@@ -73,6 +89,11 @@ type BatchReq struct {
 	// single-tier deployments leave both zero and servers accept all.
 	Shard   uint32
 	Replica uint32
+	// Epoch is the topology epoch the client routed this batch under
+	// (0 = not epoch-routed). Servers holding a topology check ownership
+	// per key regardless; the epoch is telemetry that lets both sides
+	// notice skew early.
+	Epoch uint64
 	// Priority is the task-aware scheduling priority of each key (lower
 	// is served sooner), parallel to Keys.
 	Priority []int64
@@ -93,6 +114,10 @@ type BatchResp struct {
 	Batch uint64
 	// Flags carries response status bits (FlagMisrouted).
 	Flags uint8
+	// Epoch is the serving server's topology epoch (0 when it holds no
+	// topology). A client seeing an epoch newer than its own should
+	// refresh its cached topology.
+	Epoch uint64
 	// Values are the read results, parallel to the request's Keys; a
 	// missing key yields a nil value and Found[i] == false.
 	Values [][]byte
@@ -103,6 +128,11 @@ type BatchResp struct {
 	// against the versions they last wrote to detect stale replicas and
 	// trigger read-repair — including repair of missed deletes.
 	Versions []uint64
+	// Stray, when non-nil, marks keys the server refused because it does
+	// not own them under its current topology (the per-key form of
+	// NotOwner): the client must re-route them after a topology refresh,
+	// never treat them as missing. nil means every key was owned.
+	Stray []bool
 	// QueueLen and WaitNanos piggyback server state for client-side
 	// feedback (queue length at service start of the batch's last key,
 	// aggregate time the batch waited).
@@ -127,8 +157,14 @@ type Set struct {
 	// asks the server to assign the next local version (the pre-versioning
 	// behavior, kept for simple loaders).
 	Version uint64
-	Key     string
-	Value   []byte
+	// Shard and Epoch are the routing header of epoch-versioned writes:
+	// the shard the key hashes to under the client's topology and that
+	// topology's epoch. Servers holding a topology reject Sets for keys
+	// they do not own with NotOwner; unsharded writers leave both zero.
+	Shard uint32
+	Epoch uint64
+	Key   string
+	Value []byte
 }
 
 // SetResp acknowledges a Set.
@@ -138,10 +174,13 @@ type SetResp struct {
 
 // Del deletes one key, versioned like Set: the server applies the
 // delete (leaving a tombstone) only if Version exceeds the stored
-// version. Version 0 deletes unconditionally.
+// version. Version 0 deletes unconditionally. Shard/Epoch route it the
+// way Set's do.
 type Del struct {
 	Seq     uint64
 	Version uint64
+	Shard   uint32
+	Epoch   uint64
 	Key     string
 }
 
@@ -170,6 +209,74 @@ type Ping struct{ Nonce uint64 }
 
 // Pong answers a Ping.
 type Pong struct{ Nonce uint64 }
+
+// NotOwner rejects a write (Set or Del) for a key the serving server
+// does not own under its current topology. The client must refresh its
+// topology (the server's epoch tells it how stale it is) and re-route.
+type NotOwner struct {
+	// ID echoes the rejected request's Seq.
+	ID uint64
+	// Epoch is the server's current topology epoch.
+	Epoch uint64
+	// Hint is the shard that owns the key under the server's topology —
+	// where the client should retry once its topology catches up.
+	Hint uint32
+}
+
+// TopoGet asks a server for its current topology; the reply is a Topo
+// with the same Seq (Epoch 0 and no shards when the server holds none).
+type TopoGet struct{ Seq uint64 }
+
+// TopoShard is one shard row of a Topo: the shard's stable ID and its
+// replica servers (stable server IDs) with their dial addresses.
+type TopoShard struct {
+	ID      uint32
+	Servers []uint32
+	Addrs   []string
+}
+
+// Topo is a full epoch-versioned topology on the wire. As a reply it
+// echoes the TopoGet's Seq; as a push (rebalancer → server) Seq is the
+// sender's correlation ID and the receiver installs the topology if its
+// epoch is newer, always answering with its (possibly just-updated)
+// current topology.
+type Topo struct {
+	Seq      uint64
+	Epoch    uint64
+	Replicas uint32
+	VNodes   uint32
+	Shards   []TopoShard
+}
+
+// ScanDone is the NextCursor value marking an exhausted scan.
+const ScanDone = ^uint32(0)
+
+// Scan asks a server to enumerate internal store shard Cursor of its
+// key-value store — live entries and tombstones alike. Cursor starts at
+// 0; each response names the next cursor (ScanDone when exhausted).
+// Pages are size-bounded: a response echoing the SAME cursor means the
+// shard continues — resend with After set to the page's last key.
+// Migration streams owned ranges off donors with it.
+type Scan struct {
+	Seq    uint64
+	Cursor uint32
+	// After, when non-empty, resumes within the cursor's shard: only
+	// keys lexicographically greater are returned.
+	After string
+}
+
+// ScanResp answers a Scan: every entry of the scanned store shard, with
+// versions and tombstone markers so replaying them via versioned
+// Set/Del is idempotent.
+type ScanResp struct {
+	Seq        uint64
+	NextCursor uint32
+	Keys       []string
+	Versions   []uint64
+	// Dead marks tombstoned entries; their Values entry is nil.
+	Dead   []bool
+	Values [][]byte
+}
 
 // --- encoding helpers ---
 //

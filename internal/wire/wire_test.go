@@ -25,6 +25,7 @@ func TestBatchReqRoundTrip(t *testing.T) {
 		TaskID:   7,
 		Shard:    3,
 		Replica:  1,
+		Epoch:    9,
 		Priority: []int64{100, -5, 0},
 		Keys:     []string{"track:1", "track:2", ""},
 	}
@@ -37,6 +38,7 @@ func TestBatchReqRoundTrip(t *testing.T) {
 func TestBatchRespRoundTrip(t *testing.T) {
 	m := &BatchResp{
 		Batch:  42,
+		Epoch:  4,
 		Values: [][]byte{[]byte("abc"), nil, {}},
 		Found:  []bool{true, false, true},
 		// The not-found entry carries a nonzero version: tombstoned keys
@@ -47,11 +49,14 @@ func TestBatchRespRoundTrip(t *testing.T) {
 		ServiceNanos: 6789,
 	}
 	got := roundTrip(t, m).(*BatchResp)
-	if got.Batch != 42 || got.QueueLen != 9 || got.WaitNanos != 12345 || got.ServiceNanos != 6789 {
+	if got.Batch != 42 || got.Epoch != 4 || got.QueueLen != 9 || got.WaitNanos != 12345 || got.ServiceNanos != 6789 {
 		t.Fatalf("header mismatch: %+v", got)
 	}
 	if got.Misrouted() {
 		t.Fatal("Misrouted set without FlagMisrouted")
+	}
+	if got.Stray != nil {
+		t.Fatalf("stray slice materialized for an all-owned response: %v", got.Stray)
 	}
 	if !got.Found[0] || got.Found[1] || !got.Found[2] {
 		t.Fatalf("found mismatch: %v", got.Found)
@@ -61,6 +66,26 @@ func TestBatchRespRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got.Versions, m.Versions) {
 		t.Fatalf("versions mismatch: %v", got.Versions)
+	}
+}
+
+// Stray markers survive the wire per key — a stray key is not "missing",
+// and trailing non-stray keys keep the slice parallel.
+func TestBatchRespStrayRoundTrip(t *testing.T) {
+	m := &BatchResp{
+		Batch:    1,
+		Epoch:    3,
+		Values:   [][]byte{[]byte("v"), nil, nil, []byte("w")},
+		Found:    []bool{true, false, false, true},
+		Versions: []uint64{5, 0, 0, 6},
+		Stray:    []bool{false, true, true, false},
+	}
+	got := roundTrip(t, m).(*BatchResp)
+	if !reflect.DeepEqual(got.Stray, m.Stray) {
+		t.Fatalf("stray mismatch: %v, want %v", got.Stray, m.Stray)
+	}
+	if !got.Found[0] || got.Found[1] || string(got.Values[3]) != "w" {
+		t.Fatalf("stray marking corrupted values: %+v", got)
 	}
 }
 
@@ -86,9 +111,9 @@ func TestMisroutedRoundTrip(t *testing.T) {
 }
 
 func TestSetRoundTrip(t *testing.T) {
-	m := &Set{Seq: 1, Version: 77, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
+	m := &Set{Seq: 1, Version: 77, Shard: 2, Epoch: 8, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
 	got := roundTrip(t, m).(*Set)
-	if got.Seq != 1 || got.Version != 77 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
+	if got.Seq != 1 || got.Version != 77 || got.Shard != 2 || got.Epoch != 8 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
 		t.Fatal("set mismatch")
 	}
 	ack := roundTrip(t, &SetResp{Seq: 5}).(*SetResp)
@@ -98,7 +123,7 @@ func TestSetRoundTrip(t *testing.T) {
 }
 
 func TestDelRoundTrip(t *testing.T) {
-	m := &Del{Seq: 3, Version: 41, Key: "gone"}
+	m := &Del{Seq: 3, Version: 41, Shard: 1, Epoch: 2, Key: "gone"}
 	got := roundTrip(t, m).(*Del)
 	if !reflect.DeepEqual(m, got) {
 		t.Fatalf("del mismatch: %+v vs %+v", m, got)
@@ -128,6 +153,63 @@ func TestPingPong(t *testing.T) {
 	}
 	if got := roundTrip(t, &Pong{Nonce: 100}).(*Pong); got.Nonce != 100 {
 		t.Fatal("pong mismatch")
+	}
+}
+
+func TestNotOwnerRoundTrip(t *testing.T) {
+	m := &NotOwner{ID: 12, Epoch: 5, Hint: 3}
+	if got := roundTrip(t, m).(*NotOwner); !reflect.DeepEqual(m, got) {
+		t.Fatalf("notowner mismatch: %+v vs %+v", m, got)
+	}
+}
+
+func TestTopoRoundTrip(t *testing.T) {
+	if got := roundTrip(t, &TopoGet{Seq: 77}).(*TopoGet); got.Seq != 77 {
+		t.Fatal("topoget mismatch")
+	}
+	m := &Topo{
+		Seq:      9,
+		Epoch:    4,
+		Replicas: 2,
+		VNodes:   128,
+		Shards: []TopoShard{
+			{ID: 0, Servers: []uint32{0, 1}, Addrs: []string{"h0:1", "h0:2"}},
+			{ID: 3, Servers: []uint32{6, 7}, Addrs: []string{"h3:1", "h3:2"}},
+		},
+	}
+	if got := roundTrip(t, m).(*Topo); !reflect.DeepEqual(m, got) {
+		t.Fatalf("topo mismatch:\n%+v\n%+v", m, got)
+	}
+	// The empty topology (a server that holds none) round-trips too.
+	empty := &Topo{Seq: 1}
+	if got := roundTrip(t, empty).(*Topo); got.Epoch != 0 || len(got.Shards) != 0 {
+		t.Fatalf("empty topo mismatch: %+v", got)
+	}
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	if got := roundTrip(t, &Scan{Seq: 5, Cursor: 9, After: "key:41"}).(*Scan); got.Seq != 5 || got.Cursor != 9 || got.After != "key:41" {
+		t.Fatal("scan mismatch")
+	}
+	m := &ScanResp{
+		Seq:        5,
+		NextCursor: 10,
+		Keys:       []string{"a", "b", "c"},
+		Versions:   []uint64{3, 9, 1},
+		Dead:       []bool{false, true, false},
+		Values:     [][]byte{[]byte("va"), nil, {}},
+	}
+	got := roundTrip(t, m).(*ScanResp)
+	if got.Seq != 5 || got.NextCursor != 10 || !reflect.DeepEqual(got.Keys, m.Keys) ||
+		!reflect.DeepEqual(got.Versions, m.Versions) || !reflect.DeepEqual(got.Dead, m.Dead) {
+		t.Fatalf("scanresp mismatch: %+v", got)
+	}
+	if string(got.Values[0]) != "va" || got.Values[1] != nil || len(got.Values[2]) != 0 {
+		t.Fatalf("scanresp values mismatch: %q", got.Values)
+	}
+	done := &ScanResp{Seq: 6, NextCursor: ScanDone, Keys: []string{}, Versions: []uint64{}, Dead: []bool{}, Values: [][]byte{}}
+	if got := roundTrip(t, done).(*ScanResp); got.NextCursor != ScanDone {
+		t.Fatal("ScanDone cursor lost")
 	}
 }
 

@@ -205,6 +205,160 @@ func TestConnWriterCloseDrains(t *testing.T) {
 	}
 }
 
+// A write error hit by the drain goroutine surfaces to writers that
+// queued behind the in-flight Write: the first queued Send returned nil
+// (frame accepted), but every Send and the Flush after the failure
+// report the sticky error.
+func TestConnWriterQueuedWriterSeesStickyError(t *testing.T) {
+	wantErr := errors.New("pipe burst")
+	w := &blockingWriter{
+		gate:    make(chan struct{}, 64),
+		started: make(chan struct{}, 64),
+	}
+	cw := NewConnWriter(w)
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- cw.Send(&Ping{Nonce: 0}) }()
+	<-w.started
+	// Queued behind the stalled inline Write; accepted without error.
+	if err := cw.Send(&Ping{Nonce: 1}); err != nil {
+		t.Fatalf("queued Send before failure: %v", err)
+	}
+	// Fail every Write from now on, then release the stalled one (which
+	// fails) and the drain's coalesced Write of the queued frame.
+	w.mu.Lock()
+	w.err = wantErr
+	w.mu.Unlock()
+	for i := 0; i < 4; i++ {
+		w.gate <- struct{}{}
+	}
+	if err := <-firstDone; !errors.Is(err, wantErr) {
+		t.Fatalf("inline Send err = %v, want %v", err, wantErr)
+	}
+	// The queued frame's loss is observable: Flush and any later Send
+	// report the sticky error instead of pretending delivery.
+	waitErr := func(f func() error, what string) {
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if err := f(); errors.Is(err, wantErr) {
+				return
+			} else if time.Now().After(deadline) {
+				t.Fatalf("%s never surfaced the sticky error", what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitErr(func() error { return cw.Flush() }, "Flush")
+	waitErr(func() error { return cw.Send(&Ping{Nonce: 2}) }, "Send")
+	if err := cw.Close(); !errors.Is(err, wantErr) {
+		t.Fatalf("Close err = %v, want %v", err, wantErr)
+	}
+}
+
+// Send blocks once maxPendingBytes of encoded frames are queued behind a
+// stalled Write, and unblocks when the connection drains — backpressure,
+// not unbounded buffering.
+func TestConnWriterBackpressure(t *testing.T) {
+	w := &blockingWriter{
+		gate:    make(chan struct{}, 1024),
+		started: make(chan struct{}, 1024),
+	}
+	cw := NewConnWriter(w)
+	firstDone := make(chan error, 1)
+	go func() { firstDone <- cw.Send(&Ping{Nonce: 0}) }()
+	<-w.started
+
+	// Fill the pending buffer to just past maxPendingBytes with large
+	// Sets: Send's bound check runs before appending, so each of these
+	// still returns, and the last one tips the buffer over the bound.
+	big := &Set{Key: "k", Value: make([]byte, 1<<20)}
+	for i := 0; i < maxPendingBytes/(1<<20); i++ {
+		if err := cw.Send(big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The buffer is now over the bound: the next Send must block.
+	blocked := make(chan error, 1)
+	go func() { blocked <- cw.Send(&Ping{Nonce: 9}) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("Send returned (%v) with %d+ MiB pending; want it to block", err, maxPendingBytes>>20)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Drain: release every Write; the blocked Send completes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case w.gate <- struct{}{}:
+			case <-time.After(50 * time.Millisecond):
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("blocked Send failed after drain: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Send still blocked after the connection drained")
+	}
+	if err := <-firstDone; err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	for len(w.started) > 0 {
+		<-w.started
+	}
+	w.started = nil
+	w.gate = nil
+	if err := cw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Close terminates the drain goroutine: the done channel closes, a
+// second Close returns immediately, and Sends racing Close either
+// deliver or report ErrWriterClosed — nothing hangs.
+func TestConnWriterDrainShutdown(t *testing.T) {
+	var w blockingWriter
+	cw := NewConnWriter(&w)
+	for i := 0; i < 10; i++ {
+		if err := cw.Send(&Ping{Nonce: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed := make(chan error, 2)
+	go func() { closed <- cw.Close() }()
+	go func() { closed <- cw.Close() }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-closed:
+			if err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close hung — drain goroutine did not shut down")
+		}
+	}
+	select {
+	case <-cw.done:
+	default:
+		t.Fatal("drain goroutine still running after Close returned")
+	}
+	// Writes after close fail fast with ErrWriterClosed, not a hang or a
+	// silent drop.
+	for i := 0; i < 3; i++ {
+		if err := cw.Send(&Ping{Nonce: 99}); !errors.Is(err, ErrWriterClosed) {
+			t.Fatalf("Send after Close = %v, want ErrWriterClosed", err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatalf("Flush after clean Close: %v", err)
+	}
+}
+
 // The steady-state Send path must not allocate beyond the frame append.
 func TestConnWriterSendAllocs(t *testing.T) {
 	var w blockingWriter

@@ -29,6 +29,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -96,10 +97,13 @@ func runTopologyAdmin(clusterAddrs string, push, add bool, newAddrs string, remo
 	}
 	addrs := strings.Split(clusterAddrs, ",")
 	ropts := netstore.RebalanceOptions{DialTimeout: dialTimeout, Logf: log.Printf}
+	// One-shot admin modes run under the process's lifetime; per-page
+	// I/O is bounded by -dial-timeout inside the rebalance machinery.
+	ctx := context.Background()
 
 	// Current topology: fetched from the cluster, or bootstrapped from
 	// the flags when the servers hold none yet.
-	cur, err := netstore.FetchTopology(addrs[0], dialTimeout)
+	cur, err := netstore.FetchTopology(ctx, addrs[0], dialTimeout)
 	if err != nil {
 		log.Fatalf("brb-controller: fetch topology from %s: %v", addrs[0], err)
 	}
@@ -114,7 +118,7 @@ func runTopologyAdmin(clusterAddrs string, push, add bool, newAddrs string, remo
 		if cur, err = base.WithAddrs(addrs); err != nil {
 			log.Fatalf("brb-controller: %v", err)
 		}
-		if err := netstore.PushTopology(cur, ropts); err != nil {
+		if err := netstore.PushTopology(ctx, cur, ropts); err != nil {
 			log.Fatalf("brb-controller: bootstrap push: %v", err)
 		}
 		log.Printf("brb-controller: bootstrapped epoch-1 topology (%d shards × %d replicas) onto %d servers",
@@ -127,14 +131,14 @@ func runTopologyAdmin(clusterAddrs string, push, add bool, newAddrs string, remo
 		if newAddrs == "" || len(na) != cur.Replicas() {
 			log.Fatalf("brb-controller: -add-shard needs -new-addrs with exactly %d addresses", cur.Replicas())
 		}
-		next, err := netstore.AddShard(cur, na, ropts)
+		next, err := netstore.AddShard(ctx, cur, na, ropts)
 		if err != nil {
 			log.Fatalf("brb-controller: %v", err)
 		}
 		log.Printf("brb-controller: shard %d live at epoch %d (%d shards, %d servers)",
 			cur.NextShardID(), next.Epoch(), next.Shards(), next.NumServers())
 	case remove >= 0:
-		next, err := netstore.RemoveShard(cur, remove, ropts)
+		next, err := netstore.RemoveShard(ctx, cur, remove, ropts)
 		if err != nil {
 			log.Fatalf("brb-controller: %v", err)
 		}
@@ -143,7 +147,7 @@ func runTopologyAdmin(clusterAddrs string, push, add bool, newAddrs string, remo
 	case push:
 		// Bootstrap (or re-push) already handled above; make sure an
 		// existing topology is also (re)delivered everywhere.
-		if err := netstore.PushTopology(cur, ropts); err != nil {
+		if err := netstore.PushTopology(ctx, cur, ropts); err != nil {
 			log.Fatalf("brb-controller: push: %v", err)
 		}
 		log.Printf("brb-controller: topology epoch %d pushed to %d servers", cur.Epoch(), cur.NumServers())

@@ -39,6 +39,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -48,6 +50,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/brb-repro/brb/internal/cluster"
@@ -79,7 +82,10 @@ func main() {
 	probeInterval := flag.Duration("probe-interval", 250*time.Millisecond, "cluster client's replica revival probe interval")
 	addShardAfter := flag.Duration("add-shard-after", 0, "measurement time before a new shard is added live (sharded mode; 0 = off)")
 	removeShardAfter := flag.Duration("remove-shard-after", 0, "measurement time before the highest shard is drained live (sharded mode; 0 = off)")
+	deadline := flag.Duration("deadline", 0, "per-task deadline propagated to the servers (0 = the client's default request timeout); tasks that exceed it count as expired in the run output instead of aborting the client")
 	flag.Parse()
+
+	bg := context.Background()
 
 	addrs := strings.Split(*serversFlag, ",")
 	assigner, err := core.NewAssigner(*assignerName)
@@ -142,50 +148,49 @@ func main() {
 		// Epoch-versioned routing needs every server to hold the
 		// topology, so ownership checks and NotOwner/stray rejections are
 		// live before the epoch changes under the clients.
-		if err := netstore.PushTopology(shardTopo, netstore.RebalanceOptions{}); err != nil {
+		if err := netstore.PushTopology(bg, shardTopo, netstore.RebalanceOptions{}); err != nil {
 			fmt.Fprintln(os.Stderr, "brb-load:", err)
 			os.Exit(2)
 		}
 	}
-	type store interface {
-		Set(key string, value []byte) error
-		Close()
-	}
-	dialStore := func(client int) (store, func([]string) (*netstore.TaskResult, error), error) {
+	// Both client flavors present the same context-first netstore.Store
+	// interface; the workload below programs against it alone.
+	dialStore := func(client int) (netstore.Store, error) {
 		if shardTopo != nil {
 			c, err := netstore.DialCluster(nil, netstore.ClusterOptions{
 				Topology: shardTopo, Client: client, Clients: *clients, Assigner: assigner,
 				ProbeInterval: *probeInterval,
 			})
 			if err != nil {
-				return nil, nil, err
+				return nil, err
 			}
 			if *controller != "" {
 				if err := c.AttachController(*controller, 0); err != nil {
 					c.Close()
-					return nil, nil, err
+					return nil, err
 				}
 			}
-			return c, c.Multiget, nil
+			return c, nil
 		}
 		c, err := netstore.Dial(addrs, netstore.ClientOptions{
 			Topology: topo, Client: client, Assigner: assigner,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		if *controller != "" {
 			if err := c.AttachController(*controller, 0); err != nil {
 				c.Close()
-				return nil, nil, err
+				return nil, err
 			}
 		}
-		return c, c.Task, nil
+		return c, nil
 	}
+	readOpts := netstore.ReadOptions{Timeout: *deadline}
 
 	// Load phase: heavy-tailed value sizes.
 	if !*skipLoad {
-		loader, _, err := dialStore(0)
+		loader, err := dialStore(0)
 		if err != nil {
 			log.Fatalf("brb-load: %v", err)
 		}
@@ -193,7 +198,7 @@ func main() {
 		r := randx.New(*seed)
 		start := time.Now()
 		for i := 0; i < *keys; i++ {
-			if err := loader.Set(fmt.Sprintf("key:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+			if err := loader.Set(bg, fmt.Sprintf("key:%d", i), make([]byte, int(sizes.Sample(r))), netstore.WriteOptions{}); err != nil {
 				log.Fatalf("brb-load: load: %v", err)
 			}
 		}
@@ -253,7 +258,7 @@ func main() {
 					newAddrs[r] = ln.Addr().String()
 				}
 				log.Printf("rebalance: adding shard %d on %v", newID, newAddrs)
-				nt, err := netstore.AddShard(shardTopo, newAddrs, ropts)
+				nt, err := netstore.AddShard(bg, shardTopo, newAddrs, ropts)
 				if err != nil {
 					log.Fatalf("brb-load: add shard: %v", err)
 				}
@@ -263,19 +268,20 @@ func main() {
 			ids := shardTopo.ShardIDs()
 			victim := ids[len(ids)-1]
 			log.Printf("rebalance: draining shard %d", victim)
-			nt, err := netstore.RemoveShard(shardTopo, victim, ropts)
+			nt, err := netstore.RemoveShard(bg, shardTopo, victim, ropts)
 			if err != nil {
 				log.Fatalf("brb-load: remove shard: %v", err)
 			}
 			finalTopoCh <- nt
 		}()
 	}
+	var expiredTasks, cancelledTasks atomic.Uint64
 	for w := 0; w < *clients; w++ {
 		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			c, issue, err := dialStore(w)
+			c, err := dialStore(w)
 			if err != nil {
 				log.Printf("brb-load: client %d: %v", w, err)
 				return
@@ -295,7 +301,11 @@ func main() {
 					// must heal). With a replica down they still succeed on
 					// the survivors.
 					k := fmt.Sprintf("key:%d", rng.Intn(*keys))
-					if err := c.Set(k, make([]byte, int(wsizes.Sample(rng)))); err != nil {
+					if err := c.Set(bg, k, make([]byte, int(wsizes.Sample(rng))), netstore.WriteOptions{Timeout: *deadline}); err != nil {
+						if errors.Is(err, context.DeadlineExceeded) {
+							expiredTasks.Add(1)
+							continue
+						}
 						log.Printf("brb-load: client %d write: %v", w, err)
 						return
 					}
@@ -309,8 +319,20 @@ func main() {
 				for j := range ks {
 					ks[j] = fmt.Sprintf("key:%d", rng.Intn(*keys))
 				}
-				res, err := issue(ks)
+				res, err := c.Multiget(bg, ks, readOpts)
 				if err != nil {
+					// Deadline expiry is an expected outcome under
+					// -deadline, not a client failure: count it and keep
+					// loading (the partial result is discarded like a real
+					// service would on an SLO miss).
+					switch {
+					case errors.Is(err, context.DeadlineExceeded):
+						expiredTasks.Add(1)
+						continue
+					case errors.Is(err, context.Canceled):
+						cancelledTasks.Add(1)
+						continue
+					}
 					log.Printf("brb-load: client %d task: %v", w, err)
 					return
 				}
@@ -345,7 +367,7 @@ func main() {
 					for i := lo; i < hi; i++ {
 						ks = append(ks, fmt.Sprintf("key:%d", i))
 					}
-					if _, err := issue(ks); err != nil {
+					if _, err := c.Multiget(bg, ks, netstore.ReadOptions{}); err != nil {
 						log.Printf("brb-load: client %d sweep: %v", w, err)
 						return
 					}
@@ -374,6 +396,13 @@ func main() {
 		assigner.Name(), s.Count, elapsed.Round(time.Millisecond),
 		float64(s.Count)/elapsed.Seconds())
 	fmt.Printf("task latency: %s\n", s)
+	// Deadline accounting: per-task outcomes from this run, plus the
+	// client library's process-wide counters (which also cover internal
+	// sub-batches and writes).
+	fmt.Printf("deadlines: expired_tasks=%d cancelled_tasks=%d  netstore_expired_total=%d netstore_cancelled_total=%d\n",
+		expiredTasks.Load(), cancelledTasks.Load(),
+		metrics.CounterValue("netstore_expired_total"),
+		metrics.CounterValue("netstore_cancelled_total"))
 	if *allocStats && s.Count > 0 {
 		// Whole-process deltas over the measurement phase only (dialing
 		// and the initial load happen before memBefore; teardown after
@@ -490,7 +519,7 @@ func checkConvergence(m *cluster.ShardTopology, realAddrs []string, shard, keys 
 	mismatches := 0
 	for r := 0; r < m.Replicas(); r++ {
 		addr := realAddrs[m.Server(shard, r)]
-		vers, _, err := netstore.ScanVersions(addr, shard, shardKeys, 5*time.Second)
+		vers, _, err := netstore.ScanVersions(context.Background(), addr, shard, shardKeys, 5*time.Second)
 		if err != nil {
 			log.Printf("convergence: scan of replica %d (%s) failed: %v", r, addr, err)
 			os.Exit(1)
@@ -533,7 +562,7 @@ func checkOwnerConvergence(t *cluster.ShardTopology, keys int) {
 		var ref []uint64
 		for r := 0; r < t.Replicas(); r++ {
 			addr := t.Addr(t.Server(sh, r))
-			vers, found, err := netstore.ScanVersions(addr, sh, ks, 5*time.Second)
+			vers, found, err := netstore.ScanVersions(context.Background(), addr, sh, ks, 5*time.Second)
 			if err != nil {
 				log.Printf("rebalance scan: shard %d replica %d (%s): %v", sh, r, addr, err)
 				os.Exit(1)

@@ -9,6 +9,11 @@
 // as a sharded, replica-aware cluster (netstore.Cluster over
 // epoch-versioned cluster.ShardTopology, with C3-scored replica selection
 // from internal/c3 and live shard rebalancing via netstore.AddShard).
+// The request surface is the context-first netstore.Store interface —
+// Get/Multiget/Set/Delete with per-call ReadOptions/WriteOptions —
+// implemented alike by the flat Client, the sharded Cluster, and the
+// in-process Local store; caller deadlines propagate over the wire as
+// remaining budgets and servers shed expired queued work before service.
 // The benchmarks in bench_test.go regenerate every figure of the paper;
 // see README.md for a quickstart, DESIGN.md for the system inventory, and
 // EXPERIMENTS.md for measured results.

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -24,11 +25,16 @@ import (
 )
 
 func main() {
+	// Context-first API: the demo runs every multiget under a short
+	// per-call deadline — the paper's bounded-tail-latency promise made
+	// explicit. Failover after the kill must complete inside it.
+	ctx := context.Background()
 	const (
-		shards   = 3
-		replicas = 2
-		keys     = 500
-		tasks    = 600
+		shards       = 3
+		replicas     = 2
+		keys         = 500
+		tasks        = 600
+		taskDeadline = 2 * time.Second
 	)
 	shardMap := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: shards, Replicas: replicas})
 
@@ -79,7 +85,7 @@ func main() {
 	sizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 32 << 10}
 	r := randx.New(7)
 	for i := 0; i < keys; i++ {
-		if err := client.Set(fmt.Sprintf("track:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+		if err := client.Set(ctx, fmt.Sprintf("track:%d", i), make([]byte, int(sizes.Sample(r))), netstore.WriteOptions{}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -112,7 +118,7 @@ func main() {
 		for j := range ks {
 			ks[j] = fmt.Sprintf("track:%d", r.Intn(keys))
 		}
-		res, err := client.Multiget(ks)
+		res, err := client.Multiget(ctx, ks, netstore.ReadOptions{Timeout: taskDeadline})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -21,6 +22,9 @@ import (
 )
 
 func main() {
+	// Every store call is context-first; the demo is happy with the
+	// client's default request timeout on top of this background ctx.
+	ctx := context.Background()
 	const servers = 3
 	// Size-dependent service time, as in the simulator's cost model.
 	delay := func(size int64) time.Duration {
@@ -75,7 +79,7 @@ func main() {
 	sizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 32 << 10}
 	r := randx.New(7)
 	for i := 0; i < 200; i++ {
-		if err := client.Set(fmt.Sprintf("track:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+		if err := client.Set(ctx, fmt.Sprintf("track:%d", i), make([]byte, int(sizes.Sample(r))), netstore.WriteOptions{}); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -89,7 +93,7 @@ func main() {
 		for j := range keys {
 			keys[j] = fmt.Sprintf("track:%d", r.Intn(200))
 		}
-		res, err := client.Task(keys)
+		res, err := client.Multiget(ctx, keys, netstore.ReadOptions{})
 		if err != nil {
 			log.Fatal(err)
 		}

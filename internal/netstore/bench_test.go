@@ -50,13 +50,13 @@ func BenchmarkServerPipeline(b *testing.B) {
 		keys[i] = fmt.Sprintf("key:%d", i%nKeys)
 	}
 	// Warm size cache and connections.
-	if _, err := c.Task(keys); err != nil {
+	if _, err := c.Multiget(bg, keys, ReadOptions{}); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := c.Task(keys)
+		res, err := c.Multiget(bg, keys, ReadOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}

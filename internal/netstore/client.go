@@ -2,6 +2,7 @@ package netstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -32,6 +33,12 @@ type ClientOptions struct {
 	Client int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// RequestTimeout bounds any operation whose context carries no
+	// deadline (default DefaultRequestTimeout; negative disables the
+	// default, restoring wait-forever semantics for background-context
+	// callers). Per-call ReadOptions/WriteOptions.Timeout and ctx
+	// deadlines always apply on top — the earliest bound wins.
+	RequestTimeout time.Duration
 }
 
 func (o ClientOptions) withDefaults() ClientOptions {
@@ -109,34 +116,85 @@ func (c *Client) Close() {
 	}
 }
 
-// Set writes a key to every replica of its group, stamped with one
-// version so all replicas store identical state for the write. The flat
-// client is not epoch-routed: its Sets carry a zero Shard/Epoch header.
-func (c *Client) Set(key string, value []byte) error {
-	g := c.opts.Topology.GroupOfKey(key)
-	ver := c.versions.next()
-	for _, sid := range c.opts.Topology.Replicas(g) {
-		if err := c.conns[sid].set(key, value, ver, writeRoute{}, 0); err != nil {
-			return err
-		}
-	}
-	learnSize(&c.sizes, key, int64(len(value)))
-	return nil
+// Set writes a key to every replica of its group in parallel, stamped
+// with one version so all replicas store identical state for the write.
+// The flat client is not epoch-routed: its Sets carry a zero Shard/Epoch
+// header. The wait is bounded by ctx, opts.Timeout, and the client's
+// RequestTimeout (earliest wins); WriteAll (default) requires every
+// replica's ack, WriteAny returns after the first while the rest
+// complete in the background.
+func (c *Client) Set(ctx context.Context, key string, value []byte, opts WriteOptions) error {
+	return c.write(ctx, key, value, false, opts)
 }
 
 // Delete removes a key from every replica of its group (versioned, so a
 // concurrent older Set cannot resurrect it) and drops the key's learned
 // size, so later cost forecasts fall back to DefaultSize instead of the
-// stale size of a value that no longer exists.
-func (c *Client) Delete(key string) error {
+// stale size of a value that no longer exists. Deadline and fan-out
+// semantics match Set's.
+func (c *Client) Delete(ctx context.Context, key string, opts WriteOptions) error {
+	return c.write(ctx, key, nil, true, opts)
+}
+
+func (c *Client) write(ctx context.Context, key string, value []byte, del bool, opts WriteOptions) (err error) {
+	defer func() { countCtxErr(err) }()
+	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
 	g := c.opts.Topology.GroupOfKey(key)
 	ver := c.versions.next()
-	for _, sid := range c.opts.Topology.Replicas(g) {
-		if err := c.conns[sid].del(key, ver, writeRoute{}, 0); err != nil {
-			return err
+	reps := c.opts.Topology.Replicas(g)
+	results := make(chan error, len(reps))
+	for _, sid := range reps {
+		go func(sc *serverConn) {
+			if del {
+				results <- sc.del(ctx, key, ver, writeRoute{})
+			} else {
+				results <- sc.set(ctx, key, value, ver, writeRoute{})
+			}
+		}(c.conns[sid])
+	}
+	done := func() {
+		if del {
+			c.sizes.Delete(key)
+		} else {
+			learnSize(&c.sizes, key, int64(len(value)))
 		}
 	}
-	c.sizes.Delete(key)
+	if opts.Fanout == WriteAny {
+		// First ack wins; the rest of the fan-out drains in the
+		// background, and the ctx is only released once it finishes so
+		// the stragglers are not cancelled by our return.
+		var firstErr error
+		for i := 0; i < len(reps); i++ {
+			werr := <-results
+			if werr == nil {
+				remaining := len(reps) - i - 1
+				go func() {
+					for j := 0; j < remaining; j++ {
+						<-results
+					}
+					cancel()
+				}()
+				done()
+				return nil
+			}
+			if firstErr == nil {
+				firstErr = werr
+			}
+		}
+		cancel()
+		return firstErr
+	}
+	defer cancel()
+	var firstErr error
+	for range reps {
+		if werr := <-results; werr != nil && firstErr == nil {
+			firstErr = werr
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	done()
 	return nil
 }
 
@@ -189,11 +247,29 @@ type TaskResult struct {
 	Bottleneck int64
 }
 
-// Task performs one batched read: the full BRB client pipeline.
-func (c *Client) Task(keys []string) (*TaskResult, error) {
+// Get reads a single key through the batched pipeline (found=false for
+// missing keys, never an error).
+func (c *Client) Get(ctx context.Context, key string, opts ReadOptions) ([]byte, bool, error) {
+	res, err := c.Multiget(ctx, []string{key}, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Values[0], res.Found[0], nil
+}
+
+// Multiget performs one batched read: the full BRB client pipeline
+// (forecast → decompose per replica group → prioritize → load-aware
+// replica selection → scatter-gather). The wait is bounded by ctx,
+// opts.Timeout, and the client's RequestTimeout; on expiry the partial
+// TaskResult holds whatever batches answered in time, alongside an
+// error wrapping context.DeadlineExceeded.
+func (c *Client) Multiget(ctx context.Context, keys []string, opts ReadOptions) (res *TaskResult, err error) {
 	if len(keys) == 0 {
 		return &TaskResult{}, nil
 	}
+	defer func() { countCtxErr(err) }()
+	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
+	defer cancel()
 	start := time.Now()
 	topo := c.opts.Topology
 
@@ -234,7 +310,7 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 	for _, sub := range subs {
 		reps := topo.Replicas(sub.Group)
 		for _, r := range sub.Requests {
-			best := c.pickReplica(reps)
+			best := c.pickReplica(reps, opts.Replica)
 			b := batchOf[best]
 			if b == nil {
 				// Sized for the current sub-task; a server collecting
@@ -259,7 +335,7 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 		}
 	}
 
-	res := &TaskResult{
+	res = &TaskResult{
 		Values:     make([][]byte, len(keys)),
 		Found:      make([]bool, len(keys)),
 		Bottleneck: bottleneck,
@@ -278,7 +354,7 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 		}()
 		// Single-tier deployments leave the Shard/Replica routing
 		// header zero (see wire.BatchReq).
-		resp, err := c.conns[b.sid].batch(&wire.BatchReq{
+		resp, err := c.conns[b.sid].batch(ctx, &wire.BatchReq{
 			TaskID:   task.ID,
 			Priority: b.prios,
 			Keys:     b.keys,
@@ -292,12 +368,20 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 		if len(resp.Values) != len(b.keys) {
 			return fmt.Errorf("netstore: server %d returned %d values for %d keys", b.sid, len(resp.Values), len(b.keys))
 		}
+		expired := 0
 		for i, orig := range b.idx {
+			if resp.Expired != nil && resp.Expired[i] {
+				expired++
+				continue
+			}
 			res.Values[orig] = resp.Values[i]
 			res.Found[orig] = resp.Found[i]
 			if resp.Found[i] {
 				learnSize(&c.sizes, b.keys[i], int64(len(resp.Values[i])))
 			}
+		}
+		if expired > 0 {
+			return expiredKeysError(expired)
 		}
 		return nil
 	}
@@ -327,17 +411,29 @@ func (c *Client) Task(keys []string) (*TaskResult, error) {
 	} else {
 		firstErr = issue(batches[0])
 	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	res.Latency = time.Since(start)
+	if firstErr != nil {
+		// Partial results ride along: batches that answered in time have
+		// their slots filled, the rest read as not-found under the error.
+		return res, firstErr
+	}
 	return res, nil
+}
+
+// expiredKeysError reports server-shed keys as a deadline expiry the
+// caller can errors.Is-match.
+func expiredKeysError(n int) error {
+	return fmt.Errorf("netstore: server shed %d expired key(s) before service: %w", n, context.DeadlineExceeded)
 }
 
 // pickReplica chooses the replica with the most scheduling headroom:
 // credit balance (when a controller is attached) minus outstanding
-// forecasted work.
-func (c *Client) pickReplica(reps []cluster.ServerID) cluster.ServerID {
+// forecasted work. ReplicaPrimary pins to the group's first replica
+// instead (the flat client has no down-marking, so no fallback applies).
+func (c *Client) pickReplica(reps []cluster.ServerID, pref ReplicaPreference) cluster.ServerID {
+	if pref == ReplicaPrimary {
+		return reps[0]
+	}
 	best := reps[0]
 	bestH := c.headroom(best)
 	for _, cand := range reps[1:] {
@@ -478,8 +574,21 @@ func (sc *serverConn) readLoop(r *bufio.Reader) {
 }
 
 // batch sends req (Batch is assigned here; all other fields are the
-// caller's) and waits for its response.
-func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
+// caller's) and waits for its response, ctx cancellation, or connection
+// death — whichever comes first. The ctx deadline is stamped onto the
+// request's Budget (unless the caller pre-set one) so the server can
+// shed the batch's keys if they queue past it; a budget already spent
+// fails before any byte is sent. On ctx termination the waiter
+// deregisters, so a late response is dropped by the read loop instead
+// of leaking a channel.
+func (sc *serverConn) batch(ctx context.Context, req *wire.BatchReq) (*wire.BatchResp, error) {
+	if req.Budget == 0 {
+		b, ok := budgetOf(ctx)
+		if !ok {
+			return nil, ctxErr(ctx, "batch not sent")
+		}
+		req.Budget = b
+	}
 	ch := make(chan *wire.BatchResp, 1)
 	sc.mu.Lock()
 	if sc.closed {
@@ -498,11 +607,18 @@ func (sc *serverConn) batch(req *wire.BatchReq) (*wire.BatchResp, error) {
 		sc.mu.Unlock()
 		return nil, err
 	}
-	resp, ok := <-ch
-	if !ok {
-		return nil, fmt.Errorf("netstore: connection closed awaiting batch: %v", sc.closeError())
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("netstore: connection closed awaiting batch: %v", sc.closeError())
+		}
+		return resp, nil
+	case <-ctx.Done():
+		sc.mu.Lock()
+		delete(sc.pending, id)
+		sc.mu.Unlock()
+		return nil, ctxErr(ctx, "batch abandoned")
 	}
-	return resp, nil
 }
 
 // ack delivers a write acknowledgment (SetResp/DelResp, result nil) or
@@ -523,14 +639,14 @@ func (sc *serverConn) ack(seq uint64, result error) {
 
 // awaitAck registers an ack channel under a fresh seq, sends the message
 // built from that seq, and blocks until the server acknowledges or
-// rejects it, the connection dies, or (timeout > 0) the wait expires.
-// Foreground writes pass timeout 0 — they block until the connection
-// resolves, the pre-existing semantics; background repair traffic
-// (hint replay/re-route, read-repair) bounds its waits so one wedged
-// server cannot capture the prober or a repair slot forever. On
-// timeout the waiter deregisters; a late verdict parks harmlessly in
-// the buffered channel.
-func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string, timeout time.Duration) error {
+// rejects it, the connection dies, or ctx ends. Every caller's wait is
+// ctx-bounded: foreground writes carry the request deadline, background
+// repair traffic (hint replay/re-route, read-repair) derives a
+// DialTimeout-bounded ctx, so one wedged-but-open server can neither
+// hang a caller forever nor capture the prober or a repair slot. On ctx
+// termination the waiter deregisters; a late verdict parks harmlessly
+// in the buffered channel.
+func (sc *serverConn) awaitAck(ctx context.Context, build func(seq uint64) wire.Message, what string) error {
 	ch := make(chan error, 1)
 	sc.mu.Lock()
 	if sc.closed {
@@ -551,45 +667,46 @@ func (sc *serverConn) awaitAck(build func(seq uint64) wire.Message, what string,
 	// NotOwner rejection); the read loop closing it instead means the
 	// connection died with the write unacknowledged — an error, not
 	// success.
-	if timeout <= 0 {
-		result, acked := <-ch
-		if !acked {
-			return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
-		}
-		return result
-	}
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
 	select {
 	case result, acked := <-ch:
 		if !acked {
 			return fmt.Errorf("netstore: connection closed awaiting %s: %v", what, sc.closeError())
 		}
 		return result
-	case <-timer.C:
+	case <-ctx.Done():
 		sc.mu.Lock()
 		delete(sc.pendAck, id)
 		sc.mu.Unlock()
-		return fmt.Errorf("netstore: %s timed out after %v", what, timeout)
+		return ctxErr(ctx, what+" abandoned")
 	}
 }
 
 // set writes one versioned key (version 0 = server-assigned local
 // version) under the given topology route and waits for the
-// acknowledgment (timeout 0 = until the connection resolves). A
+// acknowledgment until ctx ends. The ctx deadline rides the frame as
+// its remaining Budget; a budget already spent fails without sending. A
 // *NotOwnerError return means the server rejected the key as not its
 // own.
-func (sc *serverConn) set(key string, value []byte, version uint64, rt writeRoute, timeout time.Duration) error {
-	return sc.awaitAck(func(seq uint64) wire.Message {
-		return &wire.Set{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Key: key, Value: value}
-	}, "set", timeout)
+func (sc *serverConn) set(ctx context.Context, key string, value []byte, version uint64, rt writeRoute) error {
+	budget, ok := budgetOf(ctx)
+	if !ok {
+		return ctxErr(ctx, "set not sent")
+	}
+	return sc.awaitAck(ctx, func(seq uint64) wire.Message {
+		return &wire.Set{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Budget: budget, Key: key, Value: value}
+	}, "set")
 }
 
-// del deletes one versioned key and waits for the acknowledgment.
-func (sc *serverConn) del(key string, version uint64, rt writeRoute, timeout time.Duration) error {
-	return sc.awaitAck(func(seq uint64) wire.Message {
-		return &wire.Del{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Key: key}
-	}, "del", timeout)
+// del deletes one versioned key and waits for the acknowledgment until
+// ctx ends.
+func (sc *serverConn) del(ctx context.Context, key string, version uint64, rt writeRoute) error {
+	budget, ok := budgetOf(ctx)
+	if !ok {
+		return ctxErr(ctx, "del not sent")
+	}
+	return sc.awaitAck(ctx, func(seq uint64) wire.Message {
+		return &wire.Del{Seq: seq, Version: version, Shard: uint32(rt.shard), Epoch: rt.epoch, Budget: budget, Key: key}
+	}, "del")
 }
 
 // topoGet asks the server for its current topology and waits for the

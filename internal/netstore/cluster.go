@@ -1,6 +1,7 @@
 package netstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -43,6 +44,12 @@ type ClusterOptions struct {
 	ServerWorkers int
 	// DialTimeout bounds connection establishment (default 5s).
 	DialTimeout time.Duration
+	// RequestTimeout bounds any operation whose context carries no
+	// deadline (default DefaultRequestTimeout; negative disables the
+	// default, restoring wait-forever semantics for background-context
+	// callers). Per-call ReadOptions/WriteOptions.Timeout and ctx
+	// deadlines always apply on top — the earliest bound wins.
+	RequestTimeout time.Duration
 	// ProbeInterval is how often the revival prober pings down-marked
 	// replicas (default 500ms; negative disables revival, restoring the
 	// old fail-once-stay-down behavior).
@@ -179,9 +186,15 @@ type Cluster struct {
 
 	taskSeq atomic.Uint64
 
+	// rootCtx scopes every background goroutine this client owns — the
+	// revival prober, hint replay, read-repair pushes — and is cancelled
+	// by Close, so background I/O observes shutdown the same way
+	// foreground operations observe their callers' contexts.
+	rootCtx    context.Context
+	rootCancel context.CancelFunc
+
 	// Revival/repair machinery (revive.go). repairMu orders
 	// scheduleRepair's closed-check+Add against Close's Wait.
-	stopProbe     chan struct{}
 	probeWG       sync.WaitGroup
 	repairMu      sync.Mutex
 	repairWG      sync.WaitGroup
@@ -251,6 +264,7 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 		opts:      opts,
 		repairSem: make(chan struct{}, maxConcurrentRepairs),
 	}
+	c.rootCtx, c.rootCancel = context.WithCancel(context.Background())
 	st := &topoState{
 		topo:    topo,
 		slots:   make(map[int]*serverSlot, topo.NumServers()),
@@ -291,7 +305,6 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 		}
 	}
 	if opts.ProbeInterval > 0 {
-		c.stopProbe = make(chan struct{})
 		c.probeWG.Add(1)
 		go c.probeLoop()
 	}
@@ -333,10 +346,10 @@ func (c *Cluster) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
-	if c.stopProbe != nil {
-		close(c.stopProbe)
-		c.probeWG.Wait()
-	}
+	// Cancelling the root context stops the prober and unblocks every
+	// background wait (hint replay, repair pushes) at its next select.
+	c.rootCancel()
+	c.probeWG.Wait()
 	// Barrier: a scheduleRepair that passed its closed check before our
 	// CAS finishes its repairWG.Add while holding repairMu; any later
 	// one sees closed and bails. After this, the Wait below races no Add.
@@ -367,10 +380,17 @@ func (c *Cluster) Close() {
 // newer surfaced). Single-flight under refreshMu — concurrent
 // stray-hit operations share one poll — while topoMu is taken only for
 // the final install, so the poll's per-server timeouts never stall
-// Close or InstallTopology.
-func (c *Cluster) refreshTopology(prev *topoState) *topoState {
+// Close or InstallTopology. The wait is ctx-bounded: a deadline-bound
+// operation abandons the poll at its deadline and proceeds with the
+// best state currently installed (the poll goroutines park their late
+// answers in the buffered channel and exit on their own), so a refresh
+// can never hold a caller past its budget.
+func (c *Cluster) refreshTopology(ctx context.Context, prev *topoState) *topoState {
 	if st := c.state.Load(); st.topo.Epoch() > prev.topo.Epoch() {
 		return st
+	}
+	if ctx.Err() != nil {
+		return c.state.Load()
 	}
 	c.refreshMu.Lock()
 	defer c.refreshMu.Unlock()
@@ -411,7 +431,15 @@ func (c *Cluster) refreshTopology(prev *topoState) *topoState {
 	}
 	var best *cluster.ShardTopology
 	for range live {
-		nt := <-results
+		var nt *cluster.ShardTopology
+		select {
+		case nt = <-results:
+		case <-ctx.Done():
+			// The caller's budget ran out mid-poll: hand back whatever is
+			// installed now; the straggling pollers drain into the
+			// buffered channel and exit unobserved.
+			return c.state.Load()
+		}
 		if nt == nil {
 			continue
 		}
@@ -539,71 +567,142 @@ func (c *Cluster) installLocked(st *topoState, nt *cluster.ShardTopology) *topoS
 // returns an error only when no replica accepted the write;
 // short-of-full-replication writes heal via hinted handoff and
 // read-repair once the missing replicas revive.
-func (c *Cluster) Set(key string, value []byte) error {
-	return c.write(key, value, false)
+//
+// The wait is bounded by ctx, opts.Timeout, and the client's
+// RequestTimeout (earliest wins). WriteAll (default) waits for every
+// live replica's ack; WriteAny returns after the first while the rest
+// of the fan-out completes in the background. A replica whose wait the
+// deadline cut short is NOT marked down — the caller gave up, the
+// replica may be fine — but the write is hint-buffered for it, so
+// convergence still heals the gap if a sibling acked.
+func (c *Cluster) Set(ctx context.Context, key string, value []byte, opts WriteOptions) error {
+	return c.write(ctx, key, value, false, opts)
 }
 
 // Delete removes a key from every replica of its shard (versioned
 // tombstones, so replayed older writes cannot resurrect it) and drops
 // the key's learned size, so later cost forecasts fall back to
 // DefaultSize instead of the stale size of a value that no longer
-// exists. Like Set, it errors only when no replica accepted it.
-func (c *Cluster) Delete(key string) error {
-	return c.write(key, nil, true)
+// exists. Like Set, it errors only when no replica accepted it, and its
+// deadline/fan-out semantics match Set's.
+func (c *Cluster) Delete(ctx context.Context, key string, opts WriteOptions) error {
+	return c.write(ctx, key, nil, true, opts)
 }
 
-func (c *Cluster) write(key string, value []byte, del bool) error {
+// writeVerdict is one replica's outcome within a write fan-out.
+type writeVerdict struct {
+	err    error
+	hinted *serverSlot // non-nil when the attempt buffered a hint
+}
+
+func (c *Cluster) write(ctx context.Context, key string, value []byte, del bool, opts WriteOptions) (err error) {
+	defer func() { countCtxErr(err) }()
+	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
+	detached := false
+	defer func() {
+		if !detached {
+			cancel()
+		}
+	}()
 	ver := c.versions.next()
 	st := c.state.Load()
 	for hop := 0; hop < maxEpochHops; hop++ {
 		shard := st.topo.ShardOfKey(key)
 		rt := writeRoute{shard: shard, epoch: st.topo.Epoch()}
 		reps := st.topo.Replicas()
-		acked := make([]bool, reps)
-		rejected := make([]bool, reps)      // NotOwner verdicts
-		hinted := make([]*serverSlot, reps) // disjoint per-replica writes: no lock needed
-		var wg sync.WaitGroup
+		results := make(chan writeVerdict, reps)
+		inflight := 0
+		var hinted []*serverSlot // slots holding this attempt's hints
 		for r := 0; r < reps; r++ {
 			slot := st.slotOf(shard, r)
 			sc := slot.conn.Load()
 			if slot.down.Load() || sc == nil {
 				c.addHint(slot, key, value, ver, del)
-				hinted[r] = slot
+				hinted = append(hinted, slot)
 				continue
 			}
-			wg.Add(1)
-			go func(r int, slot *serverSlot, sc *serverConn) {
-				defer wg.Done()
-				var err error
+			inflight++
+			go func(slot *serverSlot, sc *serverConn) {
+				var werr error
 				if del {
-					err = sc.del(key, ver, rt, 0)
+					werr = sc.del(ctx, key, ver, rt)
 				} else {
-					err = sc.set(key, value, ver, rt, 0)
+					werr = sc.set(ctx, key, value, ver, rt)
 				}
+				v := writeVerdict{err: werr}
 				switch {
-				case err == nil:
-					acked[r] = true
-				case errors.As(err, new(*NotOwnerError)):
+				case werr == nil:
+				case errors.As(werr, new(*NotOwnerError)):
 					// The server's (newer) topology places the key
 					// elsewhere: no hint — this replica will never own it.
-					rejected[r] = true
+				case ctx.Err() != nil:
+					// The caller's deadline/cancellation cut the wait
+					// short; the replica may be healthy and may even have
+					// applied the write. Hint it (versioned, idempotent —
+					// a duplicate replay is a no-op) but do not mark the
+					// replica down for the caller's impatience.
+					c.addHint(slot, key, value, ver, del)
+					v.hinted = slot
 				default:
 					// Hint before marking down so a racing revival can only
 					// replay the hint, never miss it.
 					c.addHint(slot, key, value, ver, del)
-					hinted[r] = slot
+					v.hinted = slot
 					c.markDown(slot, sc)
 				}
-			}(r, slot, sc)
+				results <- v
+			}(slot, sc)
 		}
-		wg.Wait()
-		wrote, notOwner := 0, 0
-		for r := 0; r < reps; r++ {
-			if acked[r] {
-				wrote++
+		success := func() {
+			c.written.Store(key, ver)
+			if del {
+				c.sizes.Delete(key)
+			} else {
+				learnSize(&c.sizes, key, int64(len(value)))
 			}
-			if rejected[r] {
+		}
+		wrote, notOwner := 0, 0
+		for done := 0; done < inflight; done++ {
+			v := <-results
+			switch {
+			case v.err == nil:
+				wrote++
+			case errors.As(v.err, new(*NotOwnerError)):
 				notOwner++
+			default:
+				if v.hinted != nil {
+					hinted = append(hinted, v.hinted)
+				}
+			}
+			if v.err == nil && opts.Fanout == WriteAny {
+				// First ack wins. The remaining fan-out keeps running —
+				// the ctx is handed to a drainer that releases it only
+				// once every goroutine reported, so returning here does
+				// not cancel the stragglers. The drainer keeps the tally:
+				// NotOwner verdicts still arriving after our early return
+				// prove a newer epoch exists and get the same epoch-lag
+				// arming and redundancy top-up the WriteAll path performs
+				// (under the client's root ctx — background healing is
+				// scoped to the client's lifetime, not this caller's
+				// deadline).
+				detached = true
+				remaining := inflight - done - 1
+				notOwnerSoFar := notOwner
+				go func() {
+					no := notOwnerSoFar
+					for j := 0; j < remaining; j++ {
+						if v := <-results; v.err != nil && errors.As(v.err, new(*NotOwnerError)) {
+							no++
+						}
+					}
+					if no > 0 {
+						c.epochLag.Store(true)
+						c.topUpOwners(c.rootCtx, st, key, value, ver, del)
+					}
+					cancel()
+				}()
+				success()
+				return nil
 			}
 		}
 		if notOwner > 0 {
@@ -614,12 +713,7 @@ func (c *Cluster) write(key string, value []byte, del bool) error {
 			c.epochLag.Store(true)
 		}
 		if wrote > 0 {
-			c.written.Store(key, ver)
-			if del {
-				c.sizes.Delete(key)
-			} else {
-				learnSize(&c.sizes, key, int64(len(value)))
-			}
+			success()
 			if notOwner > 0 {
 				// Mixed verdict: stale donors acked (the write succeeds),
 				// already-pushed replicas rejected. The rejecting replicas
@@ -629,12 +723,7 @@ func (c *Cluster) write(key string, value []byte, del bool) error {
 				// same versioned write for the key's owners under the
 				// freshest topology; the prober's flush delivers it,
 				// idempotently.
-				if nst := c.refreshTopology(st); nst != st {
-					nshard := nst.topo.ShardOfKey(key)
-					for _, sid := range nst.topo.ReplicaServers(nshard) {
-						c.addHint(nst.slots[sid], key, value, ver, del)
-					}
-				}
+				c.topUpOwners(ctx, st, key, value, ver, del)
 			}
 			return nil
 		}
@@ -645,17 +734,46 @@ func (c *Cluster) write(key string, value []byte, del bool) error {
 				c.removeHint(slot, key, ver)
 			}
 		}
+		if ctx.Err() != nil {
+			// The deadline (or the caller) ended the write before any
+			// replica could ack: surface the cause, not ErrNoReplica.
+			return ctxErr(ctx, fmt.Sprintf("write %q", key))
+		}
 		if notOwner > 0 || c.state.Load() != st {
 			// The shard moved under us — either a replica said so
 			// (NotOwner) or a concurrent refresh replaced the state we
 			// fanned out against (closing a drained shard's connections
 			// mid-write). Refresh and re-route the same versioned write.
-			st = c.refreshTopology(st)
+			st = c.refreshTopology(ctx, st)
 			continue
 		}
 		return fmt.Errorf("%w %d (write %q)", ErrNoReplica, shard, key)
 	}
 	return fmt.Errorf("%w (write %q)", ErrTopologySkew, key)
+}
+
+// topUpOwners buffers one versioned write as hints for the key's
+// replica set under the freshest topology it can learn — the
+// mixed-verdict redundancy top-up shared by the WriteAll path and
+// WriteAny's background drainer. The prober's flush delivers the
+// hints, idempotently.
+func (c *Cluster) topUpOwners(ctx context.Context, st *topoState, key string, value []byte, ver uint64, del bool) {
+	if nst := c.refreshTopology(ctx, st); nst != st {
+		nshard := nst.topo.ShardOfKey(key)
+		for _, sid := range nst.topo.ReplicaServers(nshard) {
+			c.addHint(nst.slots[sid], key, value, ver, del)
+		}
+	}
+}
+
+// Get reads a single key through the batched pipeline (found=false for
+// missing keys, never an error).
+func (c *Cluster) Get(ctx context.Context, key string, opts ReadOptions) ([]byte, bool, error) {
+	res, err := c.Multiget(ctx, []string{key}, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return res.Values[0], res.Found[0], nil
 }
 
 // Multiget performs one batched read across the cluster: the full BRB
@@ -667,10 +785,21 @@ func (c *Cluster) write(key string, value []byte, del bool) error {
 // Values/Found filled — with all per-shard errors joined
 // (errors.Is(err, ErrNoReplica) matches a shard whose whole replica set
 // was down).
-func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
+//
+// The wait is bounded by ctx, opts.Timeout, and the client's
+// RequestTimeout (earliest wins): against a stalled replica the call
+// returns within the deadline with the in-deadline shards' partial
+// results and an error wrapping context.DeadlineExceeded. The remaining
+// budget rides each sub-batch on the wire, so servers shed keys that
+// outlive it in their queues instead of servicing them (per-key Expired
+// bits, surfaced here as the same deadline error).
+func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions) (res *TaskResult, err error) {
 	if len(keys) == 0 {
 		return &TaskResult{}, nil
 	}
+	defer func() { countCtxErr(err) }()
+	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
+	defer cancel()
 	start := time.Now()
 	st := c.state.Load()
 
@@ -697,7 +826,7 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	}
 	subs := core.Prepare(task, c.opts.Assigner)
 
-	res := &TaskResult{
+	res = &TaskResult{
 		Values:     make([][]byte, len(keys)),
 		Found:      make([]bool, len(keys)),
 		Bottleneck: core.Bottleneck(subs),
@@ -722,8 +851,8 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 				b.prios[j] = r.Priority
 				b.idx[j] = int(r.ID)
 			}
-			if err := c.fetchBatch(st, b, res, 0); err != nil {
-				errCh <- err
+			if ferr := c.fetchBatch(ctx, st, b, res, 0, opts.Replica); ferr != nil {
+				errCh <- ferr
 			}
 		}()
 	}
@@ -731,8 +860,8 @@ func (c *Cluster) Multiget(keys []string) (*TaskResult, error) {
 	close(errCh)
 	res.Latency = time.Since(start)
 	var errs []error
-	for err := range errCh {
-		errs = append(errs, err)
+	for e := range errCh {
+		errs = append(errs, e)
 	}
 	if len(errs) > 0 {
 		return res, errors.Join(errs...)
@@ -758,7 +887,12 @@ type shardBatch struct {
 // re-bucketed under a refreshed topology and retried, up to
 // maxEpochHops epochs deep. Result slots are disjoint across concurrent
 // calls, so writes into res need no locking.
-func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth int) error {
+//
+// The whole failover chain observes ctx: each attempt's wait selects on
+// ctx.Done(), a ctx-terminated attempt does not mark the replica down
+// (the caller gave up; the replica may be fine), and no further
+// failover is attempted once ctx is done.
+func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, depth int, pref ReplicaPreference) error {
 	// b.shard is always bucketed from st.topo by the caller (Multiget or
 	// retryStrays), so the shard exists in st by construction.
 	scorer := st.scorers[b.shard]
@@ -768,11 +902,16 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 		return !tried[r] && !st.slotOf(b.shard, r).down.Load()
 	}
 	for {
-		// With a controller attached, prefer replicas the client still
-		// holds credits for; fall back to pure C3 ranking when every
-		// eligible balance is exhausted (credits steer, never block).
+		// Replica preference: primary pins to replica 0 while it is
+		// live, then falls back to ranked selection. With a controller
+		// attached, prefer replicas the client still holds credits for;
+		// fall back to pure C3 ranking when every eligible balance is
+		// exhausted (credits steer, never block).
 		rep := -1
-		if c.credits != nil {
+		if pref == ReplicaPrimary && eligible(0) {
+			rep = 0
+		}
+		if rep < 0 && c.credits != nil {
 			rep = scorer.Best(func(r int) bool {
 				return eligible(r) && c.credits.balance(st.topo.Server(b.shard, r)) > 0
 			})
@@ -781,13 +920,24 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 			rep = scorer.Best(eligible)
 		}
 		if rep < 0 {
-			// Every replica of the shard is exhausted under THIS state. If
-			// the topology moved on meanwhile — a concurrent refresh
-			// installed a new epoch and closed a drained shard's
-			// connections out from under us — the shard is not dead, our
-			// view of it is: re-bucket the batch under the fresh state.
-			if depth < maxEpochHops && c.state.Load() != st {
-				return c.retryStrays(st, b, res, b.idx, b.keys, b.prios, depth)
+			// Every replica of the shard is exhausted under THIS state —
+			// either our view is stale (a rebalance retired the shard and
+			// an install closed its connections out from under us, with
+			// the down-marks landing before this multiget could learn the
+			// new epoch) or the replicas are genuinely gone. A topology
+			// poll is cheap next to failing the whole sub-task: if it (or
+			// a concurrent install) surfaces a newer state, the shard is
+			// not dead, our view of it is — re-bucket the batch under the
+			// fresh state.
+			if depth < maxEpochHops {
+				if nst := c.refreshTopology(ctx, st); nst != st {
+					return c.retryStrays(ctx, st, b, res, b.idx, b.keys, b.prios, depth)
+				}
+			}
+			if ctx.Err() != nil {
+				// The budget ran out while the replicas were exhausted:
+				// report the deadline, not a dead shard.
+				return ctxErr(ctx, fmt.Sprintf("shard %d replicas exhausted", b.shard))
 			}
 			return fmt.Errorf("%w %d", ErrNoReplica, b.shard)
 		}
@@ -805,7 +955,7 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 		}
 		scorer.OnSend(rep, n)
 		sent := time.Now()
-		resp, err := sc.batch(&wire.BatchReq{
+		resp, err := sc.batch(ctx, &wire.BatchReq{
 			TaskID:   b.taskID,
 			Shard:    uint32(b.shard),
 			Replica:  uint32(rep),
@@ -814,11 +964,17 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 			Keys:     b.keys,
 		})
 		if err != nil {
-			// Transport failure: mark the replica down (arming the
-			// revival prober) and fail over to the next-ranked one. The
-			// scorer only unwinds outstanding — a dead connection says
+			// The scorer only unwinds outstanding — an aborted batch says
 			// nothing about service times.
 			scorer.OnError(rep, n)
+			if ctx.Err() != nil {
+				// The caller's deadline/cancellation ended the wait, not
+				// the replica: no down-mark, no failover — the next
+				// attempt would be aborted the same way.
+				return ctxErr(ctx, fmt.Sprintf("multiget batch on shard %d", b.shard))
+			}
+			// Transport failure: mark the replica down (arming the
+			// revival prober) and fail over to the next-ranked one.
 			c.markDown(slot, sc)
 			continue
 		}
@@ -842,11 +998,19 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 		var strayIdx []int
 		var strayKeys []string
 		var strayPrios []int64
+		expired := 0
 		for i := range b.keys {
 			if resp.Stray != nil && resp.Stray[i] {
 				strayIdx = append(strayIdx, b.idx[i])
 				strayKeys = append(strayKeys, b.keys[i])
 				strayPrios = append(strayPrios, b.prios[i])
+				continue
+			}
+			if resp.Expired != nil && resp.Expired[i] {
+				// The server shed this key before service: the budget ran
+				// out while it queued. Not a miss, not a stray — deadline
+				// expiry, reported as such below.
+				expired++
 				continue
 			}
 			orig := b.idx[i]
@@ -864,8 +1028,12 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 				c.scheduleRepair(b.shard, rep, b.keys[i])
 			}
 		}
+		var expErr error
+		if expired > 0 {
+			expErr = expiredKeysError(expired)
+		}
 		if len(strayIdx) == 0 {
-			return nil
+			return expErr
 		}
 		// The server owns only part of this batch under its (newer)
 		// topology: refresh ours and re-route exactly the strays. The
@@ -873,9 +1041,9 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 		// around again.
 		strayRetriesTotal.Add(uint64(len(strayIdx)))
 		if depth >= maxEpochHops {
-			return fmt.Errorf("%w (%d stray keys on shard %d)", ErrTopologySkew, len(strayIdx), b.shard)
+			return errors.Join(expErr, fmt.Errorf("%w (%d stray keys on shard %d)", ErrTopologySkew, len(strayIdx), b.shard))
 		}
-		return c.retryStrays(st, b, res, strayIdx, strayKeys, strayPrios, depth)
+		return errors.Join(expErr, c.retryStrays(ctx, st, b, res, strayIdx, strayKeys, strayPrios, depth))
 	}
 }
 
@@ -883,12 +1051,14 @@ func (c *Cluster) fetchBatch(st *topoState, b shardBatch, res *TaskResult, depth
 // their new owners, fetching each bucket one epoch deeper. A server
 // that rejected keys holds a newer topology by definition, so if the
 // poll comes back empty it raced the rebalancer's push — wait a beat
-// and poll again before declaring skew.
-func (c *Cluster) retryStrays(st *topoState, b shardBatch, res *TaskResult, idx []int, keys []string, prios []int64, depth int) error {
-	nst := c.refreshTopology(st)
+// (ctx-bounded) and poll again before declaring skew.
+func (c *Cluster) retryStrays(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, idx []int, keys []string, prios []int64, depth int) error {
+	nst := c.refreshTopology(ctx, st)
 	for i := 0; i < 4 && nst == st; i++ {
-		time.Sleep(25 * time.Millisecond)
-		nst = c.refreshTopology(st)
+		if !sleepCtx(ctx, 25*time.Millisecond) {
+			return ctxErr(ctx, fmt.Sprintf("stray retry on shard %d", b.shard))
+		}
+		nst = c.refreshTopology(ctx, st)
 	}
 	if nst == st && nst.topo.HasShard(b.shard) {
 		return fmt.Errorf("%w (%d keys of shard %d)", ErrTopologySkew, len(keys), b.shard)
@@ -907,11 +1077,24 @@ func (c *Cluster) retryStrays(st *topoState, b shardBatch, res *TaskResult, idx 
 	}
 	var errs []error
 	for _, nb := range buckets {
-		if err := c.fetchBatch(nst, *nb, res, depth+1); err != nil {
+		if err := c.fetchBatch(ctx, nst, *nb, res, depth+1, ReplicaAuto); err != nil {
 			errs = append(errs, err)
 		}
 	}
 	return errors.Join(errs...)
+}
+
+// sleepCtx sleeps for d or until ctx ends, reporting whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Topology returns the client's current cached topology (operations and

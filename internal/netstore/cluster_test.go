@@ -50,7 +50,7 @@ func TestClusterMultigetScatterGather(t *testing.T) {
 
 	const keys = 200
 	for i := 0; i < keys; i++ {
-		if err := c.Set(fmt.Sprintf("key:%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+		if err := c.Set(bg, fmt.Sprintf("key:%d", i), []byte(fmt.Sprintf("value-%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -61,7 +61,7 @@ func TestClusterMultigetScatterGather(t *testing.T) {
 		ks = append(ks, fmt.Sprintf("key:%d", i*7))
 	}
 	ks = append(ks, "missing:1")
-	res, err := c.Multiget(ks)
+	res, err := c.Multiget(bg, ks, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestClusterFailoverOnKilledReplica(t *testing.T) {
 
 	const keys = 120
 	for i := 0; i < keys; i++ {
-		if err := c.Set(fmt.Sprintf("key:%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := c.Set(bg, fmt.Sprintf("key:%d", i), []byte(fmt.Sprintf("v%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +110,7 @@ func TestClusterFailoverOnKilledReplica(t *testing.T) {
 		for j := range ks {
 			ks[j] = fmt.Sprintf("key:%d", (round*12+j)%keys)
 		}
-		res, err := c.Multiget(ks)
+		res, err := c.Multiget(bg, ks, ReadOptions{})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
@@ -135,10 +135,10 @@ func TestClusterFailoverOnKilledReplica(t *testing.T) {
 	}
 
 	// Writes must also survive on the remaining replica.
-	if err := c.Set("key:0", []byte("rewritten")); err != nil {
+	if err := c.Set(bg, "key:0", []byte("rewritten"), WriteOptions{}); err != nil {
 		t.Fatalf("Set after kill: %v", err)
 	}
-	res, err := c.Multiget([]string{"key:0"})
+	res, err := c.Multiget(bg, []string{"key:0"}, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestClusterAllReplicasDead(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Set("k", []byte("v")); err != nil {
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	for _, srv := range servers {
@@ -164,7 +164,7 @@ func TestClusterAllReplicasDead(t *testing.T) {
 	// Every replica dies: Multiget must return ErrNoReplica, not hang.
 	var lastErr error
 	for i := 0; i < 3; i++ {
-		if _, lastErr = c.Multiget([]string{"k"}); lastErr != nil {
+		if _, lastErr = c.Multiget(bg, []string{"k"}, ReadOptions{}); lastErr != nil {
 			break
 		}
 	}
@@ -194,12 +194,12 @@ func TestClusterC3SteersToFastReplica(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 0; i < 20; i++ {
-		if err := c.Set(fmt.Sprintf("key:%d", i), []byte("x")); err != nil {
+		if err := c.Set(bg, fmt.Sprintf("key:%d", i), []byte("x"), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	for i := 0; i < 60; i++ {
-		if _, err := c.Multiget([]string{fmt.Sprintf("key:%d", i%20)}); err != nil {
+		if _, err := c.Multiget(bg, []string{fmt.Sprintf("key:%d", i%20)}, ReadOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -232,7 +232,7 @@ func TestClusterMisroutedSurfaces(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if _, err := c.Multiget([]string{"k"}); err == nil {
+	if _, err := c.Multiget(bg, []string{"k"}, ReadOptions{}); err == nil {
 		t.Fatal("misrouted batch did not surface an error")
 	}
 }
@@ -252,10 +252,10 @@ func TestDialClusterToleratesDeadReplica(t *testing.T) {
 	if !c.ReplicaDown(0, 0) {
 		t.Fatal("dead replica not marked down at dial time")
 	}
-	if err := c.Set("k", []byte("v")); err != nil {
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.Multiget([]string{"k"})
+	res, err := c.Multiget(bg, []string{"k"}, ReadOptions{})
 	if err != nil || !res.Found[0] {
 		t.Fatalf("Multiget on survivors: %v found=%v", err, res.Found)
 	}
@@ -288,7 +288,7 @@ func TestClusterAttachController(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if err := c.Set(fmt.Sprintf("key:%d", i), []byte("v")); err != nil {
+		if err := c.Set(bg, fmt.Sprintf("key:%d", i), []byte("v"), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -297,7 +297,7 @@ func TestClusterAttachController(t *testing.T) {
 	granted := false
 	for time.Now().Before(deadline) && !granted {
 		for i := 0; i < 20; i++ {
-			if _, err := c.Multiget([]string{fmt.Sprintf("key:%d", i%50)}); err != nil {
+			if _, err := c.Multiget(bg, []string{fmt.Sprintf("key:%d", i%50)}, ReadOptions{}); err != nil {
 				t.Fatal(err)
 			}
 		}

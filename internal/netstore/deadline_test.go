@@ -1,0 +1,567 @@
+package netstore
+
+// End-to-end tests of the context-first API: deadline propagation from
+// caller contexts over the wire into server-side expiry shedding,
+// cancellation mid-multiget, the default request timeout against
+// wedged-but-open connections, write fan-out modes, and the in-process
+// Local store. The cancellation and shedding tests run under -race in
+// CI alongside the rest of this package.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// stallProxy fronts one server: it forwards traffic transparently until
+// Stall, after which it silently swallows bytes in both directions while
+// keeping every connection open — the wedged-but-open failure mode
+// (process stalled, TCP alive) that timeouts exist for. Unlike a kill,
+// no read or write ever errors; only a deadline gets the caller out.
+type stallProxy struct {
+	ln      net.Listener
+	target  string
+	stalled atomic.Bool
+}
+
+func newStallProxy(t *testing.T, target string) *stallProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &stallProxy{ln: ln, target: target}
+	t.Cleanup(func() { _ = ln.Close() })
+	go p.acceptLoop()
+	return p
+}
+
+func (p *stallProxy) addr() string { return p.ln.Addr().String() }
+func (p *stallProxy) stall()       { p.stalled.Store(true) }
+
+func (p *stallProxy) acceptLoop() {
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		backend, err := net.Dial("tcp", p.target)
+		if err != nil {
+			_ = conn.Close()
+			continue
+		}
+		pipe := func(dst, src net.Conn) {
+			buf := make([]byte, 32<<10)
+			for {
+				n, err := src.Read(buf)
+				if err != nil {
+					_ = dst.Close()
+					_ = src.Close()
+					return
+				}
+				if p.stalled.Load() {
+					continue // swallow: the conn stays open, nothing flows
+				}
+				if _, err := dst.Write(buf[:n]); err != nil {
+					_ = src.Close()
+					return
+				}
+			}
+		}
+		go pipe(backend, conn)
+		go pipe(conn, backend)
+	}
+}
+
+// wedgedListener accepts connections and then ignores them entirely —
+// the simplest wedged-but-open server.
+func wedgedListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			_, _ = io.Copy(io.Discard, conn) // read and drop, never reply
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// Regression for the foreground-write hang: Set/Delete used to pass
+// timeout 0 to awaitAck and block forever on a wedged-but-open
+// connection. With the context-first API a default request timeout
+// applies even under context.Background().
+func TestForegroundWriteDefaultTimeoutOnWedgedServer(t *testing.T) {
+	addr := wedgedListener(t)
+	topo := cluster.MustNew(cluster.Config{Servers: 1, Replication: 1})
+	c, err := Dial([]string{addr}, ClientOptions{Topology: topo, RequestTimeout: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for _, op := range []struct {
+		name string
+		call func() error
+	}{
+		{"Set", func() error { return c.Set(bg, "k", []byte("v"), WriteOptions{}) }},
+		{"Delete", func() error { return c.Delete(bg, "k", WriteOptions{}) }},
+	} {
+		start := time.Now()
+		err := op.call()
+		elapsed := time.Since(start)
+		if err == nil {
+			t.Fatalf("%s against a wedged server succeeded", op.name)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("%s err = %v, want context.DeadlineExceeded", op.name, err)
+		}
+		if elapsed > 2*time.Second {
+			t.Fatalf("%s took %v; the 200ms default timeout did not apply", op.name, elapsed)
+		}
+	}
+}
+
+// A per-call WriteOptions.Timeout narrows the wait below the default.
+func TestPerCallWriteTimeout(t *testing.T) {
+	addr := wedgedListener(t)
+	topo := cluster.MustNew(cluster.Config{Servers: 1, Replication: 1})
+	c, err := Dial([]string{addr}, ClientOptions{Topology: topo}) // default 10s
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Set(bg, "k", []byte("v"), WriteOptions{Timeout: 100 * time.Millisecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("per-call timeout ignored: took %v", elapsed)
+	}
+}
+
+// stalledShardCluster builds a 2-shard × 1-replica cluster with shard
+// 1's server behind a stall proxy, loads one key per shard, and returns
+// the client, the two keys, and the proxy (not yet stalled).
+func stalledShardCluster(t *testing.T, opts ClusterOptions) (*Cluster, string, string, *stallProxy) {
+	t.Helper()
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	addrs, _ := startShardedCluster(t, m, nil)
+	proxy := newStallProxy(t, addrs[m.Server(1, 0)])
+	dialAddrs := append([]string(nil), addrs...)
+	dialAddrs[m.Server(1, 0)] = proxy.addr()
+	opts.Topology = m
+	c, err := DialCluster(dialAddrs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+
+	var k0, k1 string
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if m.ShardOfKey(k) == 0 && k0 == "" {
+			k0 = k
+		}
+		if m.ShardOfKey(k) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	if err := c.Set(bg, k0, []byte("live"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(bg, k1, []byte("stalled"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return c, k0, k1, proxy
+}
+
+// The acceptance scenario: a multiget spanning a stalled replica returns
+// within the caller's deadline with the live shard's partial results and
+// an error wrapping context.DeadlineExceeded — one wedged replica no
+// longer hangs the caller.
+func TestMultigetDeadlineAgainstStalledReplica(t *testing.T) {
+	c, k0, k1, proxy := stalledShardCluster(t, ClusterOptions{ProbeInterval: -1})
+	proxy.stall()
+
+	expiredBefore := metrics.CounterValue("netstore_expired_total")
+	ctx, cancel := context.WithTimeout(bg, 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := c.Multiget(ctx, []string{k0, k1}, ReadOptions{})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("multiget against a stalled replica succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in the join", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("multiget took %v, deadline was 300ms", elapsed)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned alongside the deadline error")
+	}
+	if !res.Found[0] || string(res.Values[0]) != "live" {
+		t.Fatalf("live shard's key dropped from partial result: found=%v val=%q", res.Found[0], res.Values[0])
+	}
+	if res.Found[1] {
+		t.Fatal("stalled shard's key reported found")
+	}
+	if after := metrics.CounterValue("netstore_expired_total"); after <= expiredBefore {
+		t.Fatalf("netstore_expired_total not incremented: %d -> %d", expiredBefore, after)
+	}
+	// The stalled replica must NOT be marked down: the deadline ended the
+	// wait, not a transport failure.
+	if c.ReplicaDown(1, 0) {
+		t.Fatal("deadline expiry marked a live-but-slow replica down")
+	}
+}
+
+// Cancellation mid-multiget: ctx cancelled while one shard's replica is
+// stalled unblocks the caller promptly with context.Canceled (run under
+// -race in CI against the concurrent fan-out goroutines).
+func TestCancellationMidMultiget(t *testing.T) {
+	// RequestTimeout < 0 disables the default: only the explicit cancel
+	// may end the call.
+	c, k0, k1, proxy := stalledShardCluster(t, ClusterOptions{ProbeInterval: -1, RequestTimeout: -1})
+	proxy.stall()
+
+	cancelledBefore := metrics.CounterValue("netstore_cancelled_total")
+	ctx, cancel := context.WithCancel(bg)
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := c.Multiget(ctx, []string{k0, k1}, ReadOptions{})
+	elapsed := time.Since(start)
+
+	if err == nil {
+		t.Fatal("cancelled multiget succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancellation took %v to unblock the caller", elapsed)
+	}
+	if res == nil || !res.Found[0] {
+		t.Fatal("live shard's partial result lost on cancellation")
+	}
+	if after := metrics.CounterValue("netstore_cancelled_total"); after <= cancelledBefore {
+		t.Fatalf("netstore_cancelled_total not incremented: %d -> %d", cancelledBefore, after)
+	}
+}
+
+// Server-side expiry shedding at the wire level: a batch whose budget
+// runs out while it queues behind a slow batch is answered with per-key
+// Expired bits — no store read, no service delay — and the drop counter
+// advances. The client keeps a generous ctx here so the Expired bits
+// themselves are observable (in production the budget IS the client's
+// deadline; the bits are telemetry and the saved service time is the
+// point).
+func TestServerExpiresQueuedWork(t *testing.T) {
+	srv := NewServer(kv.New(0), ServerOptions{
+		Workers:      1,
+		ServiceDelay: func(int64) time.Duration { return 80 * time.Millisecond },
+	})
+	defer srv.Close()
+	srv.Store().Set("k", []byte("v"))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	topo := cluster.MustNew(cluster.Config{Servers: 1, Replication: 1})
+	c, err := Dial([]string{ln.Addr().String()}, ClientOptions{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	dropsBefore := metrics.CounterValue("netstore_server_expired_drops_total")
+	servedBefore := srv.Served()
+
+	// Occupy the single worker for ~80ms.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.conns[0].batch(bg, &wire.BatchReq{Priority: []int64{0}, Keys: []string{"k"}}); err != nil {
+			t.Error(err)
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+
+	// This batch's 20ms budget expires while it queues; the worker pops
+	// it at ~80ms and must shed it.
+	resp, err := c.conns[0].batch(bg, &wire.BatchReq{
+		Budget:   (20 * time.Millisecond).Nanoseconds(),
+		Priority: []int64{0},
+		Keys:     []string{"k"},
+	})
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Expired == nil || !resp.Expired[0] {
+		t.Fatalf("expired batch not marked: %+v", resp)
+	}
+	if resp.Found[0] {
+		t.Fatal("shed key reported found")
+	}
+	if drops := metrics.CounterValue("netstore_server_expired_drops_total"); drops != dropsBefore+1 {
+		t.Fatalf("expired-drop counter = %d, want %d", drops, dropsBefore+1)
+	}
+	// Shedding saved the service work: only the occupying batch's key
+	// was serviced.
+	if served := srv.Served() - servedBefore; served != 1 {
+		t.Fatalf("server serviced %d keys, want 1 (the shed key must not be served)", served)
+	}
+}
+
+// The deadline e2e: through the public Multiget API, queued work whose
+// caller deadline lapses is shed server-side (non-zero expired-drop
+// counter — the acceptance criterion) while the caller gets its partial
+// answer within the deadline.
+func TestDeadlineEndToEndShedding(t *testing.T) {
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 1})
+	addrs, _ := startShardedCluster(t, m, func(_, _ int) ServerOptions {
+		return ServerOptions{
+			Workers:      1,
+			ServiceDelay: func(int64) time.Duration { return 30 * time.Millisecond },
+		}
+	})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := make([]string, 8)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key:%d", i)
+		if err := c.Set(bg, keys[i], []byte("v"), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dropsBefore := metrics.CounterValue("netstore_server_expired_drops_total")
+
+	// A long batch occupies the single worker (~8×30ms), then a
+	// deadline-bounded multiget queues behind it.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := c.Multiget(bg, keys, ReadOptions{}); err != nil {
+			t.Errorf("occupying multiget: %v", err)
+		}
+	}()
+	time.Sleep(15 * time.Millisecond)
+
+	start := time.Now()
+	_, err = c.Multiget(bg, keys, ReadOptions{Timeout: 50 * time.Millisecond})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("deadline-bounded multiget took %v", elapsed)
+	}
+	wg.Wait() // the occupying batch drains the queue, popping expired items
+
+	waitFor(t, 5*time.Second, "server-side expired drops", func() bool {
+		return metrics.CounterValue("netstore_server_expired_drops_total") > dropsBefore
+	})
+}
+
+// Regression: when a shard's replicas are all exhausted (down-marked),
+// fetchBatch polls for a newer topology before reporting a dead shard —
+// and that poll must honor the caller's deadline even when the only
+// live server to poll is wedged-but-open. The caller gets its
+// DeadlineExceeded within budget, never a DialTimeout-long stall.
+func TestDeadShardTopologyPollHonorsDeadline(t *testing.T) {
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	addrs, servers := startShardedCluster(t, m, nil)
+	// Shard 0's server sits behind a (soon-stalled) proxy; shard 1's
+	// will be killed outright.
+	proxy := newStallProxy(t, addrs[m.Server(0, 0)])
+	dialAddrs := append([]string(nil), addrs...)
+	dialAddrs[m.Server(0, 0)] = proxy.addr()
+	c, err := DialCluster(dialAddrs, ClusterOptions{Topology: m, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var k1 string
+	for i := 0; k1 == ""; i++ {
+		if k := fmt.Sprintf("key:%d", i); m.ShardOfKey(k) == 1 {
+			k1 = k
+		}
+	}
+	if err := c.Set(bg, k1, []byte("v"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Kill shard 1 and let a first read mark its replica down.
+	servers[m.Server(1, 0)].Close()
+	if _, err := c.Multiget(bg, []string{k1}, ReadOptions{Timeout: time.Second}); err == nil {
+		t.Fatal("multiget against a killed shard succeeded")
+	}
+	proxy.stall()
+
+	// Now shard 1 has no eligible replica and the only pollable server
+	// (shard 0) is wedged: the topology poll must give up at the
+	// caller's 200ms deadline, not at the 5s dial timeout.
+	start := time.Now()
+	_, err = c.Multiget(bg, []string{k1}, ReadOptions{Timeout: 200 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("multiget with every replica down succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("multiget took %v; the topology poll ignored the 200ms deadline", elapsed)
+	}
+}
+
+// WriteAny returns after the first replica ack even when a sibling is
+// stalled; WriteAll with the same stall waits out the deadline but still
+// succeeds on the ack it got.
+func TestWriteFanoutModes(t *testing.T) {
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	proxy := newStallProxy(t, addrs[m.Server(0, 1)])
+	dialAddrs := append([]string(nil), addrs...)
+	dialAddrs[m.Server(0, 1)] = proxy.addr()
+	c, err := DialCluster(dialAddrs, ClusterOptions{Topology: m, ProbeInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set(bg, "k", []byte("v0"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	proxy.stall()
+
+	// WriteAny: the live replica acks within milliseconds.
+	start := time.Now()
+	if err := c.Set(bg, "k", []byte("v1"), WriteOptions{Fanout: WriteAny, Timeout: 2 * time.Second}); err != nil {
+		t.Fatalf("WriteAny with one live replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("WriteAny waited %v despite an early ack", elapsed)
+	}
+
+	// WriteAll: bounded by the deadline, and the acked replica makes the
+	// write a success (errors only when NO replica accepted).
+	start = time.Now()
+	if err := c.Set(bg, "k", []byte("v2"), WriteOptions{Timeout: 250 * time.Millisecond}); err != nil {
+		t.Fatalf("WriteAll with one live replica: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("WriteAll took %v, deadline was 250ms", elapsed)
+	}
+	if v, _ := servers[m.Server(0, 0)].Store().Get("k"); string(v) != "v2" {
+		t.Fatalf("live replica holds %q, want v2", v)
+	}
+}
+
+// ReplicaPrimary pins reads to replica 0 while it is live.
+func TestReplicaPrimaryPreference(t *testing.T) {
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 2})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	served0 := servers[m.Server(0, 0)].Served()
+	served1 := servers[m.Server(0, 1)].Served()
+	for i := 0; i < 20; i++ {
+		v, found, err := c.Get(bg, "k", ReadOptions{Replica: ReplicaPrimary})
+		if err != nil || !found || string(v) != "v" {
+			t.Fatalf("Get: %v found=%v val=%q", err, found, v)
+		}
+	}
+	if got := servers[m.Server(0, 0)].Served() - served0; got != 20 {
+		t.Fatalf("primary served %d of 20 pinned reads", got)
+	}
+	if got := servers[m.Server(0, 1)].Served() - served1; got != 0 {
+		t.Fatalf("secondary served %d reads despite ReplicaPrimary", got)
+	}
+}
+
+// The Local store implements the same Store interface the networked
+// clients do, over a plain kv.Store.
+func TestLocalStore(t *testing.T) {
+	var s Store = NewLocal(nil)
+	defer s.Close()
+
+	if err := s.Set(bg, "a", []byte("1"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(bg, "b", []byte("2"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	v, found, err := s.Get(bg, "a", ReadOptions{})
+	if err != nil || !found || string(v) != "1" {
+		t.Fatalf("Get a: %v %v %q", err, found, v)
+	}
+	res, err := s.Multiget(bg, []string{"a", "b", "missing"}, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found[0] || !res.Found[1] || res.Found[2] {
+		t.Fatalf("multiget found = %v", res.Found)
+	}
+	if err := s.Delete(bg, "a", WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := s.Get(bg, "a", ReadOptions{}); found {
+		t.Fatal("deleted key still found")
+	}
+
+	// A done context gates admission.
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := s.Set(ctx, "c", []byte("3"), WriteOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Set on cancelled ctx: %v", err)
+	}
+	if _, _, err := s.Get(ctx, "a", ReadOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get on cancelled ctx: %v", err)
+	}
+
+	// Local writes are versioned with the shared clock: a Local loader's
+	// store can serve behind a netstore.Server and replicate comparably.
+	l := s.(*Local)
+	if _, ver, ok := l.KV().GetVersion("b"); !ok || ver == 0 {
+		t.Fatalf("local write not versioned: ok=%v ver=%d", ok, ver)
+	}
+}

@@ -1,6 +1,7 @@
 package netstore
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -14,6 +15,11 @@ import (
 	"github.com/brb-repro/brb/internal/randx"
 	"github.com/brb-repro/brb/internal/wire"
 )
+
+// bg is the background context tests reach for where deadline behavior
+// is not what is under test (the store's default RequestTimeout still
+// bounds these calls).
+var bg = context.Background()
 
 // startCluster launches n servers on loopback and returns their addresses
 // plus a shutdown func.
@@ -64,12 +70,12 @@ func TestSetAndTaskRoundTrip(t *testing.T) {
 
 	for i := 0; i < 20; i++ {
 		key := fmt.Sprintf("track:%d", i)
-		if err := c.Set(key, []byte(fmt.Sprintf("value-%d", i))); err != nil {
+		if err := c.Set(bg, key, []byte(fmt.Sprintf("value-%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
 	keys := []string{"track:3", "track:7", "track:11", "track:19", "missing"}
-	res, err := c.Task(keys)
+	res, err := c.Multiget(bg, keys, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +104,7 @@ func TestEmptyTask(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Task(nil)
+	res, err := c.Multiget(bg, nil, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +122,7 @@ func TestWritesReplicated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Set("k1", []byte("v1")); err != nil {
+	if err := c.Set(bg, "k1", []byte("v1"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	g := topo.GroupOfKey("k1")
@@ -136,13 +142,13 @@ func TestClientDelete(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	if err := c.Set("k1", []byte("v1")); err != nil {
+	if err := c.Set(bg, "k1", []byte("v1"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.sizes.Load("k1"); !ok {
 		t.Fatal("size not learned on Set")
 	}
-	if err := c.Delete("k1"); err != nil {
+	if err := c.Delete(bg, "k1", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.sizes.Load("k1"); ok {
@@ -154,7 +160,7 @@ func TestClientDelete(t *testing.T) {
 			t.Fatalf("replica %d still stores deleted k1", sid)
 		}
 	}
-	res, err := c.Task([]string{"k1"})
+	res, err := c.Multiget(bg, []string{"k1"}, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -193,7 +199,7 @@ func TestPriorityOrderOnServer(t *testing.T) {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			resp, err := c.conns[0].batch(&wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}})
+			resp, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}})
 			if err != nil {
 				t.Error(err)
 				return
@@ -255,7 +261,7 @@ func TestFIFOOrderOnServer(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.conns[0].batch(&wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}}); err != nil {
+			if _, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}}); err != nil {
 				t.Error(err)
 				return
 			}
@@ -288,7 +294,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 60; i++ {
-		if err := loader.Set(fmt.Sprintf("key:%d", i), make([]byte, 64)); err != nil {
+		if err := loader.Set(bg, fmt.Sprintf("key:%d", i), make([]byte, 64), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -313,7 +319,7 @@ func TestConcurrentClients(t *testing.T) {
 				for j := range keys {
 					keys[j] = fmt.Sprintf("key:%d", r.Intn(60))
 				}
-				res, err := c.Task(keys)
+				res, err := c.Multiget(bg, keys, ReadOptions{})
 				if err != nil {
 					t.Error(err)
 					return
@@ -353,13 +359,13 @@ func TestControllerGrantsFlow(t *testing.T) {
 	if err := c.AttachController(cln.Addr().String(), 20*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Set("k", []byte("v")); err != nil {
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Drive some traffic so reports are non-trivial, then wait for
 	// grants to arrive.
 	for i := 0; i < 20; i++ {
-		if _, err := c.Task([]string{"k"}); err != nil {
+		if _, err := c.Multiget(bg, []string{"k"}, ReadOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -414,7 +420,7 @@ func TestNetFigure2Shape(t *testing.T) {
 		sizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 64 << 10}
 		r := randx.New(42)
 		for i := 0; i < keys; i++ {
-			if err := loader.Set(fmt.Sprintf("key:%d", i), make([]byte, int(sizes.Sample(r)))); err != nil {
+			if err := loader.Set(bg, fmt.Sprintf("key:%d", i), make([]byte, int(sizes.Sample(r))), WriteOptions{}); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -439,11 +445,11 @@ func TestNetFigure2Shape(t *testing.T) {
 				for i := range all {
 					all[i] = fmt.Sprintf("key:%d", i)
 				}
-				if _, err := c.Task(all[:keys/2]); err != nil {
+				if _, err := c.Multiget(bg, all[:keys/2], ReadOptions{}); err != nil {
 					t.Error(err)
 					return
 				}
-				if _, err := c.Task(all[keys/2:]); err != nil {
+				if _, err := c.Multiget(bg, all[keys/2:], ReadOptions{}); err != nil {
 					t.Error(err)
 					return
 				}
@@ -458,7 +464,7 @@ func TestNetFigure2Shape(t *testing.T) {
 					for j := range ks {
 						ks[j] = fmt.Sprintf("key:%d", rng.Intn(keys))
 					}
-					res, err := c.Task(ks)
+					res, err := c.Multiget(bg, ks, ReadOptions{})
 					if err != nil {
 						t.Error(err)
 						return

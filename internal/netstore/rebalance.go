@@ -39,6 +39,7 @@ package netstore
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"time"
@@ -79,8 +80,11 @@ func (o RebalanceOptions) logf(format string, args ...any) {
 // AddShard grows the cluster by one shard under live traffic: newAddrs
 // (one per replica) must already be serving empty shard-checking
 // servers for shard cur.NextShardID(). It returns the installed
-// topology (epoch cur+1) once migration has converged.
-func AddShard(cur *cluster.ShardTopology, newAddrs []string, opts RebalanceOptions) (*cluster.ShardTopology, error) {
+// topology (epoch cur+1) once migration has converged. Cancelling ctx
+// aborts the migration between pages/windows (safe at any point:
+// everything replayed so far is versioned and idempotent, and no epoch
+// was published unless the copy pass completed).
+func AddShard(ctx context.Context, cur *cluster.ShardTopology, newAddrs []string, opts RebalanceOptions) (*cluster.ShardTopology, error) {
 	opts = opts.withDefaults()
 	next, err := cur.AddShard(newAddrs...)
 	if err != nil {
@@ -90,7 +94,7 @@ func AddShard(cur *cluster.ShardTopology, newAddrs []string, opts RebalanceOptio
 	receivers := next.ReplicaServers(newID)
 	donors := cur.ShardIDs()
 	opts.logf("rebalance: adding shard %d (epoch %d → %d), receivers %v", newID, cur.Epoch(), next.Epoch(), newAddrs)
-	if err := migrate(cur, next, donors, receivers, opts); err != nil {
+	if err := migrate(ctx, cur, next, donors, receivers, opts); err != nil {
 		return nil, fmt.Errorf("netstore: add shard %d: %w", newID, err)
 	}
 	return next, nil
@@ -101,7 +105,7 @@ func AddShard(cur *cluster.ShardTopology, newAddrs []string, opts RebalanceOptio
 // shard's servers are dropped from the topology. The servers themselves
 // keep running (they reject everything once they hold the new topology)
 // and can be decommissioned at leisure.
-func RemoveShard(cur *cluster.ShardTopology, shardID int, opts RebalanceOptions) (*cluster.ShardTopology, error) {
+func RemoveShard(ctx context.Context, cur *cluster.ShardTopology, shardID int, opts RebalanceOptions) (*cluster.ShardTopology, error) {
 	opts = opts.withDefaults()
 	next, err := cur.RemoveShard(shardID)
 	if err != nil {
@@ -113,7 +117,7 @@ func RemoveShard(cur *cluster.ShardTopology, shardID int, opts RebalanceOptions)
 	}
 	donors := []int{shardID}
 	opts.logf("rebalance: removing shard %d (epoch %d → %d)", shardID, cur.Epoch(), next.Epoch())
-	if err := migrate(cur, next, donors, receivers, opts); err != nil {
+	if err := migrate(ctx, cur, next, donors, receivers, opts); err != nil {
 		return nil, fmt.Errorf("netstore: remove shard %d: %w", shardID, err)
 	}
 	return next, nil
@@ -122,21 +126,27 @@ func RemoveShard(cur *cluster.ShardTopology, shardID int, opts RebalanceOptions)
 // migrate runs the ordered copy/push/catch-up protocol described in the
 // package comment. donors are shard IDs of cur whose keys may move;
 // receivers are server IDs of next that take them in.
-func migrate(cur, next *cluster.ShardTopology, donors []int, receivers []int, opts RebalanceOptions) error {
+func migrate(ctx context.Context, cur, next *cluster.ShardTopology, donors []int, receivers []int, opts RebalanceOptions) error {
 	// Step 2: copy pass, before any server advertises the new epoch —
 	// receivers accept the next-epoch-stamped stream regardless of the
 	// topology they hold, and clients keep reading moved keys from the
 	// donors throughout.
-	moved, err := copyMoved(cur, next, donors, opts)
+	moved, err := copyMoved(ctx, cur, next, donors, opts)
 	if err != nil {
 		return fmt.Errorf("copy pass: %w", err)
 	}
 	opts.logf("rebalance: copy pass moved %d keys", moved)
+	if err := ctx.Err(); err != nil {
+		// Abort BEFORE publishing the epoch: nothing observed the new
+		// topology yet, so the cancelled migration leaves the cluster
+		// exactly as it was (the copied entries are harmless duplicates).
+		return err
+	}
 	// Step 3: publish the new epoch — receivers first (they hold the
 	// data now), then everyone else.
 	pushed := map[int]bool{}
 	for _, sid := range receivers {
-		if err := pushTopologyTo(next.Addr(sid), next, opts); err != nil {
+		if err := pushTopologyTo(ctx, next.Addr(sid), next, opts); err != nil {
 			return fmt.Errorf("push topology to receiver %d (%s): %w", sid, next.Addr(sid), err)
 		}
 		pushed[sid] = true
@@ -145,7 +155,7 @@ func migrate(cur, next *cluster.ShardTopology, donors []int, receivers []int, op
 		if pushed[sid] {
 			continue
 		}
-		if err := pushTopologyTo(next.Addr(sid), next, opts); err != nil {
+		if err := pushTopologyTo(ctx, next.Addr(sid), next, opts); err != nil {
 			return fmt.Errorf("push topology to %d (%s): %w", sid, next.Addr(sid), err)
 		}
 		pushed[sid] = true
@@ -155,14 +165,14 @@ func migrate(cur, next *cluster.ShardTopology, donors []int, receivers []int, op
 	for _, d := range donors {
 		if !next.HasShard(d) {
 			for _, sid := range cur.ReplicaServers(d) {
-				if err := pushTopologyTo(cur.Addr(sid), next, opts); err != nil {
+				if err := pushTopologyTo(ctx, cur.Addr(sid), next, opts); err != nil {
 					return fmt.Errorf("push topology to retiring %d (%s): %w", sid, cur.Addr(sid), err)
 				}
 			}
 		}
 	}
 	// Step 4: catch-up pass over the now-frozen donors.
-	caught, err := copyMoved(cur, next, donors, opts)
+	caught, err := copyMoved(ctx, cur, next, donors, opts)
 	if err != nil {
 		return fmt.Errorf("catch-up pass: %w", err)
 	}
@@ -187,7 +197,7 @@ type movedEntry struct {
 // path forwards NotOwner-rejected hints to the key's new owner, so the
 // data still converges. An unreachable RECEIVER is an error — migration
 // must not silently under-replicate the new owner.
-func copyMoved(cur, next *cluster.ShardTopology, donors []int, opts RebalanceOptions) (int, error) {
+func copyMoved(ctx context.Context, cur, next *cluster.ShardTopology, donors []int, opts RebalanceOptions) (int, error) {
 	// Gather max-version copies of moving keys, donor shard by donor
 	// shard. Held in memory: migration moves ~1/(shards+1) of the
 	// keyspace; for stores too large for that, page the donor scans per
@@ -197,7 +207,7 @@ func copyMoved(cur, next *cluster.ShardTopology, donors []int, opts RebalanceOpt
 		reachable := 0
 		for _, sid := range cur.ReplicaServers(d) {
 			addr := cur.Addr(sid)
-			err := scanAll(addr, opts, func(key string, val []byte, ver uint64, dead bool) {
+			err := scanAll(ctx, addr, opts, func(key string, val []byte, ver uint64, dead bool) {
 				owner := next.ShardOfKey(key)
 				if owner == d && next.HasShard(d) {
 					return // not moving
@@ -217,6 +227,10 @@ func copyMoved(cur, next *cluster.ShardTopology, donors []int, opts RebalanceOpt
 				}
 			})
 			if err != nil {
+				if ctx.Err() != nil {
+					// A cancelled scan is abort, not an unreachable donor.
+					return 0, ctx.Err()
+				}
 				opts.logf("rebalance: donor %d replica %s unreachable, relying on siblings: %v", d, addr, err)
 				continue
 			}
@@ -233,7 +247,7 @@ func copyMoved(cur, next *cluster.ShardTopology, donors []int, opts RebalanceOpt
 			continue
 		}
 		for _, sid := range next.ReplicaServers(owner) {
-			if err := replayEntries(next.Addr(sid), owner, next.Epoch(), entries, opts); err != nil {
+			if err := replayEntries(ctx, next.Addr(sid), owner, next.Epoch(), entries, opts); err != nil {
 				return total, fmt.Errorf("replay %d keys to shard %d server %s: %w", len(entries), owner, next.Addr(sid), err)
 			}
 		}
@@ -261,34 +275,51 @@ func dialAdmin(addr string, opts RebalanceOptions) (*adminConn, error) {
 
 func (a *adminConn) close() { _ = a.conn.Close() }
 
-func (a *adminConn) send(m wire.Message, timeout time.Duration) error {
-	_ = a.conn.SetDeadline(time.Now().Add(timeout))
+// ioDeadline is the earlier of now+timeout and the ctx deadline, so
+// admin I/O honors both the per-page bound and the caller's overall
+// budget.
+func ioDeadline(ctx context.Context, timeout time.Duration) time.Time {
+	d := time.Now().Add(timeout)
+	if cd, ok := ctx.Deadline(); ok && cd.Before(d) {
+		return cd
+	}
+	return d
+}
+
+func (a *adminConn) send(ctx context.Context, m wire.Message, timeout time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	_ = a.conn.SetDeadline(ioDeadline(ctx, timeout))
 	return wire.WriteMessage(a.conn, m)
 }
 
-func (a *adminConn) recv(timeout time.Duration) (wire.Message, error) {
-	_ = a.conn.SetDeadline(time.Now().Add(timeout))
+func (a *adminConn) recv(ctx context.Context, timeout time.Duration) (wire.Message, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_ = a.conn.SetDeadline(ioDeadline(ctx, timeout))
 	return wire.ReadMessage(a.r)
 }
 
 // call is one synchronous round trip.
-func (a *adminConn) call(m wire.Message, timeout time.Duration) (wire.Message, error) {
-	if err := a.send(m, timeout); err != nil {
+func (a *adminConn) call(ctx context.Context, m wire.Message, timeout time.Duration) (wire.Message, error) {
+	if err := a.send(ctx, m, timeout); err != nil {
 		return nil, err
 	}
-	return a.recv(timeout)
+	return a.recv(ctx, timeout)
 }
 
 // FetchTopology asks one server for its current topology (nil if the
-// server holds none).
-func FetchTopology(addr string, timeout time.Duration) (*cluster.ShardTopology, error) {
+// server holds none), bounded by ctx and timeout (earliest wins).
+func FetchTopology(ctx context.Context, addr string, timeout time.Duration) (*cluster.ShardTopology, error) {
 	a, err := dialAdmin(addr, RebalanceOptions{DialTimeout: timeout}.withDefaults())
 	if err != nil {
 		return nil, err
 	}
 	defer a.close()
 	a.seq++
-	reply, err := a.call(&wire.TopoGet{Seq: a.seq}, timeout)
+	reply, err := a.call(ctx, &wire.TopoGet{Seq: a.seq}, timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -303,10 +334,10 @@ func FetchTopology(addr string, timeout time.Duration) (*cluster.ShardTopology, 
 // those; retiring servers of an old topology need pushTopologyTo
 // directly). Used to bootstrap a fresh cluster to epoch 1 before any
 // epoch-versioned client traffic.
-func PushTopology(t *cluster.ShardTopology, opts RebalanceOptions) error {
+func PushTopology(ctx context.Context, t *cluster.ShardTopology, opts RebalanceOptions) error {
 	opts = opts.withDefaults()
 	for _, sid := range t.Servers() {
-		if err := pushTopologyTo(t.Addr(sid), t, opts); err != nil {
+		if err := pushTopologyTo(ctx, t.Addr(sid), t, opts); err != nil {
 			return fmt.Errorf("netstore: push topology to server %d (%s): %w", sid, t.Addr(sid), err)
 		}
 	}
@@ -315,7 +346,7 @@ func PushTopology(t *cluster.ShardTopology, opts RebalanceOptions) error {
 
 // pushTopologyTo installs t on one server and confirms the server now
 // reports an epoch at least t's.
-func pushTopologyTo(addr string, t *cluster.ShardTopology, opts RebalanceOptions) error {
+func pushTopologyTo(ctx context.Context, addr string, t *cluster.ShardTopology, opts RebalanceOptions) error {
 	if addr == "" {
 		return fmt.Errorf("no address bound")
 	}
@@ -326,7 +357,7 @@ func pushTopologyTo(addr string, t *cluster.ShardTopology, opts RebalanceOptions
 	defer a.close()
 	a.seq++
 	msg := topoToWire(t, a.seq)
-	reply, err := a.call(msg, opts.DialTimeout)
+	reply, err := a.call(ctx, msg, opts.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -344,7 +375,7 @@ func pushTopologyTo(addr string, t *cluster.ShardTopology, opts RebalanceOptions
 // page: the cursor walks the internal kv shards, and a size-bounded
 // shard continues within one cursor via the After key (a response
 // echoing the same cursor names its last key as the resume point).
-func scanAll(addr string, opts RebalanceOptions, fn func(key string, val []byte, ver uint64, dead bool)) error {
+func scanAll(ctx context.Context, addr string, opts RebalanceOptions, fn func(key string, val []byte, ver uint64, dead bool)) error {
 	a, err := dialAdmin(addr, opts)
 	if err != nil {
 		return err
@@ -353,7 +384,7 @@ func scanAll(addr string, opts RebalanceOptions, fn func(key string, val []byte,
 	cursor, after := uint32(0), ""
 	for {
 		a.seq++
-		reply, err := a.call(&wire.Scan{Seq: a.seq, Cursor: cursor, After: after}, opts.DialTimeout)
+		reply, err := a.call(ctx, &wire.Scan{Seq: a.seq, Cursor: cursor, After: after}, opts.DialTimeout)
 		if err != nil {
 			return err
 		}
@@ -381,7 +412,7 @@ func scanAll(addr string, opts RebalanceOptions, fn func(key string, val []byte,
 // replayEntries pushes migrated entries onto one receiving server with
 // their original versions (idempotent), pipelining WriteWindow writes
 // between acknowledgment waits.
-func replayEntries(addr string, shard int, epoch uint64, entries map[string]movedEntry, opts RebalanceOptions) error {
+func replayEntries(ctx context.Context, addr string, shard int, epoch uint64, entries map[string]movedEntry, opts RebalanceOptions) error {
 	a, err := dialAdmin(addr, opts)
 	if err != nil {
 		return err
@@ -390,7 +421,7 @@ func replayEntries(addr string, shard int, epoch uint64, entries map[string]move
 	inFlight := 0
 	drain := func() error {
 		for ; inFlight > 0; inFlight-- {
-			reply, err := a.recv(opts.DialTimeout)
+			reply, err := a.recv(ctx, opts.DialTimeout)
 			if err != nil {
 				return err
 			}
@@ -414,7 +445,7 @@ func replayEntries(addr string, shard int, epoch uint64, entries map[string]move
 		} else {
 			msg = &wire.Set{Seq: a.seq, Version: e.ver, Shard: uint32(shard), Epoch: epoch, Key: key, Value: e.val}
 		}
-		if err := a.send(msg, opts.DialTimeout); err != nil {
+		if err := a.send(ctx, msg, opts.DialTimeout); err != nil {
 			return err
 		}
 		if inFlight++; inFlight >= opts.WriteWindow {

@@ -52,7 +52,7 @@ func checkOwnerConvergence(t *testing.T, topo *cluster.ShardTopology, keys []str
 		var ref []uint64
 		for r := 0; r < topo.Replicas(); r++ {
 			addr := topo.Addr(topo.Server(sh, r))
-			vers, found, err := ScanVersions(addr, sh, ks, 5*time.Second)
+			vers, found, err := ScanVersions(bg, addr, sh, ks, 5*time.Second)
 			if err != nil {
 				t.Fatalf("scan shard %d replica %d (%s): %v", sh, r, addr, err)
 			}
@@ -90,7 +90,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+	if err := PushTopology(bg, topo, RebalanceOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	c, err := DialCluster(nil, ClusterOptions{Topology: topo, ProbeInterval: 20 * time.Millisecond})
@@ -103,7 +103,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 	allKeys := make([]string, keys)
 	for i := range allKeys {
 		allKeys[i] = fmt.Sprintf("key:%d", i)
-		if err := c.Set(allKeys[i], []byte(fmt.Sprintf("v0-%d", i))); err != nil {
+		if err := c.Set(bg, allKeys[i], []byte(fmt.Sprintf("v0-%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -132,7 +132,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 				}
 				k := allKeys[(w*keys/2+i%(keys/2))%keys]
 				v := fmt.Sprintf("w%d-%d", w, i)
-				if err := c.Set(k, []byte(v)); err != nil {
+				if err := c.Set(bg, k, []byte(v), WriteOptions{}); err != nil {
 					errCh <- fmt.Errorf("Set %s: %w", k, err)
 					return
 				}
@@ -157,7 +157,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 				for j := range ks {
 					ks[j] = allKeys[(r*31+i*7+j)%keys]
 				}
-				if _, err := c.Multiget(ks); err != nil {
+				if _, err := c.Multiget(bg, ks, ReadOptions{}); err != nil {
 					errCh <- fmt.Errorf("Multiget: %w", err)
 					return
 				}
@@ -169,7 +169,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 	time.Sleep(150 * time.Millisecond)
 	newID := topo.NextShardID()
 	newAddrs := startShardServers(t, newID, topo.Replicas())
-	grown, err := AddShard(topo, newAddrs, RebalanceOptions{Logf: t.Logf})
+	grown, err := AddShard(bg, topo, newAddrs, RebalanceOptions{Logf: t.Logf})
 	if err != nil {
 		t.Fatalf("AddShard: %v", err)
 	}
@@ -208,7 +208,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 
 	// Every key reads back with its last acknowledged value through the
 	// surviving client.
-	res, err := c.Multiget(allKeys)
+	res, err := c.Multiget(bg, allKeys, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+	if err := PushTopology(bg, topo, RebalanceOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	c, err := DialCluster(nil, ClusterOptions{Topology: topo, ProbeInterval: 20 * time.Millisecond})
@@ -252,7 +252,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	allKeys := make([]string, keys)
 	for i := range allKeys {
 		allKeys[i] = fmt.Sprintf("key:%d", i)
-		if err := c.Set(allKeys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := c.Set(bg, allKeys[i], []byte(fmt.Sprintf("v%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -279,7 +279,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 				return
 			default:
 			}
-			if _, err := c.Multiget([]string{allKeys[i%keys]}); err != nil {
+			if _, err := c.Multiget(bg, []string{allKeys[i%keys]}, ReadOptions{}); err != nil {
 				errCh <- err
 				return
 			}
@@ -287,7 +287,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	}()
 
 	time.Sleep(100 * time.Millisecond)
-	shrunk, err := RemoveShard(topo, victim, RebalanceOptions{Logf: t.Logf})
+	shrunk, err := RemoveShard(bg, topo, victim, RebalanceOptions{Logf: t.Logf})
 	if err != nil {
 		t.Fatalf("RemoveShard: %v", err)
 	}
@@ -305,7 +305,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	if got := c.TopologyEpoch(); got != shrunk.Epoch() {
 		t.Fatalf("client stuck on epoch %d, cluster at %d", got, shrunk.Epoch())
 	}
-	res, err := c.Multiget(allKeys)
+	res, err := c.Multiget(bg, allKeys, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +319,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	// The retired shard's servers hold the new topology and own nothing:
 	// direct scans there must be rejected, proving reads can no longer
 	// land on the drained shard.
-	if _, _, err := ScanVersions(topo.Addr(topo.Server(victim, 0)), victim, allKeys[:1], time.Second); err == nil {
+	if _, _, err := ScanVersions(bg, topo.Addr(topo.Server(victim, 0)), victim, allKeys[:1], time.Second); err == nil {
 		t.Fatal("retired server still serves reads for its old shard")
 	}
 }
@@ -368,10 +368,10 @@ func TestServerPerKeyOwnership(t *testing.T) {
 
 	// Writes: owned accepted, foreign rejected with the owner hint.
 	rt := writeRoute{shard: 0, epoch: topo.Epoch()}
-	if err := sc.set(owned, []byte("mine"), 7, rt, 0); err != nil {
+	if err := sc.set(bg, owned, []byte("mine"), 7, rt); err != nil {
 		t.Fatalf("owned Set rejected: %v", err)
 	}
-	err = sc.set(foreign, []byte("stray"), 8, rt, 0)
+	err = sc.set(bg, foreign, []byte("stray"), 8, rt)
 	var noe *NotOwnerError
 	if !errors.As(err, &noe) {
 		t.Fatalf("foreign Set err = %v, want NotOwnerError", err)
@@ -379,7 +379,7 @@ func TestServerPerKeyOwnership(t *testing.T) {
 	if noe.OwnerShard != 1 || noe.Epoch != topo.Epoch() {
 		t.Fatalf("NotOwner hint = %+v, want owner 1 epoch %d", noe, topo.Epoch())
 	}
-	if err := sc.del(foreign, 9, rt, 0); err == nil {
+	if err := sc.del(bg, foreign, 9, rt); err == nil {
 		t.Fatal("foreign Del accepted")
 	}
 	if _, ok := srv.Store().Get(foreign); ok {
@@ -388,7 +388,7 @@ func TestServerPerKeyOwnership(t *testing.T) {
 
 	// Batch: the owned key is served, the foreign one marked stray (not
 	// "missing"), and the response names the server's epoch.
-	resp, err := sc.batch(&wire.BatchReq{
+	resp, err := sc.batch(bg, &wire.BatchReq{
 		Shard: 0, Epoch: topo.Epoch(),
 		Priority: []int64{0, 0}, Keys: []string{owned, foreign},
 	})
@@ -409,7 +409,7 @@ func TestServerPerKeyOwnership(t *testing.T) {
 	}
 
 	// All-stray batches answer immediately without scheduling.
-	resp, err = sc.batch(&wire.BatchReq{
+	resp, err = sc.batch(bg, &wire.BatchReq{
 		Shard: 0, Epoch: topo.Epoch(),
 		Priority: []int64{0}, Keys: []string{foreign},
 	})
@@ -438,7 +438,7 @@ func TestTopoPushDoesNotAliasFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := pushTopologyTo(ln.Addr().String(), topo, RebalanceOptions{}.withDefaults()); err != nil {
+	if err := pushTopologyTo(bg, ln.Addr().String(), topo, RebalanceOptions{}.withDefaults()); err != nil {
 		t.Fatal(err)
 	}
 	// Hammer the connection-handling path with frames that recycle the
@@ -457,7 +457,7 @@ func TestTopoPushDoesNotAliasFrame(t *testing.T) {
 		}
 	}
 	for i := 0; i < 50; i++ {
-		if err := sc.set(owned, []byte("kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk"), uint64(i+1), writeRoute{shard: 0, epoch: 1}, 0); err != nil {
+		if err := sc.set(bg, owned, []byte("kkkkkkkkkkkkkkkkkkkkkkkkkkkkkkkk"), uint64(i+1), writeRoute{shard: 0, epoch: 1}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -539,7 +539,7 @@ func TestClusterMisconfiguredLayoutSelfHeals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := PushTopology(topo, RebalanceOptions{}); err != nil {
+	if err := PushTopology(bg, topo, RebalanceOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	// Seed data through a correctly configured client.
@@ -550,7 +550,7 @@ func TestClusterMisconfiguredLayoutSelfHeals(t *testing.T) {
 	keys := make([]string, 40)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("key:%d", i)
-		if err := seed.Set(keys[i], []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := seed.Set(bg, keys[i], []byte(fmt.Sprintf("v%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -564,7 +564,7 @@ func TestClusterMisconfiguredLayoutSelfHeals(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	res, err := c.Multiget(keys)
+	res, err := c.Multiget(bg, keys, ReadOptions{})
 	if err != nil {
 		t.Fatalf("misconfigured client did not self-heal: %v", err)
 	}

@@ -28,6 +28,7 @@ package netstore
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -36,6 +37,23 @@ import (
 
 	"github.com/brb-repro/brb/internal/wire"
 )
+
+// repairCtx bounds one background repair/replay write: the cluster's
+// root context (so Close cancels it) narrowed to DialTimeout (so one
+// wedged server cannot capture the prober or a repair slot).
+func (c *Cluster) repairCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(c.rootCtx, c.opts.DialTimeout)
+}
+
+// repairWrite is one ctx-bounded versioned write of repair traffic.
+func (c *Cluster) repairWrite(sc *serverConn, key string, value []byte, version uint64, del bool, rt writeRoute) error {
+	ctx, cancel := c.repairCtx()
+	defer cancel()
+	if del {
+		return sc.del(ctx, key, version, rt)
+	}
+	return sc.set(ctx, key, value, version, rt)
+}
 
 // maxConcurrentRepairs bounds in-flight read-repair pushes per cluster
 // client; excess stale observations are dropped and re-trigger on the
@@ -178,7 +196,7 @@ func (c *Cluster) replayHints(slot *serverSlot, sc *serverConn) bool {
 	refreshed := false
 	freshState := func() *topoState {
 		if !refreshed {
-			st = c.refreshTopology(st)
+			st = c.refreshTopology(c.rootCtx, st)
 			refreshed = true
 		}
 		return st
@@ -193,12 +211,7 @@ func (c *Cluster) replayHints(slot *serverSlot, sc *serverConn) bool {
 		return true
 	}
 	for key, h := range pending {
-		var err error
-		if h.del {
-			err = sc.del(key, h.version, rt, c.opts.DialTimeout)
-		} else {
-			err = sc.set(key, h.value, h.version, rt, c.opts.DialTimeout)
-		}
+		err := c.repairWrite(sc, key, h.value, h.version, h.del, rt)
 		if errors.As(err, new(*NotOwnerError)) {
 			c.rerouteHint(freshState(), key, h)
 			delete(pending, key)
@@ -248,13 +261,7 @@ func (c *Cluster) rerouteHint(st *topoState, key string, h hint) {
 			c.addHint(owner, key, h.value, h.version, h.del)
 			continue
 		}
-		var err error
-		if h.del {
-			err = osc.del(key, h.version, rt, c.opts.DialTimeout)
-		} else {
-			err = osc.set(key, h.value, h.version, rt, c.opts.DialTimeout)
-		}
-		if err != nil {
+		if err := c.repairWrite(osc, key, h.value, h.version, h.del, rt); err != nil {
 			c.addHint(owner, key, h.value, h.version, h.del)
 		}
 	}
@@ -262,15 +269,16 @@ func (c *Cluster) rerouteHint(st *topoState, key string, h hint) {
 
 // probeLoop periodically probes down-marked servers and revives the ones
 // that answer. One goroutine per cluster client, started by DialCluster,
-// stopped by Close. Each tick walks the CURRENT topology's servers, so
-// replicas added by a rebalance are probed and retired ones are not.
+// stopped by Close cancelling the root context. Each tick walks the
+// CURRENT topology's servers, so replicas added by a rebalance are
+// probed and retired ones are not.
 func (c *Cluster) probeLoop() {
 	defer c.probeWG.Done()
 	ticker := time.NewTicker(c.opts.ProbeInterval)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-c.stopProbe:
+		case <-c.rootCtx.Done():
 			return
 		case <-ticker.C:
 		}
@@ -279,11 +287,11 @@ func (c *Cluster) probeLoop() {
 			// A batch response showed a server running a newer epoch:
 			// refresh proactively so the next rebalance-moved key is
 			// routed right the first time instead of via a stray bounce.
-			st = c.refreshTopology(st)
+			st = c.refreshTopology(c.rootCtx, st)
 		}
 		for _, sid := range st.topo.Servers() {
 			select {
-			case <-c.stopProbe:
+			case <-c.rootCtx.Done():
 				return
 			default:
 			}
@@ -472,13 +480,15 @@ func (c *Cluster) repairKey(shard, staleRep int, key string) {
 		if sc == nil || slot.down.Load() {
 			continue
 		}
-		resp, err := sc.batch(&wire.BatchReq{
+		rctx, cancel := c.repairCtx()
+		resp, err := sc.batch(rctx, &wire.BatchReq{
 			Shard:    uint32(shard),
 			Replica:  uint32(r),
 			Epoch:    st.topo.Epoch(),
 			Priority: []int64{0},
 			Keys:     []string{key},
 		})
+		cancel()
 		if err != nil || resp.Misrouted() || len(resp.Values) != 1 || len(resp.Versions) != 1 {
 			continue
 		}
@@ -500,28 +510,30 @@ func (c *Cluster) repairKey(shard, staleRep int, key string) {
 	if sc == nil || staleSlot.down.Load() {
 		return
 	}
-	if bestDel {
-		_ = sc.del(key, bestVer, rt, c.opts.DialTimeout)
-	} else {
-		_ = sc.set(key, bestVal, bestVer, rt, c.opts.DialTimeout)
-	}
+	_ = c.repairWrite(sc, key, bestVal, bestVer, bestDel, rt)
 }
 
 // ScanVersions dials one server directly (bypassing replica selection)
-// and reads the stored versions of keys from it. Operations and
-// fault-injection tooling (`brb-load -kill-replica`) use it to check
-// that the replicas of a shard have version-converged after recovery;
-// shard is the server's shard group (shard-checking servers reject
-// mismatches, and topology-holding servers reject keys they do not own
-// — scan only keys the target owns).
-func ScanVersions(addr string, shard int, keys []string, timeout time.Duration) (versions []uint64, found []bool, err error) {
+// and reads the stored versions of keys from it, bounded by ctx and
+// timeout (earliest wins). Operations and fault-injection tooling
+// (`brb-load -kill-replica`) use it to check that the replicas of a
+// shard have version-converged after recovery; shard is the server's
+// shard group (shard-checking servers reject mismatches, and
+// topology-holding servers reject keys they do not own — scan only keys
+// the target owns).
+func ScanVersions(ctx context.Context, addr string, shard int, keys []string, timeout time.Duration) (versions []uint64, found []bool, err error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, nil, err
 	}
 	sc := newServerConn(conn)
 	defer sc.close()
-	resp, err := sc.batch(&wire.BatchReq{
+	resp, err := sc.batch(ctx, &wire.BatchReq{
 		Shard:    uint32(shard),
 		Priority: make([]int64, len(keys)),
 		Keys:     keys,

@@ -69,7 +69,7 @@ func TestClusterReplicaRevival(t *testing.T) {
 	for i := 0; i < 40; i++ {
 		k := fmt.Sprintf("key:%d", i)
 		allKeys = append(allKeys, k)
-		if err := c.Set(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := c.Set(bg, k, []byte(fmt.Sprintf("v%d", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -84,14 +84,14 @@ func TestClusterReplicaRevival(t *testing.T) {
 	for i := 40; i < 80; i++ {
 		k := fmt.Sprintf("key:%d", i)
 		allKeys = append(allKeys, k)
-		if err := c.Set(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+		if err := c.Set(bg, k, []byte(fmt.Sprintf("v%d", i)), WriteOptions{}); err != nil {
 			t.Fatalf("Set %s with one replica down: %v", k, err)
 		}
 	}
 	// Overwrites of pre-kill keys must also hint (newer version wins).
 	for i := 0; i < 10; i++ {
 		k := fmt.Sprintf("key:%d", i)
-		if err := c.Set(k, []byte(fmt.Sprintf("v%d-new", i))); err != nil {
+		if err := c.Set(bg, k, []byte(fmt.Sprintf("v%d-new", i)), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -115,7 +115,7 @@ func TestClusterReplicaRevival(t *testing.T) {
 	}
 
 	// Reads keep working and see the latest writes wherever they route.
-	res, err := c.Multiget(allKeys)
+	res, err := c.Multiget(bg, allKeys, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,11 +137,11 @@ func TestClusterReplicaRevival(t *testing.T) {
 	if len(shard0Keys) == 0 {
 		t.Fatal("no keys hashed to shard 0")
 	}
-	v0, f0, err := ScanVersions(addrs[m.Server(0, 0)], 0, shard0Keys, time.Second)
+	v0, f0, err := ScanVersions(bg, addrs[m.Server(0, 0)], 0, shard0Keys, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	v1, f1, err := ScanVersions(addrs[m.Server(0, 1)], 0, shard0Keys, time.Second)
+	v1, f1, err := ScanVersions(bg, addrs[m.Server(0, 1)], 0, shard0Keys, time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestClusterReadRepair(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.Set("kk", []byte("old")); err != nil {
+	if err := c.Set(bg, "kk", []byte("old"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	victim := m.Server(0, 0)
@@ -180,7 +180,7 @@ func TestClusterReadRepair(t *testing.T) {
 
 	// This write lands only on replica 1; replica 0's store keeps the
 	// old version and no hint is buffered.
-	if err := c.Set("kk", []byte("new")); err != nil {
+	if err := c.Set(bg, "kk", []byte("new"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	restartServer(t, addrs[victim], victimStore, 0)
@@ -193,7 +193,7 @@ func TestClusterReadRepair(t *testing.T) {
 	// Keep reading until a read routes to the stale replica and the
 	// triggered repair lands.
 	waitFor(t, 5*time.Second, "read-repair convergence", func() bool {
-		if _, err := c.Multiget([]string{"kk"}); err != nil {
+		if _, err := c.Multiget(bg, []string{"kk"}, ReadOptions{}); err != nil {
 			t.Fatalf("Multiget: %v", err)
 		}
 		v, ver, ok := victimStore.GetVersion("kk")
@@ -217,7 +217,7 @@ func TestClusterReadRepairDelete(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.Set("kk", []byte("doomed")); err != nil {
+	if err := c.Set(bg, "kk", []byte("doomed"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	victim := m.Server(0, 0)
@@ -225,7 +225,7 @@ func TestClusterReadRepairDelete(t *testing.T) {
 	servers[victim].Close()
 
 	// The delete lands only on replica 1; replica 0 keeps the value.
-	if err := c.Delete("kk"); err != nil {
+	if err := c.Delete(bg, "kk", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	restartServer(t, addrs[victim], victimStore, 0)
@@ -237,7 +237,7 @@ func TestClusterReadRepairDelete(t *testing.T) {
 	// Reads route to the revived replica, reveal its stale (pre-delete)
 	// version, and the repair pushes the tombstone.
 	waitFor(t, 5*time.Second, "delete read-repair", func() bool {
-		if _, err := c.Multiget([]string{"kk"}); err != nil {
+		if _, err := c.Multiget(bg, []string{"kk"}, ReadOptions{}); err != nil {
 			t.Fatalf("Multiget: %v", err)
 		}
 		_, ok := victimStore.Get("kk")
@@ -259,7 +259,7 @@ func TestClusterWriteTotalFailureRetractsHints(t *testing.T) {
 	for _, srv := range servers {
 		srv.Close()
 	}
-	if err := c.Set("k", []byte("v")); !errors.Is(err, ErrNoReplica) {
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); !errors.Is(err, ErrNoReplica) {
 		t.Fatalf("Set with every replica dead: err = %v, want ErrNoReplica", err)
 	}
 	for r := 0; r < 2; r++ {
@@ -281,13 +281,13 @@ func TestClusterDelete(t *testing.T) {
 	}
 	defer c.Close()
 
-	if err := c.Set("k", []byte("v")); err != nil {
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.sizes.Load("k"); !ok {
 		t.Fatal("size not learned on Set")
 	}
-	if err := c.Delete("k"); err != nil {
+	if err := c.Delete(bg, "k", WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, ok := c.sizes.Load("k"); ok {
@@ -298,7 +298,7 @@ func TestClusterDelete(t *testing.T) {
 			t.Fatalf("replica %d still stores deleted key", r)
 		}
 	}
-	res, err := c.Multiget([]string{"k"})
+	res, err := c.Multiget(bg, []string{"k"}, ReadOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,10 +306,10 @@ func TestClusterDelete(t *testing.T) {
 		t.Fatal("deleted key still found")
 	}
 	// A later Set (newer version) revives the key everywhere.
-	if err := c.Set("k", []byte("v2")); err != nil {
+	if err := c.Set(bg, "k", []byte("v2"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	res, err = c.Multiget([]string{"k"})
+	res, err = c.Multiget(bg, []string{"k"}, ReadOptions{})
 	if err != nil || !res.Found[0] || string(res.Values[0]) != "v2" {
 		t.Fatalf("re-set after delete: %v found=%v val=%q", err, res.Found[0], res.Values[0])
 	}
@@ -337,15 +337,15 @@ func TestClusterMultigetPartialResults(t *testing.T) {
 			k1 = k
 		}
 	}
-	if err := c.Set(k0, []byte("a")); err != nil {
+	if err := c.Set(bg, k0, []byte("a"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Set(k1, []byte("b")); err != nil {
+	if err := c.Set(bg, k1, []byte("b"), WriteOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	servers[m.Server(1, 0)].Close()
 
-	res, err := c.Multiget([]string{k0, k1})
+	res, err := c.Multiget(bg, []string{k0, k1}, ReadOptions{})
 	if err == nil {
 		t.Fatal("Multiget succeeded with a dead shard")
 	}
@@ -378,7 +378,7 @@ func TestClusterProbeRaceWithMultigets(t *testing.T) {
 
 	const keys = 32
 	for i := 0; i < keys; i++ {
-		if err := c.Set(fmt.Sprintf("key:%d", i), []byte("v")); err != nil {
+		if err := c.Set(bg, fmt.Sprintf("key:%d", i), []byte("v"), WriteOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -399,11 +399,11 @@ func TestClusterProbeRaceWithMultigets(t *testing.T) {
 				}
 				k := fmt.Sprintf("key:%d", (w*11+i)%keys)
 				if i%4 == 0 {
-					if err := c.Set(k, []byte(fmt.Sprintf("v%d-%d", w, i))); err != nil {
+					if err := c.Set(bg, k, []byte(fmt.Sprintf("v%d-%d", w, i)), WriteOptions{}); err != nil {
 						errCh <- fmt.Errorf("Set: %w", err)
 						return
 					}
-				} else if _, err := c.Multiget([]string{k}); err != nil {
+				} else if _, err := c.Multiget(bg, []string{k}, ReadOptions{}); err != nil {
 					errCh <- fmt.Errorf("Multiget: %w", err)
 					return
 				}

@@ -265,8 +265,12 @@ type batchState struct {
 	remaining int
 	resp      wire.BatchResp
 	enqueued  time.Time
-	svcNanos  int64
-	cs        *connState
+	// deadline is the batch's service deadline, stamped at receipt from
+	// the request's remaining Budget (zero = unbounded). Work items still
+	// queued past it are shed, not serviced.
+	deadline time.Time
+	svcNanos int64
+	cs       *connState
 	// items is the batch's work-item slab: one allocation per batch
 	// (reused across batches), not one per key.
 	items []workItem
@@ -285,6 +289,15 @@ func newBatchState(cs *connState, m *wire.BatchReq, frame *wire.Frame, stray []b
 	n := len(m.Keys)
 	bs := batchPool.Get().(*batchState)
 	bs.enqueued = time.Now()
+	// The budget is "nanoseconds the client had left at send": the
+	// server assumes negligible transfer time and anchors the deadline
+	// at receipt. Queue wait — the thing BRB actually bounds — happens
+	// after this point, so the check at service pop is what matters.
+	if m.Budget > 0 {
+		bs.deadline = bs.enqueued.Add(time.Duration(m.Budget))
+	} else {
+		bs.deadline = time.Time{}
+	}
 	bs.svcNanos = 0
 	bs.cs = cs
 	bs.frame = frame
@@ -333,6 +346,7 @@ func (bs *batchState) release() {
 		bs.resp.Values[i] = nil
 	}
 	bs.resp.Stray = nil
+	bs.resp.Expired = nil
 	bs.cs = nil
 	bs.frame.Release()
 	bs.frame = nil
@@ -504,6 +518,11 @@ var (
 	// topology lags this server's — elevated briefly around every
 	// rebalance, a misconfiguration signal if it persists.
 	srvStaleEpochBatches = metrics.GetCounter("netstore_server_stale_epoch_batches_total")
+	// srvExpiredDrops counts work items shed because their batch's
+	// deadline budget ran out while they queued: service time the
+	// deadline-propagation protocol saved from being wasted on answers
+	// nobody was still waiting for.
+	srvExpiredDrops = metrics.GetCounter("netstore_server_expired_drops_total")
 )
 
 // ownsKey reports whether this server accepts a write for key under its
@@ -786,6 +805,32 @@ func (s *Server) worker() {
 		if !ok {
 			return
 		}
+		bs := it.batch
+		// Expiry shed, checked at the pop — after the queue wait, before
+		// any service work: a key whose deadline budget ran out while it
+		// queued is answered with an Expired bit instead of a store read
+		// plus service delay the caller has already stopped waiting for.
+		if expired := !bs.deadline.IsZero() && time.Now().After(bs.deadline); expired {
+			srvExpiredDrops.Inc()
+			bs.mu.Lock()
+			if bs.resp.Expired == nil {
+				bs.resp.Expired = make([]bool, len(bs.resp.Values))
+			}
+			bs.resp.Expired[it.index] = true
+			bs.remaining--
+			done := bs.remaining == 0
+			if done {
+				bs.resp.QueueLen = uint32(qlen)
+				bs.resp.WaitNanos = time.Since(bs.enqueued).Nanoseconds()
+				bs.resp.ServiceNanos = bs.svcNanos
+			}
+			bs.mu.Unlock()
+			if done {
+				_ = bs.cs.send(&bs.resp)
+				bs.release()
+			}
+			continue
+		}
 		svcStart := time.Now()
 		v, ver, found := s.store.GetVersion(it.key)
 		if s.opts.ServiceDelay != nil {
@@ -793,7 +838,6 @@ func (s *Server) worker() {
 		}
 		svc := time.Since(svcStart).Nanoseconds()
 		s.served.Add(1)
-		bs := it.batch
 		bs.mu.Lock()
 		bs.resp.Values[it.index] = v
 		bs.resp.Found[it.index] = found

@@ -1,0 +1,262 @@
+package netstore
+
+// The unified, context-first request surface of the BRB store.
+//
+// Every read and write entry point takes a context.Context and per-call
+// options; deadlines propagate end to end. Client-side, every wait —
+// batch responses, write acknowledgments, failover retries — selects on
+// ctx.Done(), so a wedged-but-open connection can never hang a caller
+// past its deadline. Wire-side, the remaining budget rides each
+// BatchReq/Set/Del frame, and the server sheds work items whose budget
+// ran out while they queued (per-key Expired bits) instead of wasting
+// service time on answers nobody is waiting for — deadline-aware
+// shedding in the spirit of receiver-driven transports.
+//
+// Three implementations share the interface: Client (flat replicated
+// tier), Cluster (sharded, epoch-routed, self-healing), and Local (an
+// in-process kv.Store — what tests and tools program against when the
+// network is beside the point).
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/metrics"
+)
+
+// Store is the request API of the BRB data store: batched, task-aware
+// reads and replicated writes, all context-first. Implementations:
+// *Client, *Cluster, *Local.
+//
+// Deadlines: the effective deadline of a call is the earliest of the
+// ctx deadline, the per-call options Timeout, and (when ctx carries no
+// deadline) the store's configured RequestTimeout — so even a
+// context.Background() caller is bounded by default. On expiry the
+// call returns promptly with an error wrapping context.DeadlineExceeded;
+// Multiget additionally returns the partial TaskResult the in-deadline
+// shards produced.
+type Store interface {
+	// Get reads one key (found=false for missing keys — not an error).
+	Get(ctx context.Context, key string, opts ReadOptions) (value []byte, found bool, err error)
+	// Multiget performs one batched read. On error the partial
+	// TaskResult is still returned: keys whose shards answered have
+	// Values/Found filled.
+	Multiget(ctx context.Context, keys []string, opts ReadOptions) (*TaskResult, error)
+	// Set writes one key to the replicas of its group/shard.
+	Set(ctx context.Context, key string, value []byte, opts WriteOptions) error
+	// Delete removes one key from the replicas of its group/shard.
+	Delete(ctx context.Context, key string, opts WriteOptions) error
+	// Close releases the store's resources.
+	Close()
+}
+
+// Compile-time interface checks: the three stores present one API.
+var (
+	_ Store = (*Client)(nil)
+	_ Store = (*Cluster)(nil)
+	_ Store = (*Local)(nil)
+)
+
+// ReplicaPreference selects how reads pick among a group's replicas.
+type ReplicaPreference int
+
+const (
+	// ReplicaAuto ranks replicas load-awarely (C3 scores on the cluster
+	// client, outstanding-work headroom on the flat client). The default.
+	ReplicaAuto ReplicaPreference = iota
+	// ReplicaPrimary prefers replica index 0 while it is live —
+	// deterministic routing for tests and read-your-writes-ish tooling —
+	// falling back to load-aware ranking when it is down.
+	ReplicaPrimary
+)
+
+// ReadOptions are per-call read knobs. The zero value is the default
+// behavior: load-aware replica selection, deadline from ctx or the
+// store's RequestTimeout.
+type ReadOptions struct {
+	// Timeout, when positive, bounds this call in addition to any ctx
+	// deadline (the earlier one wins).
+	Timeout time.Duration
+	// Replica selects the replica-preference policy.
+	Replica ReplicaPreference
+}
+
+// WriteFanout selects how many replica acknowledgments a write waits for.
+type WriteFanout int
+
+const (
+	// WriteAll waits for every live replica of the key's group (the
+	// default): strongest durability the moment the call returns.
+	WriteAll WriteFanout = iota
+	// WriteAny returns once one replica acknowledges; the remaining
+	// fan-out completes in the background (failures there self-heal via
+	// hinted handoff and read-repair on the cluster client). Lower
+	// latency, weaker durability at return time.
+	WriteAny
+)
+
+// WriteOptions are per-call write knobs. The zero value waits for all
+// replicas under the default deadline.
+type WriteOptions struct {
+	// Timeout, when positive, bounds this call in addition to any ctx
+	// deadline (the earlier one wins).
+	Timeout time.Duration
+	// Fanout selects how many replica acks the call waits for.
+	Fanout WriteFanout
+}
+
+// DefaultRequestTimeout bounds calls whose context carries no deadline
+// when the store options leave RequestTimeout zero. It exists so a
+// context.Background() caller against a wedged-but-open connection
+// blocks for seconds, not forever.
+const DefaultRequestTimeout = 10 * time.Second
+
+// Deadline/cancellation counters (process-wide; see internal/metrics):
+// operations that ended in deadline expiry or caller cancellation.
+var (
+	expiredTotal   = metrics.GetCounter("netstore_expired_total")
+	cancelledTotal = metrics.GetCounter("netstore_cancelled_total")
+)
+
+// requestContext applies the per-call and store-default timeouts:
+// opts timeout (if set) always narrows; the default applies only when
+// the caller brought no deadline at all. def < 0 disables the default.
+func requestContext(ctx context.Context, timeout, def time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	if _, ok := ctx.Deadline(); !ok {
+		if def == 0 {
+			def = DefaultRequestTimeout
+		}
+		if def > 0 {
+			return context.WithTimeout(ctx, def)
+		}
+	}
+	return ctx, func() {}
+}
+
+// budgetOf converts a context deadline into the wire's remaining-budget
+// form (nanoseconds left at send; 0 = unbounded). The second result is
+// false when the budget is already spent — the caller should not send
+// at all.
+func budgetOf(ctx context.Context) (int64, bool) {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0, true
+	}
+	b := time.Until(d)
+	if b <= 0 {
+		return 0, false
+	}
+	return b.Nanoseconds(), true
+}
+
+// countCtxErr feeds the expiry/cancellation counters from a finished
+// operation's error (call once per public-API operation).
+func countCtxErr(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded):
+		expiredTotal.Inc()
+	case errors.Is(err, context.Canceled):
+		cancelledTotal.Inc()
+	}
+}
+
+// ctxErr wraps a context's termination so errors.Is sees the cause
+// while the message says what was abandoned.
+func ctxErr(ctx context.Context, what string) error {
+	return &opCtxError{what: what, cause: context.Cause(ctx)}
+}
+
+type opCtxError struct {
+	what  string
+	cause error
+}
+
+func (e *opCtxError) Error() string { return "netstore: " + e.what + ": " + e.cause.Error() }
+func (e *opCtxError) Unwrap() error { return e.cause }
+
+// Local is the in-process Store: a kv.Store behind the same interface
+// the networked clients implement, so tests, examples, and tools can
+// program against Store without sockets. Writes are stamped by the same
+// versioned clock the networked clients use, so a Local loader's data is
+// comparable (last-writer-wins) with replicated writes. There is no
+// queue to shed from, so deadlines only gate admission: a call whose
+// context is already done fails without touching the store.
+type Local struct {
+	store    *kv.Store
+	versions versionClock
+}
+
+// NewLocal wraps a kv.Store (nil creates a fresh one) in the Store
+// interface.
+func NewLocal(store *kv.Store) *Local {
+	if store == nil {
+		store = kv.New(0)
+	}
+	return &Local{store: store}
+}
+
+// KV exposes the underlying kv.Store (for servers and scanners that
+// want to share it).
+func (l *Local) KV() *kv.Store { return l.store }
+
+// Get implements Store.
+func (l *Local) Get(ctx context.Context, key string, _ ReadOptions) ([]byte, bool, error) {
+	if err := ctx.Err(); err != nil {
+		err = ctxErr(ctx, "local get")
+		countCtxErr(err)
+		return nil, false, err
+	}
+	v, ok := l.store.Get(key)
+	return v, ok, nil
+}
+
+// Multiget implements Store.
+func (l *Local) Multiget(ctx context.Context, keys []string, _ ReadOptions) (*TaskResult, error) {
+	start := time.Now()
+	res := &TaskResult{
+		Values: make([][]byte, len(keys)),
+		Found:  make([]bool, len(keys)),
+	}
+	if err := ctx.Err(); err != nil {
+		err = ctxErr(ctx, "local multiget")
+		countCtxErr(err)
+		return res, err
+	}
+	for i, k := range keys {
+		res.Values[i], res.Found[i] = l.store.Get(k)
+	}
+	res.Latency = time.Since(start)
+	return res, nil
+}
+
+// Set implements Store.
+func (l *Local) Set(ctx context.Context, key string, value []byte, _ WriteOptions) error {
+	if err := ctx.Err(); err != nil {
+		err = ctxErr(ctx, "local set")
+		countCtxErr(err)
+		return err
+	}
+	l.store.SetVersion(key, value, l.versions.next())
+	return nil
+}
+
+// Delete implements Store.
+func (l *Local) Delete(ctx context.Context, key string, _ WriteOptions) error {
+	if err := ctx.Err(); err != nil {
+		err = ctxErr(ctx, "local delete")
+		countCtxErr(err)
+		return err
+	}
+	l.store.DeleteVersion(key, l.versions.next())
+	return nil
+}
+
+// Close implements Store (the kv.Store needs no teardown beyond its own
+// GC stop, which its owner manages).
+func (l *Local) Close() {}

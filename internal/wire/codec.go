@@ -36,6 +36,7 @@ func (m *BatchReq) appendBody(dst []byte) []byte {
 	dst = appendU32(dst, m.Shard)
 	dst = appendU32(dst, m.Replica)
 	dst = appendU64(dst, m.Epoch)
+	dst = appendI64(dst, m.Budget)
 	if len(m.Priority) != len(m.Keys) {
 		panic("wire: BatchReq Priority/Keys length mismatch")
 	}
@@ -48,7 +49,7 @@ func (m *BatchReq) appendBody(dst []byte) []byte {
 }
 
 func decodeBatchReq(r *reader) (*BatchReq, error) {
-	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32(), Epoch: r.u64()}
+	m := &BatchReq{Batch: r.u64(), TaskID: r.u64(), Shard: r.u32(), Replica: r.u32(), Epoch: r.u64(), Budget: r.i64()}
 	n := r.count(10) // 8-byte priority + 2-byte key length floor
 	if c := preallocCount(n); c > 0 {
 		m.Priority = make([]int64, 0, c)
@@ -63,8 +64,9 @@ func decodeBatchReq(r *reader) (*BatchReq, error) {
 
 // Per-key flag bits in a BatchResp entry.
 const (
-	keyFound uint8 = 1 << 0
-	keyStray uint8 = 1 << 1
+	keyFound   uint8 = 1 << 0
+	keyStray   uint8 = 1 << 1
+	keyExpired uint8 = 1 << 2
 )
 
 func (m *BatchResp) msgType() MsgType { return TBatchResp }
@@ -84,6 +86,9 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 	if m.Stray != nil && len(m.Stray) != len(m.Values) {
 		panic("wire: BatchResp Stray/Values length mismatch")
 	}
+	if m.Expired != nil && len(m.Expired) != len(m.Values) {
+		panic("wire: BatchResp Expired/Values length mismatch")
+	}
 	dst = appendU32(dst, uint32(len(m.Values)))
 	for i, v := range m.Values {
 		// The version is carried for missing keys too: a tombstoned key
@@ -100,6 +105,9 @@ func (m *BatchResp) appendBody(dst []byte) []byte {
 		}
 		if m.Stray != nil && m.Stray[i] {
 			flags |= keyStray
+		}
+		if m.Expired != nil && m.Expired[i] {
+			flags |= keyExpired
 		}
 		dst = append(dst, flags)
 		dst = appendU64(dst, ver)
@@ -132,6 +140,16 @@ func decodeBatchResp(r *reader) (*BatchResp, error) {
 		} else if m.Stray != nil {
 			m.Stray = append(m.Stray, false)
 		}
+		if flags&keyExpired != 0 {
+			// Lazy like Stray: the common in-deadline response pays no
+			// per-batch Expired allocation.
+			for len(m.Expired) < i {
+				m.Expired = append(m.Expired, false)
+			}
+			m.Expired = append(m.Expired, true)
+		} else if m.Expired != nil {
+			m.Expired = append(m.Expired, false)
+		}
 		m.Versions = append(m.Versions, r.u64())
 		m.Found = append(m.Found, found)
 		if found {
@@ -149,12 +167,13 @@ func (m *Set) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Version)
 	dst = appendU32(dst, m.Shard)
 	dst = appendU64(dst, m.Epoch)
+	dst = appendI64(dst, m.Budget)
 	dst = appendKey(dst, m.Key)
 	return appendVal(dst, m.Value)
 }
 
 func decodeSet(r *reader) (*Set, error) {
-	m := &Set{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Key: r.key(), Value: r.val()}
+	m := &Set{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Budget: r.i64(), Key: r.key(), Value: r.val()}
 	return m, r.done()
 }
 
@@ -164,11 +183,12 @@ func (m *Del) appendBody(dst []byte) []byte {
 	dst = appendU64(dst, m.Version)
 	dst = appendU32(dst, m.Shard)
 	dst = appendU64(dst, m.Epoch)
+	dst = appendI64(dst, m.Budget)
 	return appendKey(dst, m.Key)
 }
 
 func decodeDel(r *reader) (*Del, error) {
-	m := &Del{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Key: r.key()}
+	m := &Del{Seq: r.u64(), Version: r.u64(), Shard: r.u32(), Epoch: r.u64(), Budget: r.i64(), Key: r.key()}
 	return m, r.done()
 }
 

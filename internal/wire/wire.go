@@ -94,6 +94,12 @@ type BatchReq struct {
 	// per key regardless; the epoch is telemetry that lets both sides
 	// notice skew early.
 	Epoch uint64
+	// Budget is the caller's remaining deadline budget in nanoseconds at
+	// send time (0 = unbounded). The server stamps its local deadline at
+	// receipt (arrival + Budget) and sheds work items still queued past
+	// it — expired work is answered with per-key Expired bits instead of
+	// wasting service time the caller has already given up on.
+	Budget int64
 	// Priority is the task-aware scheduling priority of each key (lower
 	// is served sooner), parallel to Keys.
 	Priority []int64
@@ -133,6 +139,11 @@ type BatchResp struct {
 	// NotOwner): the client must re-route them after a topology refresh,
 	// never treat them as missing. nil means every key was owned.
 	Stray []bool
+	// Expired, when non-nil, marks keys the server shed because the
+	// batch's deadline budget ran out while they queued: they were never
+	// serviced, and the client must surface them as deadline expiry, not
+	// as missing keys. nil means nothing expired.
+	Expired []bool
 	// QueueLen and WaitNanos piggyback server state for client-side
 	// feedback (queue length at service start of the batch's last key,
 	// aggregate time the batch waited).
@@ -163,8 +174,14 @@ type Set struct {
 	// they do not own with NotOwner; unsharded writers leave both zero.
 	Shard uint32
 	Epoch uint64
-	Key   string
-	Value []byte
+	// Budget is the writer's remaining deadline budget in nanoseconds at
+	// send time (0 = unbounded). Writes are applied inline on receipt, so
+	// today the budget is carried for symmetry with BatchReq and for
+	// queue-admission decisions a future server may make; expired writers
+	// stop waiting client-side.
+	Budget int64
+	Key    string
+	Value  []byte
 }
 
 // SetResp acknowledges a Set.
@@ -175,12 +192,14 @@ type SetResp struct {
 // Del deletes one key, versioned like Set: the server applies the
 // delete (leaving a tombstone) only if Version exceeds the stored
 // version. Version 0 deletes unconditionally. Shard/Epoch route it the
-// way Set's do.
+// way Set's do; Budget carries the writer's remaining deadline like
+// Set's.
 type Del struct {
 	Seq     uint64
 	Version uint64
 	Shard   uint32
 	Epoch   uint64
+	Budget  int64
 	Key     string
 }
 

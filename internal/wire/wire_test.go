@@ -26,6 +26,7 @@ func TestBatchReqRoundTrip(t *testing.T) {
 		Shard:    3,
 		Replica:  1,
 		Epoch:    9,
+		Budget:   250_000_000,
 		Priority: []int64{100, -5, 0},
 		Keys:     []string{"track:1", "track:2", ""},
 	}
@@ -89,6 +90,29 @@ func TestBatchRespStrayRoundTrip(t *testing.T) {
 	}
 }
 
+// Expired markers survive the wire per key — a shed key is not
+// "missing", and trailing in-deadline keys keep the slice parallel.
+func TestBatchRespExpiredRoundTrip(t *testing.T) {
+	m := &BatchResp{
+		Batch:    2,
+		Epoch:    1,
+		Values:   [][]byte{[]byte("v"), nil, nil, []byte("w")},
+		Found:    []bool{true, false, false, true},
+		Versions: []uint64{5, 0, 0, 6},
+		Expired:  []bool{false, true, true, false},
+	}
+	got := roundTrip(t, m).(*BatchResp)
+	if !reflect.DeepEqual(got.Expired, m.Expired) {
+		t.Fatalf("expired mismatch: %v, want %v", got.Expired, m.Expired)
+	}
+	if got.Stray != nil {
+		t.Fatalf("stray materialized for an all-owned response: %v", got.Stray)
+	}
+	if !got.Found[0] || got.Found[1] || string(got.Values[3]) != "w" {
+		t.Fatalf("expired marking corrupted values: %+v", got)
+	}
+}
+
 // A BatchResp encoded without Versions (legacy server) decodes with
 // all-zero versions, never a length mismatch.
 func TestBatchRespNilVersions(t *testing.T) {
@@ -111,9 +135,9 @@ func TestMisroutedRoundTrip(t *testing.T) {
 }
 
 func TestSetRoundTrip(t *testing.T) {
-	m := &Set{Seq: 1, Version: 77, Shard: 2, Epoch: 8, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
+	m := &Set{Seq: 1, Version: 77, Shard: 2, Epoch: 8, Budget: 1_500_000, Key: "k", Value: bytes.Repeat([]byte{0xAB}, 1000)}
 	got := roundTrip(t, m).(*Set)
-	if got.Seq != 1 || got.Version != 77 || got.Shard != 2 || got.Epoch != 8 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
+	if got.Seq != 1 || got.Version != 77 || got.Shard != 2 || got.Epoch != 8 || got.Budget != 1_500_000 || got.Key != "k" || !bytes.Equal(got.Value, m.Value) {
 		t.Fatal("set mismatch")
 	}
 	ack := roundTrip(t, &SetResp{Seq: 5}).(*SetResp)
@@ -123,7 +147,7 @@ func TestSetRoundTrip(t *testing.T) {
 }
 
 func TestDelRoundTrip(t *testing.T) {
-	m := &Del{Seq: 3, Version: 41, Shard: 1, Epoch: 2, Key: "gone"}
+	m := &Del{Seq: 3, Version: 41, Shard: 1, Epoch: 2, Budget: 42, Key: "gone"}
 	got := roundTrip(t, m).(*Del)
 	if !reflect.DeepEqual(m, got) {
 		t.Fatalf("del mismatch: %+v vs %+v", m, got)

@@ -26,6 +26,17 @@
 //	brb-load -shards 3 -replication 2 -servers ... \
 //	         -write-frac 0.1 -kill-replica 4 -kill-after 2s -restart-after 3s
 //
+// Tail-cutting (sharded mode only): -spawn runs the cluster's servers
+// in-process with fault injectors attached, -slow-replica slows one of
+// them by -slow-latency per request after the load phase, and -hedge
+// re-issues straggling batches to the next-ranked replica (fixed delay
+// or adaptive C3 quantile trigger). -cache adds a versioned hot-key
+// client cache, which -zipf makes visible by concentrating reads:
+//
+//	brb-load -shards 2 -replication 2 -spawn \
+//	         -hedge adaptive -cache 256 -zipf 1.1 \
+//	         -slow-replica 0 -slow-latency 5ms
+//
 // Live rebalancing (sharded mode only): -add-shard-after grows the
 // cluster by one shard mid-run (spawning the new shard's replicas
 // in-process), -remove-shard-after drains the highest shard onto the
@@ -83,6 +94,14 @@ func main() {
 	addShardAfter := flag.Duration("add-shard-after", 0, "measurement time before a new shard is added live (sharded mode; 0 = off)")
 	removeShardAfter := flag.Duration("remove-shard-after", 0, "measurement time before the highest shard is drained live (sharded mode; 0 = off)")
 	deadline := flag.Duration("deadline", 0, "per-task deadline propagated to the servers (0 = the client's default request timeout); tasks that exceed it count as expired in the run output instead of aborting the client")
+	hedgeMode := flag.String("hedge", "off", "hedged reads: off|fixed|adaptive (sharded mode only)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge trigger delay (fixed mode) and cold-start floor (adaptive); 0 = policy default")
+	hedgeQuantile := flag.Float64("hedge-quantile", 0, "adaptive hedge trigger quantile in (0,1); 0 = policy default")
+	cacheSize := flag.Int("cache", 0, "client hot-key cache entries per client (sharded mode only; 0 = off)")
+	spawn := flag.Bool("spawn", false, "spawn the cluster's servers in-process instead of dialing -servers (sharded mode only; self-contained smoke runs)")
+	slowReplica := flag.Int("slow-replica", -1, "dense server index slowed by -slow-latency per request after the load phase (requires -spawn; -1 = none)")
+	slowLatency := flag.Duration("slow-latency", 2*time.Millisecond, "added service latency for -slow-replica")
+	zipfS := flag.Float64("zipf", 0, "Zipf exponent for key popularity (0 = uniform; >1 concentrates reads on hot keys)")
 	flag.Parse()
 
 	bg := context.Background()
@@ -92,6 +111,67 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "brb-load:", err)
 		os.Exit(2)
+	}
+
+	var hedgePol netstore.HedgePolicy
+	switch *hedgeMode {
+	case "off":
+	case "fixed":
+		hedgePol = netstore.HedgePolicy{Mode: netstore.HedgeFixed, Delay: *hedgeDelay}
+	case "adaptive":
+		hedgePol = netstore.HedgePolicy{Mode: netstore.HedgeAdaptive, Delay: *hedgeDelay, Quantile: *hedgeQuantile}
+	default:
+		fmt.Fprintf(os.Stderr, "brb-load: -hedge %q: want off, fixed, or adaptive\n", *hedgeMode)
+		os.Exit(2)
+	}
+	if err := hedgePol.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "brb-load:", err)
+		os.Exit(2)
+	}
+	if (hedgePol.Mode != netstore.HedgeOff || *cacheSize > 0) && *shards <= 0 {
+		fmt.Fprintln(os.Stderr, "brb-load: -hedge/-cache need -shards > 0 (the flat client has no replica ranking or cache)")
+		os.Exit(2)
+	}
+
+	// -spawn runs the whole cluster in this process, each server with a
+	// FaultInjector attached — the self-contained way to demonstrate
+	// tail-cutting: slow one replica by a service-latency factor and
+	// watch hedged reads hold p999 down.
+	var injectors []*netstore.FaultInjector
+	if *spawn {
+		if *shards <= 0 {
+			fmt.Fprintln(os.Stderr, "brb-load: -spawn needs -shards > 0")
+			os.Exit(2)
+		}
+		n := *shards * *replication
+		addrs = make([]string, n)
+		injectors = make([]*netstore.FaultInjector, n)
+		for s := 0; s < *shards; s++ {
+			for r := 0; r < *replication; r++ {
+				i := s**replication + r
+				injectors[i] = netstore.NewFaultInjector()
+				srv := netstore.NewServer(kv.New(0), netstore.ServerOptions{
+					Workers: 4, Shard: s, CheckShard: true, Fault: injectors[i],
+				})
+				ln, err := net.Listen("tcp", "127.0.0.1:0")
+				if err != nil {
+					log.Fatalf("brb-load: spawn listener: %v", err)
+				}
+				go func() { _ = srv.Serve(ln) }()
+				addrs[i] = ln.Addr().String()
+			}
+		}
+		log.Printf("spawned %d in-process servers (%d shards × %d replicas)", n, *shards, *replication)
+	}
+	if *slowReplica >= 0 {
+		if !*spawn {
+			fmt.Fprintln(os.Stderr, "brb-load: -slow-replica needs -spawn (the injector lives in the server process)")
+			os.Exit(2)
+		}
+		if *slowReplica >= len(injectors) {
+			fmt.Fprintf(os.Stderr, "brb-load: -slow-replica %d out of range (%d servers)\n", *slowReplica, len(injectors))
+			os.Exit(2)
+		}
 	}
 
 	// Fault injection fronts the victim with an in-process TCP proxy so
@@ -159,7 +239,7 @@ func main() {
 		if shardTopo != nil {
 			c, err := netstore.DialCluster(nil, netstore.ClusterOptions{
 				Topology: shardTopo, Client: client, Clients: *clients, Assigner: assigner,
-				ProbeInterval: *probeInterval,
+				ProbeInterval: *probeInterval, CacheSize: *cacheSize,
 			})
 			if err != nil {
 				return nil, err
@@ -186,7 +266,7 @@ func main() {
 		}
 		return c, nil
 	}
-	readOpts := netstore.ReadOptions{Timeout: *deadline}
+	readOpts := netstore.ReadOptions{Timeout: *deadline, Hedge: hedgePol}
 
 	// Load phase: heavy-tailed value sizes.
 	if !*skipLoad {
@@ -204,6 +284,28 @@ func main() {
 		}
 		loader.Close()
 		log.Printf("loaded %d keys in %s", *keys, time.Since(start).Round(time.Millisecond))
+	}
+
+	// The slow replica is armed only now, so the load phase ran at full
+	// speed and the measurement phase sees the straggler from its first
+	// task (the C3 scorer and adaptive hedge trigger learn it live).
+	if *slowReplica >= 0 {
+		injectors[*slowReplica].SetDelay(*slowLatency)
+		log.Printf("fault: server %d (shard %d replica %d) slowed by %v per request",
+			*slowReplica, *slowReplica / *replication, *slowReplica%*replication, *slowLatency)
+	}
+
+	// Key popularity: uniform by default, Zipf under -zipf — the
+	// workload where a hot-key cache earns its keep.
+	var zipf *randx.Zipf
+	if *zipfS > 0 {
+		zipf = randx.NewZipf(*keys, *zipfS)
+	}
+	pickKey := func(rng *randx.RNG) int {
+		if zipf != nil {
+			return zipf.Sample(rng)
+		}
+		return rng.Intn(*keys)
 	}
 
 	// Measurement phase.
@@ -300,7 +402,7 @@ func main() {
 					// injection, to create divergence the recovery path
 					// must heal). With a replica down they still succeed on
 					// the survivors.
-					k := fmt.Sprintf("key:%d", rng.Intn(*keys))
+					k := fmt.Sprintf("key:%d", pickKey(rng))
 					if err := c.Set(bg, k, make([]byte, int(wsizes.Sample(rng))), netstore.WriteOptions{Timeout: *deadline}); err != nil {
 						if errors.Is(err, context.DeadlineExceeded) {
 							expiredTasks.Add(1)
@@ -317,7 +419,7 @@ func main() {
 				}
 				ks := make([]string, fan)
 				for j := range ks {
-					ks[j] = fmt.Sprintf("key:%d", rng.Intn(*keys))
+					ks[j] = fmt.Sprintf("key:%d", pickKey(rng))
 				}
 				res, err := c.Multiget(bg, ks, readOpts)
 				if err != nil {
@@ -403,6 +505,17 @@ func main() {
 		expiredTasks.Load(), cancelledTasks.Load(),
 		metrics.CounterValue("netstore_expired_total"),
 		metrics.CounterValue("netstore_cancelled_total"))
+	if hedgePol.Mode != netstore.HedgeOff {
+		h := metrics.CountersWithPrefix("netstore_hedge_")
+		fmt.Printf("hedges: fired=%d won=%d wasted=%d\n",
+			h["netstore_hedge_fired_total"], h["netstore_hedge_won_total"], h["netstore_hedge_wasted_total"])
+	}
+	if *cacheSize > 0 {
+		cc := metrics.CountersWithPrefix("netstore_cache_")
+		fmt.Printf("cache: hits=%d misses=%d fills=%d invalidations=%d evictions=%d\n",
+			cc["netstore_cache_hits_total"], cc["netstore_cache_misses_total"], cc["netstore_cache_fills_total"],
+			cc["netstore_cache_invalidations_total"], cc["netstore_cache_evictions_total"])
+	}
 	if *allocStats && s.Count > 0 {
 		// Whole-process deltas over the measurement phase only (dialing
 		// and the initial load happen before memBefore; teardown after

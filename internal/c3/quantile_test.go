@@ -1,0 +1,108 @@
+package c3
+
+// Tests for the hedge-trigger math: the closed-form Laplace quantile,
+// the deviation EWMA it is fed from, and ResponseQuantile's cold-start
+// contract. All pure functions — no network, no clock.
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLaplaceQuantile(t *testing.T) {
+	ln5 := math.Log(5)
+	for _, tc := range []struct {
+		name     string
+		mu, b, q float64
+		want     float64
+	}{
+		{"median is the mean", 100, 10, 0.5, 100},
+		{"p90", 100, 10, 0.9, 100 + 10*ln5}, // mu − b·ln(2·0.1)
+		{"p10 mirrors p90 around the mean", 100, 10, 0.1, 100 - 10*ln5},
+		{"zero spread collapses to the mean", 100, 0, 0.99, 100},
+		{"negative spread treated as zero", 100, -5, 0.99, 100},
+		{"floored at zero", 5, 100, 0.01, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := LaplaceQuantile(tc.mu, tc.b, tc.q); math.Abs(got-tc.want) > 1e-9 {
+				t.Fatalf("LaplaceQuantile(%v, %v, %v) = %v, want %v", tc.mu, tc.b, tc.q, got, tc.want)
+			}
+		})
+	}
+
+	// Out-of-range q is clamped, never NaN/Inf — and clamping means the
+	// extremes agree with values just inside them.
+	for _, q := range []float64{-1, 0, 1, 2} {
+		got := LaplaceQuantile(100, 10, q)
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("LaplaceQuantile(100, 10, %v) = %v, want finite", q, got)
+		}
+	}
+	if lo, in := LaplaceQuantile(100, 10, 0), LaplaceQuantile(100, 10, 1e-9); lo != in {
+		t.Fatalf("q=0 not clamped to the epsilon edge: %v vs %v", lo, in)
+	}
+	if hi, in := LaplaceQuantile(100, 10, 1), LaplaceQuantile(100, 10, 1-1e-9); hi != in {
+		t.Fatalf("q=1 not clamped to the epsilon edge: %v vs %v", hi, in)
+	}
+
+	// Monotone in q across both branches of the closed form.
+	prev := math.Inf(-1)
+	for _, q := range []float64{0.01, 0.2, 0.5, 0.7, 0.9, 0.99, 0.999} {
+		got := LaplaceQuantile(1000, 200, q)
+		if got < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestResponseQuantileColdStart(t *testing.T) {
+	s := NewScorer(2, ScorerOptions{})
+	// No feedback: 0, so callers fall back to their configured floor.
+	if got := s.ResponseQuantile(0, 0.9); got != 0 {
+		t.Fatalf("cold ResponseQuantile = %v, want 0", got)
+	}
+	// One sample: the deviation seeds at the sample itself — the
+	// deliberately pessimistic spread that keeps early forecasts wide.
+	s.Observe(0, 0, 1000, 100, 0)
+	if got := s.ResponseQuantile(0, 0.5); got != 1000 {
+		t.Fatalf("median after one sample = %v, want the sample 1000", got)
+	}
+	want := 1000 + 1000*math.Log(5) // mu + b·ln5 with b seeded at mu
+	if got := s.ResponseQuantile(0, 0.9); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("p90 after one sample = %v, want %v", got, want)
+	}
+	// Reset returns the replica to the cold contract.
+	s.Reset(0)
+	if got := s.ResponseQuantile(0, 0.9); got != 0 {
+		t.Fatalf("ResponseQuantile after Reset = %v, want 0", got)
+	}
+}
+
+// The deviation EWMA folds |sample − mean| against the PRE-update mean,
+// pinned by hand-computed arithmetic (alpha 0.9, like the score EWMAs).
+func TestDeviationEWMAFold(t *testing.T) {
+	s := NewScorer(1, ScorerOptions{Alpha: 0.9})
+	s.Observe(0, 0, 1000, 0, 0) // mu=1000, dev seeds at 1000
+	s.Observe(0, 0, 2000, 0, 0) // dev = .9·1000 + .1·|2000−1000| = 1000; mu = 1100
+	s.Observe(0, 0, 1100, 0, 0) // dev = .9·1000 + .1·|1100−1100| = 900;  mu = 1100
+	mu, dev := 1100.0, 900.0
+	want := LaplaceQuantile(mu, dev, 0.9)
+	if got := s.ResponseQuantile(0, 0.9); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("p90 after folds = %v, want %v (mu=%v dev=%v)", got, want, mu, dev)
+	}
+}
+
+// A steady replica's forecast narrows: identical samples decay the
+// deviation, pulling the p90 toward the mean — which is exactly what
+// lets the adaptive hedge trigger tighten on well-behaved replicas.
+func TestResponseQuantileNarrowsOnSteadyReplica(t *testing.T) {
+	s := NewScorer(1, ScorerOptions{})
+	for i := 0; i < 200; i++ {
+		s.Observe(0, 0, 1000, 0, 0)
+	}
+	p90 := s.ResponseQuantile(0, 0.9)
+	if p90 < 1000 || p90 > 1010 {
+		t.Fatalf("p90 after 200 steady samples = %v, want within 1%% of the 1000 mean", p90)
+	}
+}

@@ -69,6 +69,10 @@ type scorerState struct {
 	respEWMA float64
 	svcEWMA  float64
 	qEWMA    float64
+	// devEWMA tracks the mean absolute deviation of response times
+	// around respEWMA — the spread estimate behind ResponseQuantile's
+	// tail forecasts (hedged-read triggers).
+	devEWMA  float64
 	outstand int
 	haveData bool
 }
@@ -146,13 +150,65 @@ func (s *Scorer) Observe(replica, n int, respNanos, svcNanos float64, queueLen i
 	}
 	if !st.haveData {
 		st.respEWMA, st.svcEWMA, st.qEWMA = respNanos, svcNanos, float64(queueLen)
+		// One sample carries no spread information: seed the deviation
+		// at the sample itself, a deliberately pessimistic spread that
+		// keeps early quantile forecasts wide (so hedges hold back)
+		// until real variance data narrows it.
+		st.devEWMA = respNanos
 		st.haveData = true
 		return
 	}
 	a := s.opts.Alpha
+	st.devEWMA = a*st.devEWMA + (1-a)*math.Abs(respNanos-st.respEWMA)
 	st.respEWMA = a*st.respEWMA + (1-a)*respNanos
 	st.svcEWMA = a*st.svcEWMA + (1-a)*svcNanos
 	st.qEWMA = a*st.qEWMA + (1-a)*float64(queueLen)
+}
+
+// ResponseQuantile estimates the q-quantile of one replica's response
+// time in nanoseconds from its EWMA state, or 0 when the replica has no
+// feedback yet (callers should fall back to a configured floor). The
+// hedged-read trigger uses it: a batch outstanding past, say, the 0.9
+// quantile of what this replica usually takes is probably straggling.
+func (s *Scorer) ResponseQuantile(replica int, q float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := &s.state[replica]
+	if !st.haveData {
+		return 0
+	}
+	return LaplaceQuantile(st.respEWMA, st.devEWMA, q)
+}
+
+// LaplaceQuantile is the pure trigger math behind ResponseQuantile: the
+// q-quantile of a Laplace distribution with mean mu and mean absolute
+// deviation b. The Laplace model is chosen for its closed-form quantile
+// in exactly the statistics the scorer already tracks (an EWMA mean and
+// an EWMA absolute deviation); its exponential tail is a reasonable —
+// and deliberately heavy — stand-in for service-time tails. q is
+// clamped to (0, 1); the result is floored at 0 (a latency forecast is
+// never negative, however small the mean).
+func LaplaceQuantile(mu, b, q float64) float64 {
+	const eps = 1e-9
+	if q < eps {
+		q = eps
+	}
+	if q > 1-eps {
+		q = 1 - eps
+	}
+	if b < 0 {
+		b = 0
+	}
+	var x float64
+	if q <= 0.5 {
+		x = mu + b*math.Log(2*q)
+	} else {
+		x = mu - b*math.Log(2*(1-q))
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
 }
 
 // Reset clears one replica's state — outstanding count and EWMAs — as

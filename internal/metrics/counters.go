@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -46,6 +47,21 @@ func Counters() map[string]uint64 {
 	out := make(map[string]uint64)
 	counterRegistry.Range(func(k, v any) bool {
 		out[k.(string)] = v.(*Counter).Load()
+		return true
+	})
+	return out
+}
+
+// CountersWithPrefix snapshots every registered counter whose name
+// starts with prefix — how tools report one subsystem's counters (say,
+// "netstore_hedge_") without enumerating names that may not be
+// registered yet in this process.
+func CountersWithPrefix(prefix string) map[string]uint64 {
+	out := make(map[string]uint64)
+	counterRegistry.Range(func(k, v any) bool {
+		if name := k.(string); strings.HasPrefix(name, prefix) {
+			out[name] = v.(*Counter).Load()
+		}
 		return true
 	})
 	return out

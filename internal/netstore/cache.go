@@ -1,0 +1,331 @@
+package netstore
+
+// The versioned hot-key client cache: the caching half of the latency
+// toolkit (hedging cuts the tail of the reads we must send; the cache
+// removes the hottest reads from the wire entirely).
+//
+// Safety comes from write versions, not leases. Every cached entry
+// carries the LWW version the value was read at, and three rules keep
+// a cache hit from ever serving a value older than a write this client
+// has had acknowledged:
+//
+//  1. Local invalidation: an acknowledged Set/Delete drops the key's
+//     entry (and raises the written-version floor first).
+//  2. The written floor: a hit is served only if its version is at
+//     least the version this client last wrote for the key — so a fill
+//     racing a concurrent write can park a stale entry, but never serve
+//     it.
+//  3. Opportunistic validation: any response carrying versions (hedge
+//     losers included) evicts entries it proves stale, and a topology
+//     epoch change purges everything (ownership moved; the entries'
+//     provenance is void).
+//
+// Staleness against OTHER clients' writes is bounded only by eviction
+// and validation — the same regime as any TTL-free read cache over an
+// eventually-consistent store; the paper's target workloads (read-heavy
+// cache tiers) are exactly where that trade is taken.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// Hot-key cache counters (process-wide; see internal/metrics).
+var (
+	cacheHitsTotal   = metrics.GetCounter("netstore_cache_hits_total")
+	cacheMissesTotal = metrics.GetCounter("netstore_cache_misses_total")
+	cacheFillsTotal  = metrics.GetCounter("netstore_cache_fills_total")
+	cacheInvalsTotal = metrics.GetCounter("netstore_cache_invalidations_total")
+	cacheEvictsTotal = metrics.GetCounter("netstore_cache_evictions_total")
+)
+
+// hotKeyCache is a bounded LRU of versioned values. Like the server's
+// scan-page and scheduler heaps, the LRU list is hand-rolled (map +
+// intrusive doubly-linked list) so steady-state hits cost zero
+// allocations beyond the served copy.
+type hotKeyCache struct {
+	mu         sync.Mutex
+	capacity   int
+	ents       map[string]*cacheEnt
+	head, tail *cacheEnt // head = most recently used
+
+	hits, misses, fills, invals, evicts atomic.Uint64
+}
+
+type cacheEnt struct {
+	key        string
+	val        []byte
+	version    uint64
+	prev, next *cacheEnt
+}
+
+func newHotKeyCache(capacity int) *hotKeyCache {
+	return &hotKeyCache{capacity: capacity, ents: make(map[string]*cacheEnt, capacity)}
+}
+
+// get serves a hit, copying the value (the caller owns result slices
+// and may mutate them). minVer is the caller's written-version floor:
+// an entry older than a write this client has had acknowledged is
+// dropped and reported as a miss — rule 2 above.
+func (hc *hotKeyCache) get(key string, minVer uint64) ([]byte, bool) {
+	hc.mu.Lock()
+	e := hc.ents[key]
+	if e == nil {
+		hc.mu.Unlock()
+		hc.misses.Add(1)
+		cacheMissesTotal.Inc()
+		return nil, false
+	}
+	if e.version < minVer {
+		hc.removeLocked(e)
+		hc.mu.Unlock()
+		hc.invals.Add(1)
+		cacheInvalsTotal.Inc()
+		hc.misses.Add(1)
+		cacheMissesTotal.Inc()
+		return nil, false
+	}
+	hc.moveFrontLocked(e)
+	val := append([]byte(nil), e.val...)
+	hc.mu.Unlock()
+	hc.hits.Add(1)
+	cacheHitsTotal.Inc()
+	return val, true
+}
+
+// put fills (or refreshes) an entry, copying the value. Version 0 —
+// an unversioned legacy response — is not cacheable: it could never be
+// validated. A fill older than what is already cached loses; between
+// two fills, the higher version wins regardless of arrival order.
+func (hc *hotKeyCache) put(key string, val []byte, ver uint64) {
+	if ver == 0 {
+		return
+	}
+	hc.mu.Lock()
+	if e := hc.ents[key]; e != nil {
+		if ver < e.version {
+			hc.mu.Unlock()
+			return
+		}
+		e.version = ver
+		e.val = append(e.val[:0], val...)
+		hc.moveFrontLocked(e)
+		hc.mu.Unlock()
+		hc.fills.Add(1)
+		cacheFillsTotal.Inc()
+		return
+	}
+	e := &cacheEnt{key: key, val: append([]byte(nil), val...), version: ver}
+	hc.ents[key] = e
+	hc.pushFrontLocked(e)
+	evicted := false
+	if len(hc.ents) > hc.capacity {
+		hc.removeLocked(hc.tail)
+		evicted = true
+	}
+	hc.mu.Unlock()
+	hc.fills.Add(1)
+	cacheFillsTotal.Inc()
+	if evicted {
+		hc.evicts.Add(1)
+		cacheEvictsTotal.Inc()
+	}
+}
+
+// invalidate drops a key's entry (acknowledged local write/delete).
+func (hc *hotKeyCache) invalidate(key string) {
+	hc.mu.Lock()
+	e := hc.ents[key]
+	if e != nil {
+		hc.removeLocked(e)
+	}
+	hc.mu.Unlock()
+	if e != nil {
+		hc.invals.Add(1)
+		cacheInvalsTotal.Inc()
+	}
+}
+
+// noteVersion validates an entry against an authoritative version seen
+// on the wire: proof of a newer write evicts the stale entry.
+func (hc *hotKeyCache) noteVersion(key string, ver uint64) {
+	hc.mu.Lock()
+	e := hc.ents[key]
+	stale := e != nil && e.version < ver
+	if stale {
+		hc.removeLocked(e)
+	}
+	hc.mu.Unlock()
+	if stale {
+		hc.invals.Add(1)
+		cacheInvalsTotal.Inc()
+	}
+}
+
+// purge empties the cache (topology epoch change: ownership moved, so
+// every entry's provenance is void).
+func (hc *hotKeyCache) purge() {
+	hc.mu.Lock()
+	n := len(hc.ents)
+	hc.ents = make(map[string]*cacheEnt, hc.capacity)
+	hc.head, hc.tail = nil, nil
+	hc.mu.Unlock()
+	if n > 0 {
+		hc.invals.Add(uint64(n))
+		cacheInvalsTotal.Add(uint64(n))
+	}
+}
+
+// size returns the current entry count (test hook).
+func (hc *hotKeyCache) size() int {
+	hc.mu.Lock()
+	defer hc.mu.Unlock()
+	return len(hc.ents)
+}
+
+func (hc *hotKeyCache) pushFrontLocked(e *cacheEnt) {
+	e.prev, e.next = nil, hc.head
+	if hc.head != nil {
+		hc.head.prev = e
+	}
+	hc.head = e
+	if hc.tail == nil {
+		hc.tail = e
+	}
+}
+
+func (hc *hotKeyCache) removeLocked(e *cacheEnt) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		hc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		hc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	delete(hc.ents, e.key)
+}
+
+func (hc *hotKeyCache) moveFrontLocked(e *cacheEnt) {
+	if hc.head == e {
+		return
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		hc.tail = e.prev
+	}
+	e.prev, e.next = nil, hc.head
+	if hc.head != nil {
+		hc.head.prev = e
+	}
+	hc.head = e
+}
+
+// writtenFloor is the version this client last had acknowledged for a
+// key (0 if it never wrote the key) — the cache's serve floor.
+func (c *Cluster) writtenFloor(key string) uint64 {
+	if wv, ok := c.written.Load(key); ok {
+		return wv.(uint64)
+	}
+	return 0
+}
+
+// cacheServe answers one key from the hot-key cache if the entry clears
+// the written floor. Only called with c.cache non-nil.
+func (c *Cluster) cacheServe(key string) ([]byte, bool) {
+	return c.cache.get(key, c.writtenFloor(key))
+}
+
+// cacheFill parks one read result in the cache unless it predates a
+// write this client already had acknowledged (the get-side floor would
+// drop it anyway; skipping the fill keeps the slot for something
+// servable). Only called with c.cache non-nil.
+func (c *Cluster) cacheFill(key string, val []byte, ver uint64) {
+	if ver < c.writtenFloor(key) {
+		return
+	}
+	c.cache.put(key, val, ver)
+}
+
+// noteResponseVersions validates cache entries against a batch
+// response's versions — the opportunistic path fed by hedge losers
+// (and, through them, any late answer that would otherwise be pure
+// waste). Keys the server refused (stray) or shed (expired) carry no
+// authoritative version and are skipped.
+func (c *Cluster) noteResponseVersions(b shardBatch, resp *wire.BatchResp) {
+	if c.cache == nil || len(resp.Versions) != len(b.keys) {
+		return
+	}
+	for i, k := range b.keys {
+		if resp.Stray != nil && resp.Stray[i] {
+			continue
+		}
+		if resp.Expired != nil && resp.Expired[i] {
+			continue
+		}
+		c.cache.noteVersion(k, resp.Versions[i])
+	}
+}
+
+// CacheHits returns the client's hot-key cache hit count (test and
+// operations hook; 0 when the cache is disabled. Process-wide
+// counterparts: the "netstore_cache_*_total" metrics).
+func (c *Cluster) CacheHits() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.hits.Load()
+}
+
+// CacheMisses returns the cache miss count (0 when disabled).
+func (c *Cluster) CacheMisses() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.misses.Load()
+}
+
+// CacheFills returns the cache fill count (0 when disabled).
+func (c *Cluster) CacheFills() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.fills.Load()
+}
+
+// CacheInvalidations returns how many entries were dropped for
+// coherence — local writes, floor violations, wire-version proof,
+// epoch purges (0 when disabled).
+func (c *Cluster) CacheInvalidations() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.invals.Load()
+}
+
+// CacheEvictions returns how many entries the capacity bound evicted
+// (0 when disabled).
+func (c *Cluster) CacheEvictions() uint64 {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.evicts.Load()
+}
+
+// CacheSize returns the current cached entry count (0 when disabled).
+func (c *Cluster) CacheSize() int {
+	if c.cache == nil {
+		return 0
+	}
+	return c.cache.size()
+}

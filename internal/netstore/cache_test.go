@@ -1,0 +1,429 @@
+package netstore
+
+// Hot-key cache tests: the pure LRU/version mechanics, the Cluster
+// coherence rules (local-write invalidation, written floor, epoch
+// purge), the partial-result fill regression, and a -race coherence
+// hammer asserting a cache hit never serves a value older than an
+// acknowledged local write.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/brb-repro/brb/internal/cluster"
+)
+
+func TestHotKeyCacheVersioning(t *testing.T) {
+	hc := newHotKeyCache(4)
+
+	// Version 0 is not cacheable (could never be validated).
+	hc.put("k", []byte("v"), 0)
+	if _, ok := hc.get("k", 0); ok {
+		t.Fatal("unversioned value was cached")
+	}
+
+	hc.put("k", []byte("v5"), 5)
+	if v, ok := hc.get("k", 0); !ok || string(v) != "v5" {
+		t.Fatalf("get = %q ok=%v", v, ok)
+	}
+	// An older fill loses against a newer cached version, whatever the
+	// arrival order.
+	hc.put("k", []byte("v3"), 3)
+	if v, ok := hc.get("k", 0); !ok || string(v) != "v5" {
+		t.Fatalf("older fill overwrote newer entry: %q ok=%v", v, ok)
+	}
+	hc.put("k", []byte("v8"), 8)
+	if v, ok := hc.get("k", 0); !ok || string(v) != "v8" {
+		t.Fatalf("newer fill lost: %q ok=%v", v, ok)
+	}
+
+	// The minVer floor drops entries older than an acked write.
+	if _, ok := hc.get("k", 9); ok {
+		t.Fatal("entry below the written floor was served")
+	}
+	if _, ok := hc.get("k", 0); ok {
+		t.Fatal("floor-dropped entry still present")
+	}
+
+	// noteVersion evicts on proof of a newer write, keeps otherwise.
+	hc.put("k", []byte("v10"), 10)
+	hc.noteVersion("k", 10)
+	if _, ok := hc.get("k", 0); !ok {
+		t.Fatal("noteVersion with the cached version evicted the entry")
+	}
+	hc.noteVersion("k", 11)
+	if _, ok := hc.get("k", 0); ok {
+		t.Fatal("noteVersion with a newer version kept the stale entry")
+	}
+
+	// The served value is the caller's copy: mutating it must not
+	// corrupt the cached bytes.
+	hc.put("c", []byte("abc"), 1)
+	v, _ := hc.get("c", 0)
+	v[0] = 'X'
+	if v2, _ := hc.get("c", 0); string(v2) != "abc" {
+		t.Fatalf("caller mutation reached the cache: %q", v2)
+	}
+}
+
+func TestHotKeyCacheLRUEviction(t *testing.T) {
+	hc := newHotKeyCache(3)
+	for i := 1; i <= 3; i++ {
+		hc.put(fmt.Sprintf("k%d", i), []byte("v"), uint64(i))
+	}
+	// Touch k1 so k2 becomes the least recently used.
+	if _, ok := hc.get("k1", 0); !ok {
+		t.Fatal("k1 missing")
+	}
+	hc.put("k4", []byte("v"), 4)
+	if _, ok := hc.get("k2", 0); ok {
+		t.Fatal("LRU victim k2 survived the eviction")
+	}
+	for _, k := range []string{"k1", "k3", "k4"} {
+		if _, ok := hc.get(k, 0); !ok {
+			t.Fatalf("%s evicted, want k2 (the LRU) evicted", k)
+		}
+	}
+	if got := hc.evicts.Load(); got != 1 {
+		t.Fatalf("evicts = %d, want 1", got)
+	}
+
+	hc.invalidate("k3")
+	if _, ok := hc.get("k3", 0); ok {
+		t.Fatal("invalidated entry served")
+	}
+	hc.purge()
+	if hc.size() != 0 {
+		t.Fatalf("size after purge = %d", hc.size())
+	}
+}
+
+// cacheCluster builds a 1-shard × 1-replica cluster with the hot-key
+// cache enabled and one key loaded.
+func cacheCluster(t *testing.T, cacheSize int) (*Cluster, *Server) {
+	t.Helper()
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 1})
+	addrs, servers := startShardedCluster(t, m, nil)
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1, CacheSize: cacheSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c, servers[0]
+}
+
+// Hot keys are served locally: after the first fetch fills the cache,
+// repeat reads never reach the server.
+func TestClusterCacheServesHotKeys(t *testing.T) {
+	c, srv := cacheCluster(t, 8)
+	if err := c.Set(bg, "k", []byte("v"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, err := c.Get(bg, "k", ReadOptions{}); err != nil || !found || string(v) != "v" {
+		t.Fatalf("first Get = %q found=%v err=%v", v, found, err)
+	}
+	if fills := c.CacheFills(); fills != 1 {
+		t.Fatalf("fills after first read = %d, want 1", fills)
+	}
+	served := srv.Served()
+	for i := 0; i < 5; i++ {
+		v, found, err := c.Get(bg, "k", ReadOptions{})
+		if err != nil || !found || string(v) != "v" {
+			t.Fatalf("cached Get = %q found=%v err=%v", v, found, err)
+		}
+		// The caller owns the returned slice; mutating it must not
+		// poison later hits.
+		v[0] = 'X'
+	}
+	if got := srv.Served() - served; got != 0 {
+		t.Fatalf("server serviced %d keys during cached reads, want 0", got)
+	}
+	if hits := c.CacheHits(); hits != 5 {
+		t.Fatalf("cache hits = %d, want 5", hits)
+	}
+	if size := c.CacheSize(); size != 1 {
+		t.Fatalf("cache size = %d, want 1", size)
+	}
+}
+
+// A multiget mixing cached and uncached keys fetches only the misses,
+// and a fully cached multiget touches no socket at all.
+func TestClusterMultigetPartialCacheHit(t *testing.T) {
+	c, srv := cacheCluster(t, 8)
+	keys := []string{"a", "b", "c", "d"}
+	for _, k := range keys {
+		if err := c.Set(bg, k, []byte("val-"+k), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm two of the four.
+	for _, k := range keys[:2] {
+		if _, _, err := c.Get(bg, k, ReadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	served := srv.Served()
+	res, err := c.Multiget(bg, keys, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		if !res.Found[i] || string(res.Values[i]) != "val-"+k {
+			t.Fatalf("key %s: found=%v val=%q", k, res.Found[i], res.Values[i])
+		}
+	}
+	if got := srv.Served() - served; got != 2 {
+		t.Fatalf("server serviced %d keys, want only the 2 misses", got)
+	}
+
+	// Now everything is warm: the same multiget is served entirely from
+	// the cache.
+	served = srv.Served()
+	if _, err := c.Multiget(bg, keys, ReadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Served() - served; got != 0 {
+		t.Fatalf("fully cached multiget serviced %d keys on the server", got)
+	}
+}
+
+// An acknowledged local Set/Delete invalidates the key: the next read
+// observes the new state, never the cached pre-write value.
+func TestClusterCacheInvalidatedByLocalWrites(t *testing.T) {
+	c, _ := cacheCluster(t, 8)
+	if err := c.Set(bg, "k", []byte("v1"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(bg, "k", ReadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(bg, "k", []byte("v2"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, found, _ := c.Get(bg, "k", ReadOptions{}); !found || string(v) != "v2" {
+		t.Fatalf("read after overwrite = %q found=%v, want v2", v, found)
+	}
+	if err := c.Delete(bg, "k", WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := c.Get(bg, "k", ReadOptions{}); found {
+		t.Fatal("read after delete still found the key")
+	}
+	if invals := c.CacheInvalidations(); invals < 2 {
+		t.Fatalf("invalidations = %d, want at least 2 (the Set and the Delete)", invals)
+	}
+}
+
+// A topology epoch change voids every entry's provenance: the install
+// purges the cache.
+func TestClusterCachePurgedOnEpochChange(t *testing.T) {
+	base := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	addrs, _ := startShardedCluster(t, base, nil)
+	topo, err := base.WithAddrs(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialCluster(nil, ClusterOptions{Topology: topo, ProbeInterval: -1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// A key owned by shard 0 stays on shard 0 after shard 1 is removed,
+	// so reads remain valid across the epoch change.
+	var k0 string
+	for i := 0; k0 == ""; i++ {
+		if k := fmt.Sprintf("key:%d", i); topo.ShardOfKey(k) == 0 {
+			k0 = k
+		}
+	}
+	if err := c.Set(bg, k0, []byte("v"), WriteOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get(bg, k0, ReadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if size := c.CacheSize(); size != 1 {
+		t.Fatalf("cache size = %d, want 1 before the epoch change", size)
+	}
+
+	nt, err := topo.RemoveShard(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.InstallTopology(nt)
+	if size := c.CacheSize(); size != 0 {
+		t.Fatalf("cache size = %d after epoch change, want 0 (purged)", size)
+	}
+	if v, found, err := c.Get(bg, k0, ReadOptions{}); err != nil || !found || string(v) != "v" {
+		t.Fatalf("read across epoch change = %q found=%v err=%v", v, found, err)
+	}
+}
+
+// Regression for the partial-result fill path: a multiget that returns
+// early on a deadline must fill the cache only with keys that actually
+// arrived — the stalled shard's keys must not be parked (empty or
+// otherwise) where a later hit could serve them.
+func TestClusterCachePartialDeadlineFillsOnlyArrivedKeys(t *testing.T) {
+	inj := NewFaultInjector()
+	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 2, Replicas: 1})
+	addrs, _ := startShardedCluster(t, m, func(shard, _ int) ServerOptions {
+		if shard == 1 {
+			return ServerOptions{Workers: 1, Fault: inj}
+		}
+		return ServerOptions{Workers: 1}
+	})
+	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1, CacheSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var k0, k1 string
+	for i := 0; k0 == "" || k1 == ""; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if m.ShardOfKey(k) == 0 && k0 == "" {
+			k0 = k
+		}
+		if m.ShardOfKey(k) == 1 && k1 == "" {
+			k1 = k
+		}
+	}
+	for _, kv := range []struct{ k, v string }{{k0, "live"}, {k1, "stalled"}} {
+		if err := c.Set(bg, kv.k, []byte(kv.v), WriteOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inj.StallNext(1)
+	done := make(chan error, 1)
+	var res *TaskResult
+	go func() {
+		var merr error
+		res, merr = c.Multiget(bg, []string{k0, k1}, ReadOptions{Timeout: 150 * time.Millisecond})
+		done <- merr
+	}()
+	waitFor(t, 5*time.Second, "stalled shard's batch parked in service", func() bool {
+		return inj.StalledCount() == 1
+	})
+	if err := <-done; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("partial multiget err = %v, want context.DeadlineExceeded", err)
+	}
+	if !res.Found[0] || string(res.Values[0]) != "live" {
+		t.Fatalf("live shard's key lost from partial result: found=%v val=%q", res.Found[0], res.Values[0])
+	}
+	if fills := c.CacheFills(); fills != 1 {
+		t.Fatalf("cache fills after partial multiget = %d, want 1 (only the arrived key)", fills)
+	}
+	// The arrived key is a hit; the stalled key must go back to the
+	// wire (a fill for it never happened).
+	inj.Release()
+	misses := c.CacheMisses()
+	if v, found, err := c.Get(bg, k0, ReadOptions{}); err != nil || !found || string(v) != "live" {
+		t.Fatalf("Get %s = %q found=%v err=%v", k0, v, found, err)
+	}
+	if c.CacheMisses() != misses {
+		t.Fatalf("arrived key missed the cache")
+	}
+	if v, found, err := c.Get(bg, k1, ReadOptions{}); err != nil || !found || string(v) != "stalled" {
+		t.Fatalf("Get %s = %q found=%v err=%v", k1, v, found, err)
+	}
+	if c.CacheMisses() != misses+1 {
+		t.Fatalf("stalled key served without a wire fetch (fills leaked into the cache)")
+	}
+}
+
+// The -race coherence hammer (CI runs this package under -race): one
+// writer mutates a hot key while readers hammer it through the cache;
+// no read may ever observe a value older than the write most recently
+// acknowledged BEFORE that read began. Values encode the write sequence
+// number, so staleness is directly checkable. Not-found is always
+// legal: a delete may be in flight at any moment.
+func TestClusterCacheCoherenceUnderRace(t *testing.T) {
+	c, _ := cacheCluster(t, 16)
+	const (
+		key     = "hot"
+		writes  = 151 // not a multiple of 5: the final op is a Set
+		readers = 3
+	)
+	var acked atomic.Int64 // highest write index whose ack has returned
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, readers+1)
+	writerDone := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(writerDone)
+		for n := int64(1); n <= writes; n++ {
+			var err error
+			if n%5 == 0 {
+				err = c.Delete(bg, key, WriteOptions{})
+			} else {
+				err = c.Set(bg, key, []byte(strconv.FormatInt(n, 10)), WriteOptions{})
+			}
+			if err != nil {
+				errCh <- fmt.Errorf("write %d: %w", n, err)
+				return
+			}
+			acked.Store(n)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-writerDone:
+					return
+				default:
+				}
+				// Cache hits never block, so on a small GOMAXPROCS a
+				// tight reader loop would starve the writer's network
+				// goroutines for whole preemption slices; yield instead.
+				runtime.Gosched()
+				n0 := acked.Load() // snapshot BEFORE the read begins
+				v, found, err := c.Get(bg, key, ReadOptions{})
+				if err != nil {
+					errCh <- fmt.Errorf("read: %w", err)
+					return
+				}
+				if !found {
+					continue
+				}
+				seq, err := strconv.ParseInt(string(v), 10, 64)
+				if err != nil {
+					errCh <- fmt.Errorf("unparseable value %q", v)
+					return
+				}
+				if seq < n0 {
+					errCh <- fmt.Errorf("stale read: value from write %d served after write %d was acknowledged", seq, n0)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiesced: the final write (a Set) must be what reads observe,
+	// cached or not.
+	want := strconv.Itoa(writes)
+	for i := 0; i < 2; i++ {
+		v, found, err := c.Get(bg, key, ReadOptions{})
+		if err != nil || !found || string(v) != want {
+			t.Fatalf("post-quiesce Get #%d = %q found=%v err=%v, want %q", i, v, found, err, want)
+		}
+	}
+}

@@ -582,10 +582,34 @@ func (sc *serverConn) readLoop(r *bufio.Reader) {
 // deregisters, so a late response is dropped by the read loop instead
 // of leaking a channel.
 func (sc *serverConn) batch(ctx context.Context, req *wire.BatchReq) (*wire.BatchResp, error) {
+	id, ch, err := sc.startBatch(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, fmt.Errorf("netstore: connection closed awaiting batch: %v", sc.closeError())
+		}
+		return resp, nil
+	case <-ctx.Done():
+		sc.abandonBatch(id)
+		return nil, ctxErr(ctx, "batch abandoned")
+	}
+}
+
+// startBatch is the asynchronous half of batch: it registers a waiter
+// channel, stamps the Budget and Batch ID, and sends the frame, but
+// does not wait. The caller owns the wait — a hedged read selects over
+// several of these channels at once. The channel yields exactly one
+// response, or is closed if the connection dies; a caller that stops
+// caring must abandonBatch(id) so a late response is dropped instead of
+// leaking the pending-map entry.
+func (sc *serverConn) startBatch(ctx context.Context, req *wire.BatchReq) (uint64, chan *wire.BatchResp, error) {
 	if req.Budget == 0 {
 		b, ok := budgetOf(ctx)
 		if !ok {
-			return nil, ctxErr(ctx, "batch not sent")
+			return 0, nil, ctxErr(ctx, "batch not sent")
 		}
 		req.Budget = b
 	}
@@ -593,7 +617,7 @@ func (sc *serverConn) batch(ctx context.Context, req *wire.BatchReq) (*wire.Batc
 	sc.mu.Lock()
 	if sc.closed {
 		sc.mu.Unlock()
-		return nil, fmt.Errorf("netstore: connection closed: %v", sc.closeErr)
+		return 0, nil, fmt.Errorf("netstore: connection closed: %v", sc.closeErr)
 	}
 	sc.nextID++
 	id := sc.nextID
@@ -605,20 +629,18 @@ func (sc *serverConn) batch(ctx context.Context, req *wire.BatchReq) (*wire.Batc
 		sc.mu.Lock()
 		delete(sc.pending, id)
 		sc.mu.Unlock()
-		return nil, err
+		return 0, nil, err
 	}
-	select {
-	case resp, ok := <-ch:
-		if !ok {
-			return nil, fmt.Errorf("netstore: connection closed awaiting batch: %v", sc.closeError())
-		}
-		return resp, nil
-	case <-ctx.Done():
-		sc.mu.Lock()
-		delete(sc.pending, id)
-		sc.mu.Unlock()
-		return nil, ctxErr(ctx, "batch abandoned")
-	}
+	return id, ch, nil
+}
+
+// abandonBatch deregisters a startBatch waiter; the read loop then drops
+// the batch's response on arrival (the server still does the work — the
+// abandonment is a client-side bookkeeping release, not a wire cancel).
+func (sc *serverConn) abandonBatch(id uint64) {
+	sc.mu.Lock()
+	delete(sc.pending, id)
+	sc.mu.Unlock()
 }
 
 // ack delivers a write acknowledgment (SetResp/DelResp, result nil) or

@@ -61,6 +61,17 @@ type ClusterOptions struct {
 	// buffer (read-repair covers them), never failed; each drop counts
 	// in metrics ("netstore_hint_overflow_total") and HintOverflows.
 	MaxHintsPerReplica int
+	// CacheSize, when positive, enables the client's bounded versioned
+	// hot-key cache with that many entries: recently read keys are
+	// served locally, validated by write versions, and invalidated on
+	// local writes/deletes, wire-version proof of staleness, and
+	// topology epoch changes (see cache.go). 0 (default) disables it.
+	CacheSize int
+
+	// hedgeTimer overrides the hedge-trigger timer (test hook): it
+	// returns a channel that fires after d plus an idempotent stop
+	// function. nil uses time.NewTimer.
+	hedgeTimer func(d time.Duration) (<-chan time.Time, func())
 }
 
 func (o ClusterOptions) withDefaults() ClusterOptions {
@@ -181,6 +192,10 @@ type Cluster struct {
 	// versions stamps writes; servers apply them last-writer-wins.
 	versions versionClock
 
+	// cache is the bounded versioned hot-key cache (nil unless
+	// ClusterOptions.CacheSize enables it; see cache.go).
+	cache *hotKeyCache
+
 	// credits are granted by the controller (nil without one).
 	credits *creditGate
 
@@ -203,6 +218,11 @@ type Cluster struct {
 	revivals      atomic.Uint64
 	refreshes     atomic.Uint64
 	hintOverflows atomic.Uint64
+	// Hedged-read telemetry (hedge.go): extra attempts issued, races
+	// won by a hedge, hedges that lost or died.
+	hedgesFired  atomic.Uint64
+	hedgesWon    atomic.Uint64
+	hedgesWasted atomic.Uint64
 	// epochLag is set when a batch response reveals a server running a
 	// newer epoch than ours without rejecting anything; the prober's
 	// next tick refreshes proactively instead of waiting for a stray.
@@ -263,6 +283,9 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	c := &Cluster{
 		opts:      opts,
 		repairSem: make(chan struct{}, maxConcurrentRepairs),
+	}
+	if opts.CacheSize > 0 {
+		c.cache = newHotKeyCache(opts.CacheSize)
 	}
 	c.rootCtx, c.rootCancel = context.WithCancel(context.Background())
 	st := &topoState{
@@ -527,6 +550,11 @@ func (c *Cluster) installLocked(st *topoState, nt *cluster.ShardTopology) *topoS
 		}
 	}
 	c.state.Store(ns)
+	if c.cache != nil {
+		// Ownership moved with the epoch: every cached entry's
+		// provenance is void, so the cache restarts empty.
+		c.cache.purge()
+	}
 	// Retired servers: their hint buffers may hold the only surviving
 	// copy of acknowledged writes (a donor replica that died before the
 	// migration scan), and the prober only walks the new topology's
@@ -654,7 +682,15 @@ func (c *Cluster) write(ctx context.Context, key string, value []byte, del bool,
 			}(slot, sc)
 		}
 		success := func() {
-			c.written.Store(key, ver)
+			// The floor first, the invalidation second: a concurrent
+			// cache fill racing this write either lands before the
+			// invalidation (dropped by it) or after (dropped at serve
+			// time by the raised floor) — there is no interleaving that
+			// leaves a pre-write value servable once this ack returns.
+			c.raiseWritten(key, ver)
+			if c.cache != nil {
+				c.cache.invalidate(key)
+			}
 			if del {
 				c.sizes.Delete(key)
 			} else {
@@ -766,6 +802,27 @@ func (c *Cluster) topUpOwners(ctx context.Context, st *topoState, key string, va
 	}
 }
 
+// raiseWritten raises the client's written-version floor for a key,
+// never lowering it: two concurrent Sets acking out of order must leave
+// the floor at the NEWER version, or the hot-key cache could serve the
+// older write after the newer one was acknowledged (the floor is what
+// cacheServe checks) and read-repair would chase the wrong target.
+func (c *Cluster) raiseWritten(key string, ver uint64) {
+	for {
+		cur, ok := c.written.Load(key)
+		if ok {
+			if cur.(uint64) >= ver {
+				return
+			}
+			if c.written.CompareAndSwap(key, cur, ver) {
+				return
+			}
+		} else if _, loaded := c.written.LoadOrStore(key, ver); !loaded {
+			return
+		}
+	}
+}
+
 // Get reads a single key through the batched pipeline (found=false for
 // missing keys, never an error).
 func (c *Cluster) Get(ctx context.Context, key string, opts ReadOptions) ([]byte, bool, error) {
@@ -797,40 +854,66 @@ func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions)
 	if len(keys) == 0 {
 		return &TaskResult{}, nil
 	}
+	if err := opts.Hedge.Validate(); err != nil {
+		return &TaskResult{}, err
+	}
 	defer func() { countCtxErr(err) }()
 	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
 	defer cancel()
 	start := time.Now()
 	st := c.state.Load()
 
-	// Build the task with forecasted costs; Group carries the shard so
-	// core.Decompose yields exactly one sub-task per shard touched. The
+	res = &TaskResult{
+		Values: make([][]byte, len(keys)),
+		Found:  make([]bool, len(keys)),
+	}
+	// Hot-key cache first: served keys never enter the task at all, and
+	// a fully cached multiget touches no socket.
+	pending := len(keys)
+	var cached []bool
+	if c.cache != nil {
+		cached = make([]bool, len(keys))
+		for i, k := range keys {
+			if v, ok := c.cacheServe(k); ok {
+				res.Values[i], res.Found[i] = v, true
+				cached[i] = true
+				pending--
+			}
+		}
+		if pending == 0 {
+			res.Latency = time.Since(start)
+			return res, nil
+		}
+	}
+
+	// Build the task over the uncached keys with forecasted costs;
+	// Group carries the shard so core.Decompose yields exactly one
+	// sub-task per shard touched, and each request's ID remains the
+	// key's slot in the ORIGINAL list so results land in place. The
 	// per-key requests are one slab, not one allocation each.
 	task := &core.Task{ID: c.taskSeq.Add(1), Client: c.opts.Client}
-	reqs := make([]core.Request, len(keys))
-	task.Requests = make([]*core.Request, len(keys))
+	reqs := make([]core.Request, 0, pending)
+	task.Requests = make([]*core.Request, 0, pending)
 	for i, k := range keys {
+		if cached != nil && cached[i] {
+			continue
+		}
 		size := c.opts.DefaultSize
 		if v, ok := c.sizes.Load(k); ok {
 			size = v.(int64)
 		}
-		reqs[i] = core.Request{
+		reqs = append(reqs, core.Request{
 			ID:      uint64(i),
 			TaskID:  task.ID,
 			Client:  c.opts.Client,
 			Group:   cluster.GroupID(st.topo.ShardOfKey(k)),
 			Size:    size,
 			EstCost: c.opts.CostModel.Estimate(size),
-		}
-		task.Requests[i] = &reqs[i]
+		})
+		task.Requests = append(task.Requests, &reqs[len(reqs)-1])
 	}
 	subs := core.Prepare(task, c.opts.Assigner)
-
-	res = &TaskResult{
-		Values:     make([][]byte, len(keys)),
-		Found:      make([]bool, len(keys)),
-		Bottleneck: core.Bottleneck(subs),
-	}
+	res.Bottleneck = core.Bottleneck(subs)
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(subs))
 	for i := range subs {
@@ -851,7 +934,7 @@ func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions)
 				b.prios[j] = r.Priority
 				b.idx[j] = int(r.ID)
 			}
-			if ferr := c.fetchBatch(ctx, st, b, res, 0, opts.Replica); ferr != nil {
+			if ferr := c.fetchBatch(ctx, st, b, res, 0, opts); ferr != nil {
 				errCh <- ferr
 			}
 		}()
@@ -892,11 +975,19 @@ type shardBatch struct {
 // ctx.Done(), a ctx-terminated attempt does not mark the replica down
 // (the caller gave up; the replica may be fine), and no further
 // failover is attempted once ctx is done.
-func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, depth int, pref ReplicaPreference) error {
+//
+// With opts.Hedge armed, each attempt runs through hedgedBatch: a batch
+// outstanding past the policy's trigger fans out to the next-ranked
+// replica and the first complete answer wins (hedge.go). The hedged
+// replicas share this call's tried set, so the failover loop never
+// re-picks a replica a hedge already asked.
+func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, depth int, opts ReadOptions) error {
 	// b.shard is always bucketed from st.topo by the caller (Multiget or
 	// retryStrays), so the shard exists in st by construction.
 	scorer := st.scorers[b.shard]
 	n := len(b.keys)
+	pref := opts.Replica
+	pol := opts.Hedge.withDefaults()
 	tried := make([]bool, st.topo.Replicas())
 	eligible := func(r int) bool {
 		return !tried[r] && !st.slotOf(b.shard, r).down.Load()
@@ -931,7 +1022,7 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 			// fresh state.
 			if depth < maxEpochHops {
 				if nst := c.refreshTopology(ctx, st); nst != st {
-					return c.retryStrays(ctx, st, b, res, b.idx, b.keys, b.prios, depth)
+					return c.retryStrays(ctx, st, b, res, b.idx, b.keys, b.prios, depth, opts)
 				}
 			}
 			if ctx.Err() != nil {
@@ -953,33 +1044,48 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 		if c.credits != nil {
 			c.credits.spend(slot.id, float64(b.cost))
 		}
-		scorer.OnSend(rep, n)
-		sent := time.Now()
-		resp, err := sc.batch(ctx, &wire.BatchReq{
-			TaskID:   b.taskID,
-			Shard:    uint32(b.shard),
-			Replica:  uint32(rep),
-			Epoch:    st.topo.Epoch(),
-			Priority: b.prios,
-			Keys:     b.keys,
-		})
-		if err != nil {
-			// The scorer only unwinds outstanding — an aborted batch says
-			// nothing about service times.
-			scorer.OnError(rep, n)
-			if ctx.Err() != nil {
-				// The caller's deadline/cancellation ended the wait, not
-				// the replica: no down-mark, no failover — the next
-				// attempt would be aborted the same way.
-				return ctxErr(ctx, fmt.Sprintf("multiget batch on shard %d", b.shard))
+		var resp *wire.BatchResp
+		if pol.Mode != HedgeOff && st.topo.Replicas() > 1 {
+			var err error
+			resp, rep, err = c.hedgedBatch(ctx, st, scorer, b, rep, slot, sc, tried, pol)
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctxErr(ctx, fmt.Sprintf("multiget batch on shard %d", b.shard))
+				}
+				// Every hedged attempt's connection died (each already
+				// marked down inside): fail over like any transport loss.
+				continue
 			}
-			// Transport failure: mark the replica down (arming the
-			// revival prober) and fail over to the next-ranked one.
-			c.markDown(slot, sc)
-			continue
+		} else {
+			scorer.OnSend(rep, n)
+			sent := time.Now()
+			var err error
+			resp, err = sc.batch(ctx, &wire.BatchReq{
+				TaskID:   b.taskID,
+				Shard:    uint32(b.shard),
+				Replica:  uint32(rep),
+				Epoch:    st.topo.Epoch(),
+				Priority: b.prios,
+				Keys:     b.keys,
+			})
+			if err != nil {
+				// The scorer only unwinds outstanding — an aborted batch says
+				// nothing about service times.
+				scorer.OnError(rep, n)
+				if ctx.Err() != nil {
+					// The caller's deadline/cancellation ended the wait, not
+					// the replica: no down-mark, no failover — the next
+					// attempt would be aborted the same way.
+					return ctxErr(ctx, fmt.Sprintf("multiget batch on shard %d", b.shard))
+				}
+				// Transport failure: mark the replica down (arming the
+				// revival prober) and fail over to the next-ranked one.
+				c.markDown(slot, sc)
+				continue
+			}
+			rtt := float64(time.Since(sent).Nanoseconds())
+			scorer.Observe(rep, n, rtt, float64(resp.ServiceNanos)/float64(n), int(resp.QueueLen))
 		}
-		rtt := float64(time.Since(sent).Nanoseconds())
-		scorer.Observe(rep, n, rtt, float64(resp.ServiceNanos)/float64(n), int(resp.QueueLen))
 		if resp.Epoch > st.topo.Epoch() {
 			// The server is ahead of us. Our keys were still served (any
 			// strays are handled below), so no retry is needed — but flag
@@ -1018,6 +1124,13 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 			res.Found[orig] = resp.Found[i]
 			if resp.Found[i] {
 				learnSize(&c.sizes, b.keys[i], int64(len(resp.Values[i])))
+				// Cache fill, strictly gated on arrival: the stray and
+				// expired branches above never reach here, so a key the
+				// server refused or shed can never park a phantom entry
+				// (it has no authoritative version to park under).
+				if c.cache != nil && len(resp.Versions) == n {
+					c.cacheFill(b.keys[i], resp.Values[i], resp.Versions[i])
+				}
 			}
 			// Read-repair trigger: the response reveals this replica
 			// holds an older version than this client last wrote (or
@@ -1043,7 +1156,7 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 		if depth >= maxEpochHops {
 			return errors.Join(expErr, fmt.Errorf("%w (%d stray keys on shard %d)", ErrTopologySkew, len(strayIdx), b.shard))
 		}
-		return errors.Join(expErr, c.retryStrays(ctx, st, b, res, strayIdx, strayKeys, strayPrios, depth))
+		return errors.Join(expErr, c.retryStrays(ctx, st, b, res, strayIdx, strayKeys, strayPrios, depth, opts))
 	}
 }
 
@@ -1052,7 +1165,7 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 // that rejected keys holds a newer topology by definition, so if the
 // poll comes back empty it raced the rebalancer's push — wait a beat
 // (ctx-bounded) and poll again before declaring skew.
-func (c *Cluster) retryStrays(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, idx []int, keys []string, prios []int64, depth int) error {
+func (c *Cluster) retryStrays(ctx context.Context, st *topoState, b shardBatch, res *TaskResult, idx []int, keys []string, prios []int64, depth int, opts ReadOptions) error {
 	nst := c.refreshTopology(ctx, st)
 	for i := 0; i < 4 && nst == st; i++ {
 		if !sleepCtx(ctx, 25*time.Millisecond) {
@@ -1075,9 +1188,13 @@ func (c *Cluster) retryStrays(ctx context.Context, st *topoState, b shardBatch, 
 		nb.prios = append(nb.prios, prios[i])
 		nb.idx = append(nb.idx, idx[i])
 	}
+	// Stray retries keep the caller's hedge policy but drop any primary
+	// pin: the re-bucketed shard's replica 0 has no relation to the one
+	// the caller pinned.
+	opts.Replica = ReplicaAuto
 	var errs []error
 	for _, nb := range buckets {
-		if err := c.fetchBatch(ctx, nst, *nb, res, depth+1, ReplicaAuto); err != nil {
+		if err := c.fetchBatch(ctx, nst, *nb, res, depth+1, opts); err != nil {
 			errs = append(errs, err)
 		}
 	}

@@ -283,10 +283,8 @@ func TestCancellationMidMultiget(t *testing.T) {
 // deadline; the bits are telemetry and the saved service time is the
 // point).
 func TestServerExpiresQueuedWork(t *testing.T) {
-	srv := NewServer(kv.New(0), ServerOptions{
-		Workers:      1,
-		ServiceDelay: func(int64) time.Duration { return 80 * time.Millisecond },
-	})
+	inj := NewFaultInjector()
+	srv := NewServer(kv.New(0), ServerOptions{Workers: 1, Fault: inj})
 	defer srv.Close()
 	srv.Store().Set("k", []byte("v"))
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -304,7 +302,10 @@ func TestServerExpiresQueuedWork(t *testing.T) {
 	dropsBefore := metrics.CounterValue("netstore_server_expired_drops_total")
 	servedBefore := srv.Served()
 
-	// Occupy the single worker for ~80ms.
+	// Occupy the single worker deterministically: the batch parks at the
+	// injector's stall gate mid-service, and StalledCount is the
+	// synchronization point (no sleep, no guessed margin).
+	inj.StallNext(1)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -313,19 +314,32 @@ func TestServerExpiresQueuedWork(t *testing.T) {
 			t.Error(err)
 		}
 	}()
-	time.Sleep(10 * time.Millisecond)
-
-	// This batch's 20ms budget expires while it queues; the worker pops
-	// it at ~80ms and must shed it.
-	resp, err := c.conns[0].batch(bg, &wire.BatchReq{
-		Budget:   (20 * time.Millisecond).Nanoseconds(),
-		Priority: []int64{0},
-		Keys:     []string{"k"},
+	waitFor(t, 5*time.Second, "occupying batch stalled in service", func() bool {
+		return inj.StalledCount() == 1
 	})
-	wg.Wait()
-	if err != nil {
+
+	// This batch's 1ns budget is spent before it can ever be popped:
+	// once it is queued behind the stalled worker, releasing the gate
+	// MUST shed it, no matter how fast the machine is.
+	var resp *wire.BatchResp
+	errCh := make(chan error, 1)
+	go func() {
+		var berr error
+		resp, berr = c.conns[0].batch(bg, &wire.BatchReq{
+			Budget:   1,
+			Priority: []int64{0},
+			Keys:     []string{"k"},
+		})
+		errCh <- berr
+	}()
+	waitFor(t, 5*time.Second, "expiring batch queued", func() bool {
+		return srv.QueueLen() >= 1
+	})
+	inj.Release()
+	if err := <-errCh; err != nil {
 		t.Fatal(err)
 	}
+	wg.Wait()
 	if resp.Expired == nil || !resp.Expired[0] {
 		t.Fatalf("expired batch not marked: %+v", resp)
 	}
@@ -348,11 +362,9 @@ func TestServerExpiresQueuedWork(t *testing.T) {
 // answer within the deadline.
 func TestDeadlineEndToEndShedding(t *testing.T) {
 	m := cluster.MustNewShardTopology(cluster.ShardConfig{Shards: 1, Replicas: 1})
+	inj := NewFaultInjector()
 	addrs, _ := startShardedCluster(t, m, func(_, _ int) ServerOptions {
-		return ServerOptions{
-			Workers:      1,
-			ServiceDelay: func(int64) time.Duration { return 30 * time.Millisecond },
-		}
+		return ServerOptions{Workers: 1, Fault: inj}
 	})
 	c, err := DialCluster(addrs, ClusterOptions{Topology: m, ProbeInterval: -1})
 	if err != nil {
@@ -369,8 +381,10 @@ func TestDeadlineEndToEndShedding(t *testing.T) {
 
 	dropsBefore := metrics.CounterValue("netstore_server_expired_drops_total")
 
-	// A long batch occupies the single worker (~8×30ms), then a
-	// deadline-bounded multiget queues behind it.
+	// The occupying multiget parks at the injector gate on its first key,
+	// wedging the single worker; StalledCount==1 is the proof it got the
+	// worker first (the old version slept and hoped).
+	inj.StallNext(1)
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -379,8 +393,12 @@ func TestDeadlineEndToEndShedding(t *testing.T) {
 			t.Errorf("occupying multiget: %v", err)
 		}
 	}()
-	time.Sleep(15 * time.Millisecond)
+	waitFor(t, 5*time.Second, "occupying multiget stalled in service", func() bool {
+		return inj.StalledCount() == 1
+	})
 
+	// The deadline-bounded multiget queues behind the wedged worker and
+	// returns at its 50ms deadline with the queue items still pending.
 	start := time.Now()
 	_, err = c.Multiget(bg, keys, ReadOptions{Timeout: 50 * time.Millisecond})
 	elapsed := time.Since(start)
@@ -390,6 +408,7 @@ func TestDeadlineEndToEndShedding(t *testing.T) {
 	if elapsed > 2*time.Second {
 		t.Fatalf("deadline-bounded multiget took %v", elapsed)
 	}
+	inj.Release()
 	wg.Wait() // the occupying batch drains the queue, popping expired items
 
 	waitFor(t, 5*time.Second, "server-side expired drops", func() bool {

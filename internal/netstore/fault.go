@@ -1,0 +1,122 @@
+package netstore
+
+// FaultInjector: deterministic service-time faults for in-process
+// servers. Timing-sensitive behavior — hedge triggers, deadline
+// shedding, revival — used to be tested by racing real sleeps against
+// real queues, which made the tests either slow or flaky depending on
+// the margin chosen. The injector replaces guessed margins with
+// explicit control points: a test stalls the next N requests at the
+// service boundary, observes the stall through StalledCount (a real
+// synchronization point, not a sleep), arranges the condition under
+// test, and releases. The added-latency knob serves the load harness
+// (`brb-load -slow-replica`) where a replica must be slow by a factor,
+// not frozen.
+
+import (
+	"sync"
+	"time"
+)
+
+// FaultInjector injects service-time faults into a Server it is
+// attached to (ServerOptions.Fault): fixed added latency per request
+// and stall-the-next-N gates. All knobs are safe for concurrent use
+// and take effect on the next serviced request. Production servers
+// leave the option nil; the injector exists for tests and the load
+// harness's slow-replica experiments.
+type FaultInjector struct {
+	mu      sync.Mutex
+	delay   time.Duration
+	stallN  int
+	stalled int
+	release chan struct{}
+	closed  bool
+	// sleep is injectable so tests can count delays without waiting.
+	sleep func(time.Duration)
+}
+
+// NewFaultInjector returns an injector with no faults armed.
+func NewFaultInjector() *FaultInjector {
+	return &FaultInjector{release: make(chan struct{}), sleep: time.Sleep}
+}
+
+// SetDelay arms (or, with 0, disarms) a fixed added service latency
+// applied to every subsequent request.
+func (f *FaultInjector) SetDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
+	f.mu.Unlock()
+}
+
+// Delay returns the currently armed added latency.
+func (f *FaultInjector) Delay() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.delay
+}
+
+// StallNext arms a gate: the next n requests reaching service block
+// until Release (or server Close). Stalled requests occupy server
+// workers — exactly how a wedged replica starves its worker pool.
+func (f *FaultInjector) StallNext(n int) {
+	f.mu.Lock()
+	f.stallN = n
+	f.mu.Unlock()
+}
+
+// Release opens the gate: every currently stalled request proceeds and
+// the remaining stall budget is cleared.
+func (f *FaultInjector) Release() {
+	f.mu.Lock()
+	f.stallN = 0
+	if !f.closed {
+		close(f.release)
+		f.release = make(chan struct{})
+	}
+	f.mu.Unlock()
+}
+
+// StalledCount returns how many requests are currently blocked at the
+// gate — the synchronization point tests wait on instead of sleeping.
+func (f *FaultInjector) StalledCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stalled
+}
+
+// beforeService is the server worker's hook, called after the expiry
+// shed and before the store read, inside the measured service window —
+// so injected latency is visible to clients as service time (the C3
+// scorer must see a slow replica as slow).
+func (f *FaultInjector) beforeService() {
+	f.mu.Lock()
+	d := f.delay
+	var gate chan struct{}
+	if f.stallN > 0 && !f.closed {
+		f.stallN--
+		f.stalled++
+		gate = f.release
+	}
+	f.mu.Unlock()
+	if gate != nil {
+		<-gate
+		f.mu.Lock()
+		f.stalled--
+		f.mu.Unlock()
+	}
+	if d > 0 {
+		f.sleep(d)
+	}
+}
+
+// shutdown releases all stalled requests permanently; the owning
+// server calls it on Close so its worker Wait cannot deadlock behind
+// the gate.
+func (f *FaultInjector) shutdown() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		f.stallN = 0
+		close(f.release)
+	}
+	f.mu.Unlock()
+}

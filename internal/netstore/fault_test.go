@@ -1,0 +1,88 @@
+package netstore
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFaultInjectorDelay(t *testing.T) {
+	f := NewFaultInjector()
+	var slept atomic.Int64
+	f.sleep = func(d time.Duration) { slept.Add(int64(d)) }
+
+	f.beforeService()
+	if slept.Load() != 0 {
+		t.Fatal("disarmed injector slept")
+	}
+	f.SetDelay(7 * time.Millisecond)
+	if got := f.Delay(); got != 7*time.Millisecond {
+		t.Fatalf("Delay() = %v", got)
+	}
+	f.beforeService()
+	f.beforeService()
+	if got := time.Duration(slept.Load()); got != 14*time.Millisecond {
+		t.Fatalf("slept %v across two serviced requests, want 14ms", got)
+	}
+	f.SetDelay(0)
+	f.beforeService()
+	if got := time.Duration(slept.Load()); got != 14*time.Millisecond {
+		t.Fatal("disarming the delay did not stop the sleeps")
+	}
+}
+
+func TestFaultInjectorStallGate(t *testing.T) {
+	f := NewFaultInjector()
+	f.StallNext(2)
+	done := make(chan struct{}, 3)
+	for i := 0; i < 2; i++ {
+		go func() {
+			f.beforeService()
+			done <- struct{}{}
+		}()
+	}
+	waitFor(t, 5*time.Second, "two requests at the gate", func() bool {
+		return f.StalledCount() == 2
+	})
+	// The stall budget is spent: a third request passes straight through.
+	f.beforeService()
+
+	f.Release()
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatal("stalled request not released")
+		}
+	}
+	if got := f.StalledCount(); got != 0 {
+		t.Fatalf("StalledCount after release = %d", got)
+	}
+	// Release also cleared any remaining budget; nothing stalls now.
+	f.beforeService()
+}
+
+func TestFaultInjectorShutdown(t *testing.T) {
+	f := NewFaultInjector()
+	f.StallNext(1)
+	done := make(chan struct{})
+	go func() {
+		f.beforeService()
+		close(done)
+	}()
+	waitFor(t, 5*time.Second, "request at the gate", func() bool {
+		return f.StalledCount() == 1
+	})
+	f.shutdown()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not release the gate")
+	}
+	// After shutdown the gate never arms again, and Release is a no-op
+	// rather than a double-close panic.
+	f.StallNext(5)
+	f.beforeService()
+	f.Release()
+	f.shutdown()
+}

@@ -1,0 +1,318 @@
+package netstore
+
+// Hedged reads: the tail-cutting half of the client's latency toolkit.
+//
+// A batch that has been outstanding past what its replica *usually*
+// takes is probably straggling — queued behind a GC pause, a slow disk,
+// an overloaded worker pool. Rather than wait it out, the client
+// re-issues the same keys to the next-C3-ranked replica and takes
+// whichever complete answer lands first. The trigger is either a fixed
+// delay or an adaptive quantile of the replica's observed response-time
+// distribution (the C3 scorer's EWMA mean + mean-absolute-deviation,
+// read through c3.ResponseQuantile), so hedges fire exactly when a
+// request has outlived its forecast, not on a wall-clock guess.
+//
+// Hedging trades redundancy for latency: every fired hedge is real work
+// a second server performs. The policy bounds it (MaxHedges per batch,
+// never past the shard's replica count, never without deadline budget
+// remaining), and the fired/won/wasted counters make the spend
+// observable — a wasted-heavy ratio means the trigger fires too early.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/brb-repro/brb/internal/c3"
+	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/wire"
+)
+
+// HedgeMode selects when (if ever) a read batch is hedged.
+type HedgeMode int
+
+const (
+	// HedgeOff disables hedging (the default): one replica per batch,
+	// failover only on transport errors.
+	HedgeOff HedgeMode = iota
+	// HedgeFixed hedges after a fixed Delay outstanding.
+	HedgeFixed
+	// HedgeAdaptive hedges after the Quantile of the issuing replica's
+	// observed response-time distribution (per the shard's C3 scorer),
+	// floored at Delay while the replica has no feedback yet.
+	HedgeAdaptive
+)
+
+// String implements fmt.Stringer for HedgeMode.
+func (m HedgeMode) String() string {
+	switch m {
+	case HedgeOff:
+		return "off"
+	case HedgeFixed:
+		return "fixed"
+	case HedgeAdaptive:
+		return "adaptive"
+	}
+	return fmt.Sprintf("HedgeMode(%d)", int(m))
+}
+
+// HedgePolicy configures hedged reads (ReadOptions.Hedge). The zero
+// value disables hedging. Honored by Cluster; the flat Client and Local
+// have no replica ranking to hedge across and ignore it.
+type HedgePolicy struct {
+	// Mode selects off (default), fixed-delay, or adaptive-quantile
+	// triggering.
+	Mode HedgeMode
+	// Delay is the fixed trigger delay (HedgeFixed), and the cold-start
+	// floor under HedgeAdaptive for replicas with no response feedback
+	// yet. Default 1ms.
+	Delay time.Duration
+	// Quantile is the adaptive trigger point in (0, 1): hedge once the
+	// batch has been outstanding past this quantile of the replica's
+	// forecast response-time distribution. Default 0.9.
+	Quantile float64
+	// MaxHedges caps the extra attempts per batch (default 1; the
+	// runtime additionally never exceeds the shard's replica count).
+	MaxHedges int
+}
+
+// Validate rejects self-contradictory policies before any request is
+// issued. Zero fields are valid (they take defaults).
+func (p HedgePolicy) Validate() error {
+	switch p.Mode {
+	case HedgeOff, HedgeFixed, HedgeAdaptive:
+	default:
+		return fmt.Errorf("netstore: unknown hedge mode %d", int(p.Mode))
+	}
+	if p.Delay < 0 {
+		return fmt.Errorf("netstore: negative hedge delay %v", p.Delay)
+	}
+	if p.Quantile < 0 || p.Quantile >= 1 {
+		return fmt.Errorf("netstore: hedge quantile %v outside (0, 1)", p.Quantile)
+	}
+	if p.MaxHedges < 0 {
+		return fmt.Errorf("netstore: negative hedge cap %d", p.MaxHedges)
+	}
+	return nil
+}
+
+// withDefaults resolves zero fields to the documented defaults. Off
+// stays untouched — its other fields are never read.
+func (p HedgePolicy) withDefaults() HedgePolicy {
+	if p.Mode == HedgeOff {
+		return p
+	}
+	if p.Delay <= 0 {
+		p.Delay = time.Millisecond
+	}
+	if p.Quantile <= 0 || p.Quantile >= 1 {
+		p.Quantile = 0.9
+	}
+	if p.MaxHedges <= 0 {
+		p.MaxHedges = 1
+	}
+	return p
+}
+
+// triggerDelay is the outstanding time after which a batch issued to
+// the given replica should hedge: the configured fixed delay, or the
+// adaptive quantile of the replica's response-time forecast (floored at
+// Delay, which covers replicas with no feedback — ResponseQuantile
+// returns 0 there, and hedging instantly on a cold replica would double
+// every request at startup).
+func (p HedgePolicy) triggerDelay(scorer *c3.Scorer, replica int) time.Duration {
+	d := p.Delay
+	if p.Mode == HedgeAdaptive {
+		if q := scorer.ResponseQuantile(replica, p.Quantile); q > float64(d) {
+			d = time.Duration(q)
+		}
+	}
+	return d
+}
+
+// Hedged-read counters (process-wide; see internal/metrics): hedges
+// fired (extra attempts issued), won (a hedge's answer arrived first),
+// and wasted (fired but lost the race or died).
+var (
+	hedgeFiredTotal  = metrics.GetCounter("netstore_hedge_fired_total")
+	hedgeWonTotal    = metrics.GetCounter("netstore_hedge_won_total")
+	hedgeWastedTotal = metrics.GetCounter("netstore_hedge_wasted_total")
+)
+
+// HedgesFired returns how many hedge attempts this client issued (test
+// and operations hook; process-wide: "netstore_hedge_fired_total").
+func (c *Cluster) HedgesFired() uint64 { return c.hedgesFired.Load() }
+
+// HedgesWon returns how many hedge attempts answered first.
+func (c *Cluster) HedgesWon() uint64 { return c.hedgesWon.Load() }
+
+// HedgesWasted returns how many hedge attempts lost their race (the
+// primary answered first) or died without answering.
+func (c *Cluster) HedgesWasted() uint64 { return c.hedgesWasted.Load() }
+
+// newHedgeTimer arms the hedge-trigger timer, honoring the test hook
+// (ClusterOptions.hedgeTimer) when installed. The returned stop func
+// must be safe to call after the timer fired.
+func (c *Cluster) newHedgeTimer(d time.Duration) (<-chan time.Time, func()) {
+	if c.opts.hedgeTimer != nil {
+		return c.opts.hedgeTimer(d)
+	}
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
+// hedgedBatch issues one shard batch to the picked replica and, when it
+// stays outstanding past the policy's trigger, re-issues the same keys
+// to the next-ranked untried replica, returning the first complete
+// answer (and which replica produced it). Losing attempts are not
+// cancelled on the wire — the protocol has no cancel frame — but their
+// waiter goroutines stay behind just long enough to fold the late
+// response into the shard's scorer and validate cache versions against
+// it, bounded by ctx (every request context carries a deadline by
+// construction). Replicas this call attempts are marked in tried, so
+// the caller's failover loop never re-picks them.
+//
+// An error return means every attempt's connection died (each already
+// marked down, arming the prober) or ctx ended; the caller fails over
+// or surfaces the deadline exactly as for an unhedged attempt.
+func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Scorer, b shardBatch, first int, slot *serverSlot, sc *serverConn, tried []bool, pol HedgePolicy) (*wire.BatchResp, int, error) {
+	n := len(b.keys)
+	maxAttempts := 1 + pol.MaxHedges
+	if r := st.topo.Replicas(); maxAttempts > r {
+		maxAttempts = r
+	}
+	type outcome struct {
+		rep  int
+		resp *wire.BatchResp // nil: the attempt's connection died or ctx ended
+	}
+	// Buffered for every possible attempt, so a loser's goroutine can
+	// always deliver its outcome and exit even after this call returned.
+	results := make(chan outcome, maxAttempts)
+	launch := func(rep int, slot *serverSlot, sc *serverConn) bool {
+		scorer.OnSend(rep, n)
+		id, ch, err := sc.startBatch(ctx, &wire.BatchReq{
+			TaskID:   b.taskID,
+			Shard:    uint32(b.shard),
+			Replica:  uint32(rep),
+			Epoch:    st.topo.Epoch(),
+			Priority: b.prios,
+			Keys:     b.keys,
+		})
+		if err != nil {
+			scorer.OnError(rep, n)
+			if ctx.Err() == nil {
+				c.markDown(slot, sc)
+			}
+			return false
+		}
+		sent := time.Now()
+		go func() {
+			select {
+			case resp, ok := <-ch:
+				if !ok {
+					scorer.OnError(rep, n)
+					if ctx.Err() == nil {
+						c.markDown(slot, sc)
+					}
+					results <- outcome{rep: rep}
+					return
+				}
+				scorer.Observe(rep, n, float64(time.Since(sent).Nanoseconds()), float64(resp.ServiceNanos)/float64(n), int(resp.QueueLen))
+				// Even a losing answer carries authoritative versions:
+				// let the cache check its entries against them.
+				c.noteResponseVersions(b, resp)
+				results <- outcome{rep: rep, resp: resp}
+			case <-ctx.Done():
+				sc.abandonBatch(id)
+				scorer.OnError(rep, n)
+				results <- outcome{rep: rep}
+			}
+		}()
+		return true
+	}
+	if !launch(first, slot, sc) {
+		return nil, first, fmt.Errorf("netstore: batch send to shard %d replica %d failed", b.shard, first)
+	}
+	pending, hedges := 1, 0
+	var timerC <-chan time.Time
+	var stopTimer func()
+	disarm := func() {
+		if stopTimer != nil {
+			stopTimer()
+		}
+		timerC, stopTimer = nil, nil
+	}
+	// arm schedules the next hedge trigger relative to now, keyed off
+	// the most recently issued replica's forecast (the attempt we are
+	// now primarily waiting on).
+	arm := func(base int) {
+		disarm()
+		if hedges >= pol.MaxHedges || pending >= maxAttempts {
+			return
+		}
+		timerC, stopTimer = c.newHedgeTimer(pol.triggerDelay(scorer, base))
+	}
+	arm(first)
+	defer disarm()
+	countWasted := func(w int) {
+		if w > 0 {
+			c.hedgesWasted.Add(uint64(w))
+			hedgeWastedTotal.Add(uint64(w))
+		}
+	}
+	for {
+		select {
+		case out := <-results:
+			if out.resp != nil {
+				won := 0
+				if out.rep != first {
+					won = 1
+					c.hedgesWon.Add(1)
+					hedgeWonTotal.Inc()
+				}
+				countWasted(hedges - won)
+				return out.resp, out.rep, nil
+			}
+			pending--
+			if pending == 0 {
+				countWasted(hedges)
+				return nil, first, fmt.Errorf("netstore: all %d attempt(s) to shard %d failed", hedges+1, b.shard)
+			}
+			// An attempt died but others remain: allow another hedge in
+			// its place if the policy still has headroom.
+			arm(first)
+		case <-timerC:
+			disarm()
+			rep := scorer.Best(func(r int) bool {
+				return !tried[r] && !st.slotOf(b.shard, r).down.Load()
+			})
+			if rep < 0 {
+				continue // nothing left to hedge to; ride out the in-flight attempts
+			}
+			if _, ok := budgetOf(ctx); !ok {
+				continue // deadline spent: a hedge would be shed on arrival
+			}
+			tried[rep] = true
+			hslot := st.slotOf(b.shard, rep)
+			hsc := hslot.conn.Load()
+			if hsc == nil {
+				arm(first) // lost a race with markDown; re-arm and re-rank
+				continue
+			}
+			if c.credits != nil {
+				c.credits.spend(hslot.id, float64(b.cost))
+			}
+			if launch(rep, hslot, hsc) {
+				pending++
+				hedges++
+				c.hedgesFired.Add(1)
+				hedgeFiredTotal.Inc()
+				arm(rep)
+			} else {
+				arm(first)
+			}
+		case <-ctx.Done():
+			return nil, first, ctxErr(ctx, fmt.Sprintf("hedged batch on shard %d", b.shard))
+		}
+	}
+}

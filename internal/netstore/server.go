@@ -72,6 +72,11 @@ type ServerOptions struct {
 	// TombstoneGCInterval is the sweep tick (default horizon/10, floor
 	// 1s; each tick sweeps 1/NumShards of the store).
 	TombstoneGCInterval time.Duration
+	// Fault, when non-nil, injects deterministic service faults into
+	// this server — per-request added latency and stall-the-next-N
+	// gates (see FaultInjector) — for tests and the load harness's
+	// slow-replica experiments. Production servers leave it nil.
+	Fault *FaultInjector
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -230,6 +235,11 @@ func (s *Server) Close() {
 		s.gcStop()
 	}
 	s.sched.close()
+	if s.opts.Fault != nil {
+		// Workers may be parked at the injector's stall gate; they must
+		// wake before the Wait below can finish.
+		s.opts.Fault.shutdown()
+	}
 	s.wg.Wait()
 }
 
@@ -832,6 +842,12 @@ func (s *Server) worker() {
 			continue
 		}
 		svcStart := time.Now()
+		if s.opts.Fault != nil {
+			// Inside the measured service window, so injected latency
+			// reaches clients as service time (a slow replica must look
+			// slow to the C3 scorer and the hedge trigger).
+			s.opts.Fault.beforeService()
+		}
 		v, ver, found := s.store.GetVersion(it.key)
 		if s.opts.ServiceDelay != nil {
 			time.Sleep(s.opts.ServiceDelay(int64(len(v))))

@@ -81,6 +81,10 @@ type ReadOptions struct {
 	Timeout time.Duration
 	// Replica selects the replica-preference policy.
 	Replica ReplicaPreference
+	// Hedge configures tail-cutting hedged reads (see HedgePolicy). The
+	// zero value disables hedging. Honored by Cluster; the flat Client
+	// and Local have no replica ranking to hedge across and ignore it.
+	Hedge HedgePolicy
 }
 
 // WriteFanout selects how many replica acknowledgments a write waits for.

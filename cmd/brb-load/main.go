@@ -37,6 +37,17 @@
 //	         -hedge adaptive -cache 256 -zipf 1.1 \
 //	         -slow-replica 0 -slow-latency 5ms
 //
+// Crash recovery (requires -spawn): -crash-replica hard-kills one
+// in-process server mid-run — no flush, no final snapshot, the process
+// equivalent of SIGKILL — and -recover-after later restarts it from its
+// WAL + snapshot directory (-data-dir, a temp dir by default; -fsync
+// picks the WAL sync policy). The run then waits for revival and hinted
+// handoff, sweeps the keyspace, and asserts that the restarted replica
+// serves every acknowledged write at at least its acked version:
+//
+//	brb-load -shards 2 -replication 2 -spawn -write-frac 0.2 \
+//	         -crash-replica 1 -crash-after 2s -recover-after 1s
+//
 // Live rebalancing (sharded mode only): -add-shard-after grows the
 // cluster by one shard mid-run (spawning the new shard's replicas
 // in-process), -remove-shard-after drains the highest shard onto the
@@ -58,6 +69,7 @@ import (
 	"log"
 	"net"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -102,6 +114,11 @@ func main() {
 	slowReplica := flag.Int("slow-replica", -1, "dense server index slowed by -slow-latency per request after the load phase (requires -spawn; -1 = none)")
 	slowLatency := flag.Duration("slow-latency", 2*time.Millisecond, "added service latency for -slow-replica")
 	zipfS := flag.Float64("zipf", 0, "Zipf exponent for key popularity (0 = uniform; >1 concentrates reads on hot keys)")
+	crashReplica := flag.Int("crash-replica", -1, "dense server index to hard-kill mid-run, in-process SIGKILL equivalent (requires -spawn; -1 = off)")
+	crashAfter := flag.Duration("crash-after", 2*time.Second, "measurement time before the crash")
+	recoverAfter := flag.Duration("recover-after", 1*time.Second, "downtime before the crashed server restarts from its WAL + snapshot directory")
+	dataDir := flag.String("data-dir", "", "durable spawn: WAL + snapshot root, one subdirectory per server (empty = a temp dir when -crash-replica is set)")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy for durable spawned servers: always | interval | never")
 	flag.Parse()
 
 	bg := context.Background()
@@ -133,26 +150,86 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Crash recovery needs -spawn (the run must own the *Server handle to
+	// hard-kill it) and a surviving sibling so writes keep succeeding and
+	// hinted handoff has a donor during the outage.
+	if *crashReplica >= 0 {
+		switch {
+		case !*spawn:
+			fmt.Fprintln(os.Stderr, "brb-load: -crash-replica needs -spawn (the crash kills an in-process server)")
+			os.Exit(2)
+		case *replication < 2:
+			fmt.Fprintln(os.Stderr, "brb-load: -crash-replica needs -replication >= 2 (writes during the outage need a surviving replica)")
+			os.Exit(2)
+		case *killReplica >= 0:
+			fmt.Fprintln(os.Stderr, "brb-load: -crash-replica and -kill-replica are mutually exclusive (process crash vs connectivity fault)")
+			os.Exit(2)
+		}
+	}
+
 	// -spawn runs the whole cluster in this process, each server with a
 	// FaultInjector attached — the self-contained way to demonstrate
 	// tail-cutting: slow one replica by a service-latency factor and
-	// watch hedged reads hold p999 down.
+	// watch hedged reads hold p999 down. With -crash-replica or
+	// -data-dir, every spawned server is durable: its store is backed by
+	// a per-server WAL + snapshot directory it can be recovered from.
 	var injectors []*netstore.FaultInjector
+	var spawned []*netstore.Server
+	var spawnDirs []string
+	var fsyncPolicy kv.FsyncPolicy
+	durableSpawn := *spawn && (*crashReplica >= 0 || *dataDir != "")
 	if *spawn {
 		if *shards <= 0 {
 			fmt.Fprintln(os.Stderr, "brb-load: -spawn needs -shards > 0")
 			os.Exit(2)
 		}
 		n := *shards * *replication
+		if *crashReplica >= n {
+			fmt.Fprintf(os.Stderr, "brb-load: -crash-replica %d out of range (%d servers)\n", *crashReplica, n)
+			os.Exit(2)
+		}
+		if durableSpawn {
+			fsyncPolicy, err = kv.ParseFsyncPolicy(*fsyncFlag)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "brb-load:", err)
+				os.Exit(2)
+			}
+			root := *dataDir
+			if root == "" {
+				root, err = os.MkdirTemp("", "brb-load-wal-")
+				if err != nil {
+					log.Fatalf("brb-load: temp data dir: %v", err)
+				}
+				defer os.RemoveAll(root)
+			}
+			spawnDirs = make([]string, n)
+			for i := range spawnDirs {
+				spawnDirs[i] = filepath.Join(root, fmt.Sprintf("server-%d", i))
+			}
+			log.Printf("durable spawn: WAL + snapshots under %s (fsync=%s)", root, fsyncPolicy)
+		}
 		addrs = make([]string, n)
 		injectors = make([]*netstore.FaultInjector, n)
+		spawned = make([]*netstore.Server, n)
 		for s := 0; s < *shards; s++ {
 			for r := 0; r < *replication; r++ {
 				i := s**replication + r
 				injectors[i] = netstore.NewFaultInjector()
-				srv := netstore.NewServer(kv.New(0), netstore.ServerOptions{
+				opts := netstore.ServerOptions{
 					Workers: 4, Shard: s, CheckShard: true, Fault: injectors[i],
-				})
+				}
+				var srv *netstore.Server
+				if durableSpawn {
+					opts.DataDir = spawnDirs[i]
+					opts.Fsync = fsyncPolicy
+					srv, _, err = netstore.NewDurableServer(kv.New(0), opts)
+					if err != nil {
+						log.Fatalf("brb-load: spawn durable server %d: %v", i, err)
+					}
+				} else {
+					srv = netstore.NewServer(kv.New(0), opts)
+				}
+				spawned[i] = srv
 				ln, err := net.Listen("tcp", "127.0.0.1:0")
 				if err != nil {
 					log.Fatalf("brb-load: spawn listener: %v", err)
@@ -198,8 +275,8 @@ func main() {
 	}
 
 	rebalancing := *addShardAfter > 0 || *removeShardAfter > 0
-	if rebalancing && (*shards <= 0 || *killReplica >= 0) {
-		fmt.Fprintln(os.Stderr, "brb-load: -add-shard-after/-remove-shard-after need -shards > 0 and no -kill-replica")
+	if rebalancing && (*shards <= 0 || *killReplica >= 0 || *crashReplica >= 0) {
+		fmt.Fprintln(os.Stderr, "brb-load: -add-shard-after/-remove-shard-after need -shards > 0 and no -kill-replica/-crash-replica")
 		os.Exit(2)
 	}
 
@@ -268,6 +345,27 @@ func main() {
 	}
 	readOpts := netstore.ReadOptions{Timeout: *deadline, Hedge: hedgePol}
 
+	// Acked-write ground truth for the crash-recovery check: every
+	// version some client saw acknowledged must be served by the
+	// restarted replica afterwards. Each cluster client harvests its
+	// written-version floors here before closing.
+	var ackedMu sync.Mutex
+	ackedVers := map[string]uint64{}
+	harvestAcked := func(c netstore.Store) {
+		cc, ok := c.(*netstore.Cluster)
+		if !ok || *crashReplica < 0 {
+			return
+		}
+		ackedMu.Lock()
+		defer ackedMu.Unlock()
+		for i := 0; i < *keys; i++ {
+			k := fmt.Sprintf("key:%d", i)
+			if v, ok := cc.WrittenVersion(k); ok && v > ackedVers[k] {
+				ackedVers[k] = v
+			}
+		}
+	}
+
 	// Load phase: heavy-tailed value sizes.
 	if !*skipLoad {
 		loader, err := dialStore(0)
@@ -282,6 +380,7 @@ func main() {
 				log.Fatalf("brb-load: load: %v", err)
 			}
 		}
+		harvestAcked(loader)
 		loader.Close()
 		log.Printf("loaded %d keys in %s", *keys, time.Since(start).Round(time.Millisecond))
 	}
@@ -329,6 +428,54 @@ func main() {
 			proxy.restore()
 			log.Printf("fault: restored server %d", *killReplica)
 		}()
+	}
+	// Crash recovery: hard-kill the victim (Kill aborts its WAL without
+	// flushing — the in-process equivalent of SIGKILL), then restart it
+	// from its data directory on the same address so the clients' revival
+	// probes and hinted handoff find it where they left it.
+	if *crashReplica >= 0 {
+		go func() {
+			time.Sleep(*crashAfter)
+			spawned[*crashReplica].Kill()
+			log.Printf("crash: hard-killed server %d (shard %d replica %d) — no flush, no final snapshot",
+				*crashReplica, *crashReplica / *replication, *crashReplica%*replication)
+			time.Sleep(*recoverAfter)
+			srv, stats, err := netstore.NewDurableServer(kv.New(0), netstore.ServerOptions{
+				Workers: 4, Shard: *crashReplica / *replication, CheckShard: true,
+				Fault: injectors[*crashReplica], DataDir: spawnDirs[*crashReplica], Fsync: fsyncPolicy,
+			})
+			if err != nil {
+				log.Fatalf("brb-load: crash restart: %v", err)
+			}
+			spawned[*crashReplica] = srv
+			// The killed listener's port can take a beat to free; retry
+			// the bind so the replica reappears at its old address.
+			addr := realAddrs[*crashReplica]
+			bindBy := time.Now().Add(10 * time.Second)
+			var ln net.Listener
+			for {
+				ln, err = net.Listen("tcp", addr)
+				if err == nil {
+					break
+				}
+				if time.Now().After(bindBy) {
+					log.Fatalf("brb-load: crash restart rebind %s: %v", addr, err)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			go func() { _ = srv.Serve(ln) }()
+			log.Printf("crash: server %d restarted on %s (snapshot %d: %d entries, %d WAL records, %d corrupt)",
+				*crashReplica, addr, stats.SnapshotIndex, stats.SnapshotEntries, stats.WALRecords, stats.CorruptRecords)
+		}()
+	}
+	// Both fault flavors leave one replica down for a window mid-run; the
+	// clients' post-run wait below keys off the common shape.
+	downServer, outage := -1, time.Duration(0)
+	switch {
+	case proxy != nil:
+		downServer, outage = *killReplica, *killAfter+*restartAfter
+	case *crashReplica >= 0:
+		downServer, outage = *crashReplica, *crashAfter+*recoverAfter
 	}
 	// Live rebalance: after the delay, grow (spawning the new shard's
 	// replica servers in-process) or drain a shard while the measurement
@@ -389,6 +536,7 @@ func main() {
 				return
 			}
 			defer c.Close()
+			defer harvestAcked(c)
 			rng := randx.New(*seed + uint64(w)*7919)
 			wsizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 64 << 10}
 			p := 1.0 / *fanout
@@ -447,9 +595,9 @@ func main() {
 			// stay up until its prober revives the replica and replays
 			// them, then sweep-read its keys once so read-repair catches
 			// anything the hint buffer dropped.
-			if cc, ok := c.(*netstore.Cluster); ok && proxy != nil {
-				shard, rep := *killReplica / *replication, *killReplica%*replication
-				if d := time.Until(start.Add(*killAfter + *restartAfter)); d > 0 {
+			if cc, ok := c.(*netstore.Cluster); ok && downServer >= 0 {
+				shard, rep := downServer / *replication, downServer%*replication
+				if d := time.Until(start.Add(outage)); d > 0 {
 					time.Sleep(d)
 				}
 				deadline := time.Now().Add(15 * time.Second)
@@ -457,7 +605,7 @@ func main() {
 					time.Sleep(50 * time.Millisecond)
 				}
 				if cc.ReplicaDown(shard, rep) {
-					log.Printf("brb-load: client %d: replica %d not revived within 15s", w, *killReplica)
+					log.Printf("brb-load: client %d: replica %d not revived within 15s", w, downServer)
 					return
 				}
 				for lo := 0; lo < *keys; lo += 256 {
@@ -483,6 +631,9 @@ func main() {
 	elapsed := time.Since(start)
 	if proxy != nil {
 		checkConvergence(shardTopo, realAddrs, *killReplica / *replication, *keys)
+	}
+	if *crashReplica >= 0 {
+		checkCrashRecovery(shardTopo, realAddrs, *crashReplica, *keys, ackedVers)
 	}
 	if rebalancing {
 		select {
@@ -658,6 +809,78 @@ func checkConvergence(m *cluster.ShardTopology, realAddrs []string, shard, keys 
 	}
 	fmt.Printf("convergence: OK — all %d replicas of shard %d agree on %d key versions\n",
 		m.Replicas(), shard, len(shardKeys))
+}
+
+// checkCrashRecovery is the acceptance scan of a -crash-replica run:
+// the restarted replica must serve every acknowledged write of its
+// shard at at least the version some client saw acked (zero acked-write
+// loss through the hard kill — WAL replay for pre-crash writes, hinted
+// handoff and read-repair for outage writes), and all replicas of the
+// shard must agree on the whole keyspace. Exits nonzero otherwise so CI
+// can assert on it.
+func checkCrashRecovery(m *cluster.ShardTopology, realAddrs []string, server, keys int, acked map[string]uint64) {
+	shard := server / m.Replicas()
+	var shardKeys []string
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("key:%d", i)
+		if m.ShardOfKey(k) == shard {
+			shardKeys = append(shardKeys, k)
+		}
+	}
+	if len(shardKeys) == 0 {
+		log.Printf("crash-recovery: shard %d holds no keys; nothing to check", shard)
+		return
+	}
+	victim := server % m.Replicas()
+	ackedChecked, bad := 0, 0
+	var ref []uint64
+	for r := 0; r < m.Replicas(); r++ {
+		addr := realAddrs[m.Server(shard, r)]
+		vers, found, err := netstore.ScanVersions(context.Background(), addr, shard, shardKeys, 5*time.Second)
+		if err != nil {
+			log.Printf("crash-recovery: scan of replica %d (%s) failed: %v", r, addr, err)
+			os.Exit(1)
+		}
+		if r == victim {
+			// The acked floor is checked against the restarted replica
+			// itself, not the shard quorum: this is the server that lost
+			// its memory and must have gotten everything back.
+			for i, k := range shardKeys {
+				floor, ok := acked[k]
+				if !ok {
+					continue
+				}
+				ackedChecked++
+				if !found[i] || vers[i] < floor {
+					bad++
+					if bad <= 5 {
+						log.Printf("crash-recovery: %s acked at v%d but restarted replica serves v%d (found=%v)",
+							k, floor, vers[i], found[i])
+					}
+				}
+			}
+		}
+		if r == 0 {
+			ref = vers
+			continue
+		}
+		for i := range vers {
+			if vers[i] != ref[i] {
+				bad++
+				if bad <= 5 {
+					log.Printf("crash-recovery: %s diverged: replica 0 v%d, replica %d v%d",
+						shardKeys[i], ref[i], r, vers[i])
+				}
+			}
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("crash-recovery: FAILED — %d acked-write losses or divergences across %d shard-%d keys\n",
+			bad, len(shardKeys), shard)
+		os.Exit(1)
+	}
+	fmt.Printf("crash-recovery: OK — restarted replica serves all %d acked writes and all %d replicas of shard %d agree on %d keys\n",
+		ackedChecked, m.Replicas(), shard, len(shardKeys))
 }
 
 // checkOwnerConvergence is the rebalance acceptance scan: after a live

@@ -1,6 +1,6 @@
-// Command brb-server runs networked BRB storage servers: in-memory
-// key-value stores whose request schedulers drain task-aware priority
-// queues with bounded worker pools.
+// Command brb-server runs networked BRB storage servers: key-value
+// stores whose request schedulers drain task-aware priority queues with
+// bounded worker pools.
 //
 // Single server:
 //
@@ -17,6 +17,19 @@
 //
 //	brb-server -shard 1 -group-listen :7073,:7074
 //
+// Durable replicas keep their data across restarts: -data-dir points at
+// a directory that gets a segmented write-ahead log plus periodic
+// snapshots (one subdirectory per replica in group mode), and the store
+// is recovered from it before the listener opens. -fsync picks the
+// durability/latency trade (always | interval | never):
+//
+//	brb-server -listen :7070 -shard 0 -data-dir /var/lib/brb -fsync always
+//
+// On SIGINT/SIGTERM the process shuts down gracefully: listeners close,
+// in-flight requests drain, and durable stores flush their WAL and
+// write a final snapshot so the next boot replays O(snapshot) instead
+// of O(log).
+//
 // The -service-base/-service-perbyte flags inject artificial
 // size-dependent service time, recreating the simulator's cost model for
 // laptop-scale validation runs against brb-load.
@@ -27,7 +40,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/brb-repro/brb/internal/kv"
@@ -44,6 +60,9 @@ func main() {
 	perByte := flag.Duration("service-perbyte", 0, "injected per-byte service time")
 	tombHorizon := flag.Duration("tombstone-horizon", 0, "drop delete tombstones older than this (0 = keep forever; must exceed the longest replay window)")
 	tombInterval := flag.Duration("tombstone-gc-interval", 0, "tombstone sweep tick (default horizon/10, floor 1s; each tick sweeps 1/64 of the store)")
+	dataDir := flag.String("data-dir", "", "durable mode: WAL + snapshot directory (empty = memory-only; group mode appends replica-N per address)")
+	fsync := flag.String("fsync", "always", "WAL fsync policy with -data-dir: always | interval | never")
+	snapInterval := flag.Duration("snapshot-interval", time.Minute, "periodic snapshot (and WAL truncation) period with -data-dir")
 	flag.Parse()
 
 	var disc netstore.Discipline
@@ -56,9 +75,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "brb-server: unknown discipline %q\n", *discipline)
 		os.Exit(2)
 	}
+	fsyncPolicy, err := kv.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "brb-server: %v\n", err)
+		os.Exit(2)
+	}
 	opts := netstore.ServerOptions{
 		Workers: *workers, Discipline: disc,
 		TombstoneGCHorizon: *tombHorizon, TombstoneGCInterval: *tombInterval,
+		Fsync: fsyncPolicy, SnapshotInterval: *snapInterval,
 	}
 	if *shard >= 0 {
 		opts.Shard = *shard
@@ -80,18 +105,56 @@ func main() {
 		addrs = strings.Split(*groupListen, ",")
 	}
 
+	servers := make([]*netstore.Server, len(addrs))
 	errCh := make(chan error, len(addrs))
 	for i, addr := range addrs {
-		srv := netstore.NewServer(kv.New(0), opts)
+		srv, err := buildServer(i, len(addrs), *dataDir, opts)
+		if err != nil {
+			log.Fatalf("brb-server: %v", err)
+		}
+		servers[i] = srv
 		if *shard >= 0 {
 			log.Printf("brb-server: shard %d replica %d listening on %s (%d workers, %s scheduling)",
 				*shard, i, addr, *workers, disc)
 		} else {
 			log.Printf("brb-server: listening on %s (%d workers, %s scheduling)", addr, *workers, disc)
 		}
-		go func(addr string) { errCh <- srv.ListenAndServe(addr) }(addr)
+		go func(srv *netstore.Server, addr string) { errCh <- srv.ListenAndServe(addr) }(srv, addr)
 	}
-	if err := <-errCh; err != nil {
-		log.Fatalf("brb-server: %v", err)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("brb-server: %v — shutting down (flushing WAL, final snapshot)", sig)
+		for _, srv := range servers {
+			srv.Close()
+		}
+		log.Printf("brb-server: shutdown complete")
+	case err := <-errCh:
+		if err != nil {
+			log.Fatalf("brb-server: %v", err)
+		}
 	}
+}
+
+// buildServer creates one replica server: durable when dataDir is set
+// (recovering its store before the caller opens the listener), memory-
+// only otherwise. With several replicas in one process, each gets its
+// own subdirectory — two WALs must never share a directory.
+func buildServer(replica, total int, dataDir string, opts netstore.ServerOptions) (*netstore.Server, error) {
+	if dataDir == "" {
+		return netstore.NewServer(kv.New(0), opts), nil
+	}
+	opts.DataDir = dataDir
+	if total > 1 {
+		opts.DataDir = filepath.Join(dataDir, fmt.Sprintf("replica-%d", replica))
+	}
+	srv, stats, err := netstore.NewDurableServer(kv.New(0), opts)
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("brb-server: replica %d recovered from %s (snapshot %d: %d entries, %d WAL records, %d corrupt)",
+		replica, opts.DataDir, stats.SnapshotIndex, stats.SnapshotEntries, stats.WALRecords, stats.CorruptRecords)
+	return srv, nil
 }

@@ -29,11 +29,18 @@ type Store struct {
 
 	// Tombstone GC state (StartTombstoneGC); gcMu orders starts against
 	// Stop so a late Start cannot race Stop's Wait and a double Stop
-	// cannot double-close.
+	// cannot double-close. It also guards purgeHook.
 	gcMu      sync.Mutex
 	gcStop    chan struct{}
 	gcStopped bool
 	gcWG      sync.WaitGroup
+
+	// purgeHook, when set (by the Durable wrapper), observes every
+	// tombstone the GC sweep drops, so the sweep can be replayed: a WAL
+	// replay that remembers a delete the live store had forgotten would
+	// resolve later last-writer-wins checks differently than the live
+	// store did.
+	purgeHook func(key string, ver uint64)
 }
 
 type shard struct {
@@ -73,14 +80,18 @@ func (s *Store) shardOf(key string) *shard {
 }
 
 // Set stores a copy of value under key, advancing the key's version by
-// one (local, unreplicated write).
-func (s *Store) Set(key string, value []byte) {
+// one (local, unreplicated write). It returns the version it assigned,
+// so a durability layer can log the write as the versioned mutation it
+// became.
+func (s *Store) Set(key string, value []byte) uint64 {
 	cp := make([]byte, len(value))
 	copy(cp, value)
 	sh := s.shardOf(key)
 	sh.mu.Lock()
-	sh.m[key] = entry{val: cp, ver: sh.m[key].ver + 1}
+	ver := sh.m[key].ver + 1
+	sh.m[key] = entry{val: cp, ver: ver}
 	sh.mu.Unlock()
+	return ver
 }
 
 // SetVersion stores a copy of value under key at the given version if it
@@ -165,6 +176,47 @@ func (s *Store) DeleteVersion(key string, ver uint64) bool {
 	sh.m[key] = entry{ver: ver, dead: true, deadAt: time.Now().UnixNano()}
 	sh.mu.Unlock()
 	return true
+}
+
+// restoreEntry applies one snapshot entry if it is newer than the stored
+// one — the same last-writer-wins rule as SetVersion/DeleteVersion, with
+// tombstones allowed. A restored tombstone's deadAt is the load time, so
+// its GC clock restarts: aging out late is safe, early is not.
+func (s *Store) restoreEntry(key string, val []byte, ver uint64, dead bool) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur.ver >= ver {
+		sh.mu.Unlock()
+		return
+	}
+	if dead {
+		sh.m[key] = entry{ver: ver, dead: true, deadAt: time.Now().UnixNano()}
+	} else {
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		sh.m[key] = entry{val: cp, ver: ver}
+	}
+	sh.mu.Unlock()
+}
+
+// purgeTombstone forgets key's tombstone iff it is still the tombstone
+// laid at exactly ver — replaying a GC sweep record. A newer write
+// (live or tombstone) means the purge is stale and must not apply.
+func (s *Store) purgeTombstone(key string, ver uint64) {
+	sh := s.shardOf(key)
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur.dead && cur.ver == ver {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// setPurgeHook installs fn to observe GC-swept tombstones (Durable's
+// WAL hook). Pass nil to detach.
+func (s *Store) setPurgeHook(fn func(key string, ver uint64)) {
+	s.gcMu.Lock()
+	s.purgeHook = fn
+	s.gcMu.Unlock()
 }
 
 // Len returns the total number of live (non-tombstoned) keys.
@@ -309,22 +361,51 @@ func (s *Store) Stop() {
 }
 
 // sweepShard drops every tombstone in internal shard i laid before
-// cutoff (unix nanos).
+// cutoff (unix nanos). Swept tombstones are reported to the purge hook
+// (outside the shard lock) so a durability layer can log the sweep.
 func (s *Store) sweepShard(i int, cutoff int64) {
 	if i < 0 || i >= len(s.shards) {
 		return
 	}
 	sh := &s.shards[i]
-	swept := 0
+	type sweptKey struct {
+		key string
+		ver uint64
+	}
+	var swept []sweptKey
 	sh.mu.Lock()
 	for k, e := range sh.m {
 		if e.dead && e.deadAt < cutoff {
 			delete(sh.m, k)
-			swept++
+			swept = append(swept, sweptKey{k, e.ver})
 		}
 	}
 	sh.mu.Unlock()
-	if swept > 0 {
-		tombstonesSwept.Add(uint64(swept))
+	if len(swept) == 0 {
+		return
 	}
+	tombstonesSwept.Add(uint64(len(swept)))
+	s.gcMu.Lock()
+	hook := s.purgeHook
+	s.gcMu.Unlock()
+	if hook != nil {
+		for _, sk := range swept {
+			hook(sk.key, sk.ver)
+		}
+	}
+}
+
+// ClampGCHorizon raises a tombstone-GC horizon to at least the snapshot
+// interval. A durable store must not age a tombstone out of memory
+// before a snapshot has had a chance to capture the state that made it
+// obsolete: with horizon < snapInterval, a sweep between two snapshots
+// could forget a delete that the next boot's snapshot+WAL replay still
+// remembers, and the replayed store would then reject a write the live
+// store had accepted. (Purge records close the same gap from the other
+// side; the clamp keeps the common path from depending on them alone.)
+func ClampGCHorizon(horizon, snapInterval time.Duration) time.Duration {
+	if horizon > 0 && snapInterval > horizon {
+		return snapInterval
+	}
+	return horizon
 }

@@ -823,6 +823,18 @@ func (c *Cluster) raiseWritten(key string, ver uint64) {
 	}
 }
 
+// WrittenVersion returns the highest version this client has had
+// acknowledged for key (false if it never wrote it). Crash-recovery
+// harnesses use it as the ground truth for "acked": a restarted replica
+// must serve every key at at least this version.
+func (c *Cluster) WrittenVersion(key string) (uint64, bool) {
+	v, ok := c.written.Load(key)
+	if !ok {
+		return 0, false
+	}
+	return v.(uint64), true
+}
+
 // Get reads a single key through the batched pipeline (found=false for
 // missing keys, never an error).
 func (c *Cluster) Get(ctx context.Context, key string, opts ReadOptions) ([]byte, bool, error) {

@@ -345,12 +345,27 @@ func PushTopology(ctx context.Context, t *cluster.ShardTopology, opts RebalanceO
 }
 
 // pushTopologyTo installs t on one server and confirms the server now
-// reports an epoch at least t's.
+// reports an epoch at least t's. A transient dial failure is retried a
+// few times: with durable replicas, a server can be mid-restart (crash
+// recovery replaying its WAL) exactly when a migration wants to push
+// the new epoch, and failing the whole migration for a replica that is
+// seconds from serving again would make crash-during-rebalance far
+// more disruptive than the crash itself. A server that stays down past
+// the retries still fails the push — epoch publication must not
+// silently skip a live server.
 func pushTopologyTo(ctx context.Context, addr string, t *cluster.ShardTopology, opts RebalanceOptions) error {
 	if addr == "" {
 		return fmt.Errorf("no address bound")
 	}
 	a, err := dialAdmin(addr, opts)
+	for attempt := 0; err != nil && attempt < 3; attempt++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(100 * time.Millisecond):
+		}
+		a, err = dialAdmin(addr, opts)
+	}
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,15 @@ package netstore
 // the time it replays is forwarded to the key's current owner (it may
 // hold the only surviving copy of an acknowledged write), never forced
 // onto a server that no longer owns it and never dropped.
+//
+// With durable replicas (netstore.NewDurableServer), recovery is local
+// first: a restarting server replays its snapshot + WAL before Serve
+// ever accepts a connection, so by the time the probe's Ping succeeds
+// the disk state is already live and hints are a strictly-newer top-up
+// covering only the post-crash window — not the primary recovery path.
+// The LWW rule above is what makes the two sources compose: hint replay
+// over recovered state is the same idempotent merge as hint replay over
+// an empty store, just with far less left to do.
 
 import (
 	"bufio"

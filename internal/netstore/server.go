@@ -77,6 +77,29 @@ type ServerOptions struct {
 	// gates (see FaultInjector) — for tests and the load harness's
 	// slow-replica experiments. Production servers leave it nil.
 	Fault *FaultInjector
+
+	// DataDir, when set, makes the server durable (NewDurableServer):
+	// writes go through a segmented WAL in this directory, periodic
+	// snapshots truncate it, and the store is recovered from disk at
+	// construction — BEFORE Serve, so a restarted replica replays
+	// locally first and hinted-handoff only tops up the post-crash tail.
+	DataDir string
+	// Fsync is the WAL sync policy: always (default; acked ⇒ durable),
+	// interval, or never. See kv.FsyncPolicy.
+	Fsync kv.FsyncPolicy
+	// FsyncInterval is the background sync period under Fsync=interval
+	// (default 50ms).
+	FsyncInterval time.Duration
+	// SnapshotInterval is the periodic snapshot period (default 1m;
+	// every snapshot truncates WAL segments behind it). The tombstone-GC
+	// horizon is clamped to at least this interval (kv.ClampGCHorizon).
+	SnapshotInterval time.Duration
+	// WALSegmentBytes is the segment rotation size (default 8 MiB).
+	WALSegmentBytes int64
+	// DiskFault injects disk faults (fsync errors, snapshot-rename
+	// crashes) into the durability layer for tests. Production servers
+	// leave it nil.
+	DiskFault *kv.DiskFaultInjector
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -90,6 +113,10 @@ func (o ServerOptions) withDefaults() ServerOptions {
 type Server struct {
 	opts  ServerOptions
 	store *kv.Store
+	// dur is the durability layer (nil for memory-only servers). Writes
+	// route through it; a WAL failure fail-stops the write path (no ack,
+	// connection closed) while reads keep serving from memory.
+	dur   *kv.Durable
 	sched *scheduler
 
 	// topo is the server's current epoch-versioned topology (nil until
@@ -110,12 +137,55 @@ type Server struct {
 // Served returns the number of keys this server has serviced.
 func (s *Server) Served() uint64 { return s.served.Load() }
 
-// NewServer creates a server over the given store.
+// NewServer creates a memory-only server over the given store. For a
+// durable server (opts.DataDir set) use NewDurableServer, which can
+// fail on recovery.
 func NewServer(store *kv.Store, opts ServerOptions) *Server {
+	if opts.DataDir != "" {
+		panic("netstore: DataDir set; use NewDurableServer")
+	}
+	return newServer(store, nil, opts)
+}
+
+// NewDurableServer recovers opts.DataDir into store (newest snapshot,
+// then the WAL tail) and returns a server whose writes are logged
+// before they are acknowledged. Recovery happens here — before Serve —
+// so by the time the revival prober re-admits this replica and hinted
+// handoff replays buffered writes, the disk state is already live and
+// hints are a strictly newer top-up (versioned LWW absorbs any
+// overlap).
+func NewDurableServer(store *kv.Store, opts ServerOptions) (*Server, kv.ReplayStats, error) {
+	if opts.DataDir == "" {
+		return nil, kv.ReplayStats{}, errors.New("netstore: NewDurableServer requires DataDir")
+	}
+	snapInterval := opts.SnapshotInterval
+	if snapInterval <= 0 {
+		snapInterval = time.Minute
+	}
+	dur, stats, err := kv.OpenDurable(opts.DataDir, store, kv.DurableOptions{
+		Fsync:            opts.Fsync,
+		FsyncInterval:    opts.FsyncInterval,
+		SegmentBytes:     opts.WALSegmentBytes,
+		SnapshotInterval: snapInterval,
+		Fault:            opts.DiskFault,
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	// A tombstone aged out of memory before a snapshot captured the
+	// state around it would make replay diverge from the live store;
+	// purge records close that gap, the clamp keeps the horizon from
+	// depending on them alone.
+	opts.TombstoneGCHorizon = kv.ClampGCHorizon(opts.TombstoneGCHorizon, snapInterval)
+	return newServer(store, dur, opts), stats, nil
+}
+
+func newServer(store *kv.Store, dur *kv.Durable, opts ServerOptions) *Server {
 	opts = opts.withDefaults()
 	s := &Server{
 		opts:  opts,
 		store: store,
+		dur:   dur,
 		sched: newScheduler(opts.Discipline),
 		conns: make(map[net.Conn]struct{}),
 	}
@@ -216,8 +286,20 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting, closes connections, and stops workers.
-func (s *Server) Close() {
+// Close stops accepting, closes connections, and stops workers. On a
+// durable server it then flushes the WAL and writes a final snapshot —
+// the graceful-shutdown path, making the next boot's replay
+// O(snapshot).
+func (s *Server) Close() { s.shutdown(false) }
+
+// Kill is the crash path: like Close it tears the network and workers
+// down, but the durability layer is aborted — pending WAL buffers are
+// dropped and no final snapshot is written, the in-process equivalent
+// of SIGKILL. Crash-recovery tests use it to prove that acked writes
+// survive on disk state alone.
+func (s *Server) Kill() { s.shutdown(true) }
+
+func (s *Server) shutdown(kill bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -240,7 +322,16 @@ func (s *Server) Close() {
 		// wake before the Wait below can finish.
 		s.opts.Fault.shutdown()
 	}
+	if s.dur != nil && kill {
+		// Abort before waiting: handlers blocked in a WAL append (e.g.
+		// behind a stalled injected fsync) must fail out or the Wait
+		// below deadlocks — exactly what a real kill does to them.
+		s.dur.Abort()
+	}
 	s.wg.Wait()
+	if s.dur != nil && !kill {
+		_ = s.dur.Close()
+	}
 }
 
 // QueueLen returns the current scheduler backlog.
@@ -416,10 +507,14 @@ func (s *Server) handle(conn net.Conn) {
 			// key's version; a non-zero version is a replicated write
 			// applied last-writer-wins, so hinted-handoff replays and
 			// read-repair pushes are idempotent.
-			if m.Version == 0 {
-				s.store.Set(strings.Clone(m.Key), m.Value)
-			} else {
-				s.store.SetVersion(strings.Clone(m.Key), m.Value, m.Version)
+			if err := s.applySet(strings.Clone(m.Key), m.Value, m.Version); err != nil {
+				// Durability failure: fail-stop the write path. No ack is
+				// sent and the connection drops, so the client marks this
+				// replica down and hints/reroutes the write — an acked
+				// write is never one the WAL refused.
+				srvDurabilityErrors.Inc()
+				frame.Release()
+				return
 			}
 			// Ownership is re-checked AFTER the apply: a topology install
 			// landing between the check above and the store write could
@@ -457,10 +552,10 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			// DeleteVersion retains the key in its tombstone: clone it off
 			// the pooled frame like Set does.
-			if m.Version == 0 {
-				s.store.Delete(m.Key)
-			} else {
-				s.store.DeleteVersion(strings.Clone(m.Key), m.Version)
+			if err := s.applyDelete(strings.Clone(m.Key), m.Version); err != nil {
+				srvDurabilityErrors.Inc()
+				frame.Release()
+				return
 			}
 			// Post-apply ownership recheck, for the same catch-up-scan
 			// race Set guards against above.
@@ -517,6 +612,42 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// applySet applies one write to the store and, on a durable server,
+// logs it. ver 0 is a local auto-versioned write.
+func (s *Server) applySet(key string, value []byte, ver uint64) error {
+	if s.dur == nil {
+		if ver == 0 {
+			s.store.Set(key, value)
+		} else {
+			s.store.SetVersion(key, value, ver)
+		}
+		return nil
+	}
+	if ver == 0 {
+		return s.dur.Set(key, value)
+	}
+	_, err := s.dur.SetVersion(key, value, ver)
+	return err
+}
+
+// applyDelete applies one delete to the store and, on a durable server,
+// logs it. ver 0 is a local delete-outright; non-zero lays a tombstone.
+func (s *Server) applyDelete(key string, ver uint64) error {
+	if s.dur == nil {
+		if ver == 0 {
+			s.store.Delete(key)
+		} else {
+			s.store.DeleteVersion(key, ver)
+		}
+		return nil
+	}
+	if ver == 0 {
+		return s.dur.Delete(key)
+	}
+	_, err := s.dur.DeleteVersion(key, ver)
+	return err
+}
+
 // Ownership-rejection counters: how often this process refused work for
 // keys it does not own — sustained nonzero rates mean clients with
 // stale topologies (normal for a moment after a rebalance, a
@@ -533,6 +664,10 @@ var (
 	// deadline-propagation protocol saved from being wasted on answers
 	// nobody was still waiting for.
 	srvExpiredDrops = metrics.GetCounter("netstore_server_expired_drops_total")
+	// srvDurabilityErrors counts writes refused because the WAL could
+	// not make them durable (failed fsync, closed log): each one is a
+	// dropped connection instead of a false ack.
+	srvDurabilityErrors = metrics.GetCounter("netstore_server_durability_errors_total")
 )
 
 // ownsKey reports whether this server accepts a write for key under its

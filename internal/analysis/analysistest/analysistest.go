@@ -1,0 +1,154 @@
+// Package analysistest is the golden-test driver for brb-vet analyzers,
+// a small stand-in for golang.org/x/tools/go/analysis/analysistest with
+// the same testing idiom: fixture packages under a testdata module carry
+// `// want "regex"` comments on the lines where diagnostics must appear,
+// and the driver fails the test on any unexpected, missing, or
+// mismatched diagnostic. Lines with no want comment double as the
+// clean-pass assertions.
+//
+// Two extensions over the x/tools syntax, both needed because brb-vet
+// diagnostics can land on comment-only lines (malformed //brb:allow
+// markers), where a same-line want comment cannot physically fit:
+//
+//	// want `regex`        expectation for this line
+//	// want-prev `regex`   expectation for the line above
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	pattern string
+	matched bool
+}
+
+// Run loads patterns from dir (a self-contained Go module, typically
+// "testdata"), runs analyzers over the loaded packages, and checks the
+// resulting diagnostics against the fixtures' want comments.
+func Run(t *testing.T, dir string, analyzers []*analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		t.Fatalf("load %v: %v", patterns, err)
+	}
+	diags, err := analysis.Run(analyzers, pkgs)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					pos := pkg.Fset.Position(c.Pos())
+					ws, err := parseWant(c.Text, pos.Filename, pos.Line)
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					wants = append(wants, ws...)
+				}
+			}
+		}
+	}
+
+	fset := pkgs[0].Fset
+outer:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			re, err := regexp.Compile(w.pattern)
+			if err != nil {
+				t.Fatalf("%s:%d: bad want pattern %q: %v", w.file, w.line, w.pattern, err)
+			}
+			if re.MatchString(d.Message) {
+				w.matched = true
+				continue outer
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s (%s)", pos, d.Message, d.Analyzer)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWant extracts the expectations (if any) from one comment.
+func parseWant(text, file string, line int) ([]*expectation, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil // block comments carry no wants
+	}
+	body = strings.TrimSpace(body)
+	var spec string
+	switch {
+	case strings.HasPrefix(body, "want-prev"):
+		spec = strings.TrimPrefix(body, "want-prev")
+		line--
+	case strings.HasPrefix(body, "want "), strings.HasPrefix(body, "want\t"), strings.HasPrefix(body, "want`"), strings.HasPrefix(body, `want"`):
+		spec = strings.TrimPrefix(body, "want")
+	default:
+		return nil, nil
+	}
+	var out []*expectation
+	for {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			break
+		}
+		pat, rest, err := cutPattern(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &expectation{file: file, line: line, pattern: pat})
+		spec = rest
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment lists no patterns: %q", text)
+	}
+	return out, nil
+}
+
+// cutPattern splits one leading string literal (backquoted or quoted)
+// off spec.
+func cutPattern(spec string) (pattern, rest string, err error) {
+	switch spec[0] {
+	case '`':
+		end := strings.IndexByte(spec[1:], '`')
+		if end < 0 {
+			return "", "", fmt.Errorf("unterminated pattern: %q", spec)
+		}
+		return spec[1 : 1+end], spec[end+2:], nil
+	case '"':
+		i := 1
+		for i < len(spec) && spec[i] != '"' {
+			if spec[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(spec) {
+			return "", "", fmt.Errorf("unterminated pattern: %q", spec)
+		}
+		unq, err := strconv.Unquote(spec[:i+1])
+		if err != nil {
+			return "", "", fmt.Errorf("bad pattern %q: %v", spec[:i+1], err)
+		}
+		return unq, spec[i+1:], nil
+	}
+	return "", "", fmt.Errorf("want patterns are quoted or backquoted strings: %q", spec)
+}

@@ -1,0 +1,20 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+	"github.com/brb-repro/brb/internal/analysis/analysistest"
+)
+
+func TestCounterLint(t *testing.T) {
+	// counterlint/b re-registers a counter owned by counterlint/a,
+	// exercising the cross-package exactly-once index.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.CounterLint}, "./counterlint/...")
+}
+
+func TestSuppression(t *testing.T) {
+	// A valid //brb:allow silences its analyzer on the next line;
+	// malformed or unknown-analyzer markers are diagnostics themselves.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.CounterLint}, "./suppress")
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the PR 5 context-first request API: in the packages
+// that serve requests (internal/netstore, internal/kv,
+// internal/cluster), an exported function or method that takes a
+// context must take it as the first parameter — deadlines propagate
+// end-to-end only when every layer threads the same ctx. It also bans
+// minting fresh root contexts (context.Background / context.TODO)
+// outside cmd/, examples/, and tests: library code that invents its own
+// root silently detaches from the caller's deadline and cancellation.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc: "exported functions in request-path packages must take context.Context " +
+		"first; context.Background/TODO are reserved for binaries, examples, and tests",
+	Run: runCtxFirst,
+}
+
+// ctxFirstPackages are the request-path packages (matched by path
+// suffix so fixture mirrors behave like the real tree).
+var ctxFirstPackages = []string{"internal/netstore", "internal/kv", "internal/cluster"}
+
+func runCtxFirst(pass *Pass) error {
+	inRequestPath := false
+	for _, sfx := range ctxFirstPackages {
+		if PkgPathIs(pass.Pkg.Path(), sfx) {
+			inRequestPath = true
+			break
+		}
+	}
+	rootExempt := PathHasSegment(pass.Pkg.Path(), "cmd") || PathHasSegment(pass.Pkg.Path(), "examples")
+
+	for _, f := range pass.Files {
+		testFile := pass.IsTestFile(f.Pos())
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if inRequestPath && !testFile {
+					checkCtxPosition(pass, n)
+				}
+			case *ast.CallExpr:
+				if rootExempt || testFile {
+					return true
+				}
+				fn := pass.CalleeFunc(n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if fn.Pkg().Path() == "context" && (fn.Name() == "Background" || fn.Name() == "TODO") {
+					pass.Reportf(n.Pos(), "context.%s outside cmd/, examples/, and tests: accept a ctx from the caller (or derive from a Close-cancelled root)", fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCtxPosition(pass *Pass, decl *ast.FuncDecl) {
+	if !decl.Name.IsExported() || decl.Type.Params == nil {
+		return
+	}
+	obj, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	sig := obj.Type().(*types.Signature)
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isContextType(params.At(i).Type()) {
+			if i != 0 {
+				pass.Reportf(decl.Name.Pos(), "%s takes context.Context as parameter %d: context must be the first parameter", decl.Name.Name, i+1)
+			}
+			return
+		}
+	}
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+	"github.com/brb-repro/brb/internal/analysis/analysistest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	// Covers the request-path package (path suffix internal/netstore)
+	// and the cmd/ exemption for root contexts.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.CtxFirst}, "./ctxfirst/...")
+}

@@ -1,0 +1,560 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FrameAlias polices the PR 2 zero-copy decode contract: a message
+// obtained from wire.DecodeAlias (or raw bytes from Frame.Bytes)
+// aliases a pooled frame buffer and is valid only while that frame is
+// held. The sanctioned patterns are (a) use-then-release within the
+// function, (b) cloning (strings.Clone / string(b) / append) before
+// retaining, and (c) handing the aliased data to a struct that also
+// takes ownership of the frame itself — the server's batchState, whose
+// release() drops both together. Everything else — storing aliased
+// strings or byte slices into globals, fields of long-lived receivers,
+// channels, or goroutine closures, or touching them after Release —
+// is a use-after-free against the frame pool: the bug corrupts keys
+// and values only under recycling pressure, which is exactly when a
+// test is least likely to catch it.
+//
+// The analysis is per-function and intentionally conservative in what
+// it reports: passing aliased values as call arguments and returning
+// them is allowed (the caller still holds the frame), so helpers like
+// topoFromWire are checked where they retain, not where they receive.
+var FrameAlias = &Analyzer{
+	Name: "framealias",
+	Doc: "data decoded via wire.DecodeAlias / Frame.Bytes must not outlive its " +
+		"frame: no stores to long-lived state, channels, or goroutines, and no " +
+		"use after Release, unless the frame travels (and is released) with it",
+	Run: runFrameAlias,
+}
+
+func runFrameAlias(pass *Pass) error {
+	// The wire package implements the aliasing machinery; it is the one
+	// place allowed to manufacture and dismantle these values.
+	if PkgPathIs(pass.Pkg.Path(), "internal/wire") {
+		return nil
+	}
+	wirePkg := findWirePackage(pass.Pkg)
+	if wirePkg == nil {
+		return nil // no wire import, nothing to alias
+	}
+	msgIface, _ := wirePkg.Scope().Lookup("Message").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncAliasing(pass, wirePkg, msgIface, fd)
+		}
+	}
+	return nil
+}
+
+// findWirePackage locates the imported package whose path ends in
+// internal/wire (fixture mirrors included).
+func findWirePackage(pkg *types.Package) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if PkgPathIs(imp.Path(), "internal/wire") {
+			return imp
+		}
+	}
+	return nil
+}
+
+// aliasState is the per-function taint state.
+type aliasState struct {
+	pass    *Pass
+	wire    *types.Package
+	msg     *types.Interface
+	tainted map[types.Object]bool // values aliasing some frame
+	frames  map[types.Object]bool // values of type *wire.Frame
+	// frameFed holds locals that were assigned a *wire.Frame into one of
+	// their fields (or via a composite literal): structs that own their
+	// frame may own aliased data too.
+	frameFed map[types.Object]bool
+	locals   map[types.Object]bool // objects declared inside this function body
+}
+
+func checkFuncAliasing(pass *Pass, wirePkg *types.Package, msgIface *types.Interface, fd *ast.FuncDecl) {
+	st := &aliasState{
+		pass:     pass,
+		wire:     wirePkg,
+		msg:      msgIface,
+		tainted:  make(map[types.Object]bool),
+		frames:   make(map[types.Object]bool),
+		frameFed: make(map[types.Object]bool),
+		locals:   make(map[types.Object]bool),
+	}
+	// Record local declarations (params and receivers are NOT local:
+	// storing into them outlives the call).
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				st.locals[obj] = true
+			}
+		}
+		return true
+	})
+	// Seed taint: message-typed parameters alias their caller's frame,
+	// and frame-typed parameters are frames.
+	seed := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if st.isFrameType(obj.Type()) {
+					st.frames[obj] = true
+				} else if st.isMessageType(obj.Type()) {
+					st.tainted[obj] = true
+				}
+			}
+		}
+	}
+	seed(fd.Recv)
+	seed(fd.Type.Params)
+
+	// Taint propagation to a fixed point (assignment chains are short;
+	// the bound guards pathological files).
+	for i := 0; i < 8; i++ {
+		if !st.propagate(fd.Body) {
+			break
+		}
+	}
+	st.findFrameFed(fd.Body)
+	st.reportEscapes(fd.Body)
+	st.reportUseAfterRelease(fd.Body)
+}
+
+func (st *aliasState) info() *types.Info { return st.pass.TypesInfo }
+
+// isFrameType reports t == *wire.Frame (or wire.Frame).
+func (st *aliasState) isFrameType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Frame" && named.Obj().Pkg() == st.wire
+}
+
+// isMessageType reports whether t is a wire message (a named type from
+// the wire package implementing wire.Message, or the interface itself).
+func (st *aliasState) isMessageType(t types.Type) bool {
+	if st.msg == nil {
+		return false
+	}
+	base := t
+	if ptr, ok := base.(*types.Pointer); ok {
+		base = ptr.Elem()
+	}
+	named, ok := base.(*types.Named)
+	if !ok || named.Obj().Pkg() != st.wire {
+		return false
+	}
+	return types.Implements(t, st.msg) || types.Identical(t.Underlying(), st.msg)
+}
+
+// aliasKind reports whether a value of type t can physically alias
+// frame bytes: strings, byte slices, and slices thereof. Scalars copied
+// out of a message (Seq, Version…) are frame-independent.
+func aliasKind(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.String || u.Kind() == types.UntypedString
+	case *types.Slice:
+		elem := u.Elem().Underlying()
+		if b, ok := elem.(*types.Basic); ok {
+			return b.Kind() == types.Byte || b.Kind() == types.String
+		}
+		return aliasKind(u.Elem())
+	case *types.Interface:
+		// A Message interface value carries its aliased fields; error
+		// values (reused err variables) never alias frame bytes.
+		return !isErrorType(t)
+	case *types.Pointer:
+		return aliasKind(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasKind(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// exprTainted reports whether e evaluates to frame-aliasing data.
+func (st *aliasState) exprTainted(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := st.info().Uses[e]
+		return obj != nil && st.tainted[obj] && aliasKind(obj.Type())
+	case *ast.SelectorExpr:
+		// m.Key is tainted when m is; selecting a scalar field is clean.
+		if tv, ok := st.info().Types[ast.Expr(e)]; ok && !aliasKind(tv.Type) {
+			return false
+		}
+		return st.exprTainted(e.X)
+	case *ast.IndexExpr:
+		if tv, ok := st.info().Types[ast.Expr(e)]; ok && !aliasKind(tv.Type) {
+			return false
+		}
+		return st.exprTainted(e.X)
+	case *ast.SliceExpr:
+		return st.exprTainted(e.X)
+	case *ast.TypeAssertExpr:
+		return st.exprTainted(e.X)
+	case *ast.StarExpr:
+		return st.exprTainted(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return st.exprTainted(e.X)
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if st.exprTainted(elt) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return st.callTainted(e)
+	}
+	return false
+}
+
+// callTainted: call results are clean (the callee is responsible for
+// cloning what it keeps — checked when analyzing the callee), with two
+// exceptions: the taint sources themselves, and append, which copies
+// slice headers but not the bytes the headers point at.
+func (st *aliasState) callTainted(call *ast.CallExpr) bool {
+	if fn := st.pass.CalleeFunc(call); fn != nil && fn.Pkg() == st.wire {
+		if fn.Name() == "DecodeAlias" || (fn.Name() == "Bytes" && RecvTypeName(fn) == "Frame") {
+			return true
+		}
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := st.info().Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			for _, arg := range call.Args {
+				if st.exprTainted(arg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// propagate runs one round of taint/frame propagation over simple
+// assignments; returns whether anything changed.
+func (st *aliasState) propagate(body *ast.BlockStmt) bool {
+	changed := false
+	mark := func(id *ast.Ident, m map[types.Object]bool) {
+		obj := st.info().Defs[id]
+		if obj == nil {
+			obj = st.info().Uses[id]
+		}
+		if obj != nil && !m[obj] {
+			m[obj] = true
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					id, ok := n.Lhs[i].(*ast.Ident)
+					if !ok {
+						// x.f = tainted / x[i] = tainted: the container
+						// now holds aliased data — taint its root so a
+						// later escape of the container is caught.
+						if st.exprTainted(n.Rhs[i]) {
+							if root := rootIdent(n.Lhs[i]); root != nil {
+								mark(root, st.tainted)
+							}
+						}
+						continue
+					}
+					if st.exprTainted(n.Rhs[i]) {
+						mark(id, st.tainted)
+					}
+					if tv, ok := st.info().Types[n.Rhs[i]]; ok && st.isFrameType(tv.Type) {
+						mark(id, st.frames)
+					}
+				}
+			} else if len(n.Rhs) == 1 {
+				// v, err := DecodeAlias(...) and friends.
+				if st.exprTainted(n.Rhs[0]) {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := objOf(st.info(), id); obj != nil && aliasKind(obj.Type()) {
+								mark(id, st.tainted)
+							}
+						}
+					}
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			// switch m := msg.(type): each clause binds an implicit object.
+			var subject ast.Expr
+			if as, ok := n.Assign.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+				if ta, ok := as.Rhs[0].(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			} else if es, ok := n.Assign.(*ast.ExprStmt); ok {
+				if ta, ok := es.X.(*ast.TypeAssertExpr); ok {
+					subject = ta.X
+				}
+			}
+			if subject != nil && st.exprTainted(subject) {
+				for _, clause := range n.Body.List {
+					if obj := st.info().Implicits[clause]; obj != nil && !st.tainted[obj] {
+						st.tainted[obj] = true
+						changed = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// for _, v := range taintedSlice: v aliases too.
+			if st.exprTainted(n.X) {
+				if id, ok := n.Value.(*ast.Ident); ok {
+					if obj := objOf(st.info(), id); obj != nil && aliasKind(obj.Type()) {
+						mark(id, st.tainted)
+					}
+				}
+				if id, ok := n.Key.(*ast.Ident); ok && id.Name != "_" {
+					if obj := objOf(st.info(), id); obj != nil && aliasKind(obj.Type()) {
+						mark(id, st.tainted)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// findFrameFed marks locals that receive a frame into a field — either
+// `x.frame = f` or `x := T{frame: f}` — as frame-owning containers.
+func (st *aliasState) findFrameFed(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			tv, ok := st.info().Types[as.Rhs[i]]
+			frameRHS := ok && st.isFrameType(tv.Type)
+			if !frameRHS {
+				if cl, isCl := ast.Unparen(as.Rhs[i]).(*ast.CompositeLit); isCl {
+					for _, elt := range cl.Elts {
+						v := elt
+						if kv, isKV := elt.(*ast.KeyValueExpr); isKV {
+							v = kv.Value
+						}
+						if tvv, okv := st.info().Types[v]; okv && st.isFrameType(tvv.Type) {
+							frameRHS = true
+						}
+					}
+				}
+			}
+			if !frameRHS {
+				continue
+			}
+			if root := rootIdent(as.Lhs[i]); root != nil {
+				if obj := objOf(st.info(), root); obj != nil {
+					st.frameFed[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// rootIdent digs to the base identifier of a selector/index chain.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// reportEscapes flags stores of tainted values into anything that
+// outlives the function's view of the frame.
+func (st *aliasState) reportEscapes(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				var rhs ast.Expr
+				if len(n.Lhs) == len(n.Rhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil || !st.exprTainted(rhs) {
+					continue
+				}
+				st.checkStore(lhs, rhs)
+			}
+		case *ast.SendStmt:
+			if st.exprTainted(n.Value) {
+				st.pass.Reportf(n.Value.Pos(), "frame-aliased value sent on a channel: the receiver outlives the frame — clone it first (strings.Clone / append)")
+			}
+		case *ast.FuncLit:
+			// Any reference to tainted state inside a closure: the
+			// closure can outlive the frame (goroutines especially).
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				id, ok := inner.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := st.info().Uses[id]
+				if obj != nil && st.tainted[obj] && aliasKind(obj.Type()) {
+					st.pass.Reportf(id.Pos(), "frame-aliased %s captured by a closure: the closure may outlive the frame — clone before capturing", id.Name)
+					return false
+				}
+				return true
+			})
+			return false // inner statements were just checked
+		}
+		return true
+	})
+}
+
+// checkStore decides whether an assignment target makes tainted rhs
+// outlive the frame.
+func (st *aliasState) checkStore(lhs, rhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		// Plain local rebinding: taint propagates, no escape yet. A
+		// package-level var is an escape.
+		obj := objOf(st.info(), l)
+		if obj != nil && !st.locals[obj] && obj.Parent() == obj.Pkg().Scope() {
+			st.pass.Reportf(lhs.Pos(), "frame-aliased value stored in package-level %s: outlives the frame — clone it first", l.Name)
+		}
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := objOf(st.info(), root)
+		if obj == nil {
+			return
+		}
+		if st.frameFed[obj] {
+			return // the container owns its frame: lifetime travels with it
+		}
+		if st.locals[obj] {
+			// A store into a local struct/slice/map is only dangerous
+			// once that local escapes; flagging every scratch struct
+			// would drown the signal. The returned-container case is
+			// handled by callers of this function's result under the
+			// same rules when they retain it.
+			return
+		}
+		st.pass.Reportf(lhs.Pos(), "frame-aliased value stored through %s (parameter, receiver, or global): outlives the frame — clone it, or hand the frame over with it", root.Name)
+	}
+}
+
+// reportUseAfterRelease flags reads of tainted values, or of the frame
+// itself, in statements after frame.Release() within the same block.
+func (st *aliasState) reportUseAfterRelease(body *ast.BlockStmt) {
+	var walkBlock func(list []ast.Stmt)
+	walkBlock = func(list []ast.Stmt) {
+		released := -1
+		for i, stmt := range list {
+			if released >= 0 && i > released {
+				st.checkReleasedUse(stmt)
+			}
+			if released < 0 && st.isReleaseStmt(stmt) {
+				released = i
+			}
+			// Recurse into nested blocks with a fresh horizon.
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BlockStmt:
+					walkBlock(n.List)
+					return false
+				case *ast.CaseClause:
+					walkBlock(n.Body)
+					return false
+				case *ast.CommClause:
+					walkBlock(n.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walkBlock(body.List)
+}
+
+// isReleaseStmt matches `f.Release()` as a statement, f being a frame.
+func (st *aliasState) isReleaseStmt(stmt ast.Stmt) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := st.pass.CalleeFunc(call)
+	if fn == nil || fn.Name() != "Release" || RecvTypeName(fn) != "Frame" || fn.Pkg() != st.wire {
+		return false
+	}
+	return true
+}
+
+// checkReleasedUse reports tainted reads inside stmt.
+func (st *aliasState) checkReleasedUse(stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := st.info().Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st.tainted[obj] && aliasKind(obj.Type()) {
+			st.pass.Reportf(id.Pos(), "%s aliases a frame already released in this block: the pool may have recycled it", id.Name)
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+	"github.com/brb-repro/brb/internal/analysis/analysistest"
+)
+
+func TestFrameAlias(t *testing.T) {
+	// framealias/b imports framealias/a and the fake wire package, so
+	// this also exercises cross-package type resolution.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.FrameAlias}, "./framealias/...")
+}

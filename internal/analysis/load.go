@@ -1,0 +1,272 @@
+package analysis
+
+// Package loading without golang.org/x/tools: a two-step `go list`
+// pipeline. The first invocation resolves the target patterns to
+// packages (with their test files). The second, with -deps -export,
+// compiles every dependency into the build cache and reports each
+// package's export-data file, which go/importer's gc importer reads
+// directly. Target packages are then parsed and type-checked from
+// source — test files included, which export data alone cannot give —
+// in dependency order, so targets that import other targets resolve
+// against the in-memory, source-checked result (this is what lets
+// external _test packages see export_test.go identifiers).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Imports      []string
+	TestImports  []string
+	XTestImports []string
+	Error        *struct{ Err string }
+}
+
+func goList(dir string, args ...string) ([]listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -json decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load resolves patterns (e.g. "./...") in dir into fully type-checked
+// packages, test files included. An external test package (package
+// foo_test) is returned as its own Package with path "foo_test".
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var clean []listedPackage
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.CgoFiles) > 0 {
+			return nil, fmt.Errorf("%s: cgo packages are not supported", t.ImportPath)
+		}
+		clean = append(clean, t)
+	}
+	targets = clean
+
+	// Gather every import any target (or its tests) names, and resolve
+	// the transitive closure to export-data files. Targets themselves
+	// are type-checked from source and served from memory instead.
+	isTarget := make(map[string]bool, len(targets))
+	for _, t := range targets {
+		isTarget[t.ImportPath] = true
+	}
+	depSet := make(map[string]bool)
+	for _, t := range targets {
+		for _, imps := range [][]string{t.Imports, t.TestImports, t.XTestImports} {
+			for _, imp := range imps {
+				if imp != "C" && imp != "unsafe" && !isTarget[imp] {
+					depSet[imp] = true
+				}
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(depSet) > 0 {
+		deps := make([]string, 0, len(depSet))
+		for d := range depSet {
+			deps = append(deps, d)
+		}
+		sort.Strings(deps)
+		depPkgs, err := goList(dir, append([]string{"-deps", "-export"}, deps...)...)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range depPkgs {
+			if d.Export != "" {
+				exports[d.ImportPath] = d.Export
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &cachingImporter{
+		mem: make(map[string]*types.Package),
+		gc: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}).(types.ImporterFrom),
+	}
+
+	// Type-check targets in dependency order so in-module imports hit
+	// the in-memory results.
+	order, err := topoSort(targets)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, t := range order {
+		pkg, err := checkPackage(fset, imp, t.Dir, t.ImportPath, append(append([]string{}, t.GoFiles...), t.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		imp.mem[t.ImportPath] = pkg.Types
+		out = append(out, pkg)
+	}
+	// External test packages go last: they may import any target.
+	for _, t := range order {
+		if len(t.XTestGoFiles) == 0 {
+			continue
+		}
+		xpkg, err := checkPackage(fset, imp, t.Dir, t.ImportPath+"_test", t.XTestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xpkg)
+	}
+	return out, nil
+}
+
+// checkPackage parses and type-checks one package's files.
+func checkPackage(fset *token.FileSet, imp types.ImporterFrom, dir, path string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		full := f
+		if !filepath.IsAbs(full) {
+			full = filepath.Join(dir, f)
+		}
+		af, err := parser.ParseFile(fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", "amd64"),
+	}
+	tpkg, err := conf.Check(path, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-check %s: %v", path, err)
+	}
+	return &Package{PkgPath: path, Fset: fset, Syntax: syntax, Types: tpkg, TypesInfo: info}, nil
+}
+
+// cachingImporter serves source-checked targets from memory and
+// everything else from compiler export data.
+type cachingImporter struct {
+	mem map[string]*types.Package
+	gc  types.ImporterFrom
+}
+
+func (ci *cachingImporter) Import(path string) (*types.Package, error) {
+	return ci.ImportFrom(path, "", 0)
+}
+
+func (ci *cachingImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := ci.mem[path]; ok {
+		return p, nil
+	}
+	return ci.gc.ImportFrom(path, dir, mode)
+}
+
+// topoSort orders targets so every target appears after the targets it
+// (or its in-package tests) imports. External-test imports do not
+// constrain the order: the xtest unit is checked after its subject
+// anyway, and counting them would make kv <-> netstore style test
+// cycles unsortable.
+func topoSort(targets []listedPackage) ([]listedPackage, error) {
+	byPath := make(map[string]*listedPackage, len(targets))
+	for i := range targets {
+		byPath[targets[i].ImportPath] = &targets[i]
+	}
+	var order []listedPackage
+	state := make(map[string]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listedPackage) error
+	visit = func(p *listedPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, imps := range [][]string{p.Imports, p.TestImports} {
+			for _, imp := range imps {
+				if dep, ok := byPath[imp]; ok && dep.ImportPath != p.ImportPath {
+					if err := visit(dep); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		order = append(order, *p)
+		return nil
+	}
+	for i := range targets {
+		if err := visit(&targets[i]); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Sleepless bans time.Sleep in _test.go files. PR 6 replaced
+// sleep-based timing with explicit synchronization points — the
+// FaultInjector stall gate, the injectable hedge timer, and polling
+// helpers whose loops live outside test files (internal/testutil) — so
+// a sleep in a test is either a flake waiting for a slow machine or a
+// wasted fixed delay on a fast one.
+var Sleepless = &Analyzer{
+	Name: "sleepless",
+	Doc: "time.Sleep is banned in tests: wait on an observable condition " +
+		"(testutil.Eventually, FaultInjector.StalledCount, the hedge-timer hook) " +
+		"instead of guessing a margin",
+	Run: runSleepless,
+}
+
+func runSleepless(pass *Pass) error {
+	for _, f := range pass.Files {
+		if !pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.CalleeFunc(call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				pass.Reportf(call.Pos(), "time.Sleep in test: poll an observable condition (testutil.Eventually) or use the FaultInjector/hedge-timer hooks")
+			}
+			return true
+		})
+	}
+	return nil
+}

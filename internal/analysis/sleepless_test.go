@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+	"github.com/brb-repro/brb/internal/analysis/analysistest"
+)
+
+func TestSleepless(t *testing.T) {
+	// The fixture sleeps in both a test file (flagged, and separately
+	// suppressed) and a non-test file (out of scope).
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.Sleepless}, "./sleepless/...")
+}

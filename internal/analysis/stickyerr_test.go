@@ -1,0 +1,16 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"github.com/brb-repro/brb/internal/analysis"
+	"github.com/brb-repro/brb/internal/analysis/analysistest"
+)
+
+func TestStickyErr(t *testing.T) {
+	// The kv and netstore fixture mirrors exercise the unexported
+	// targets (wal methods, connState.send) at in-package call sites;
+	// stickyerr/use covers the exported ConnWriter surface.
+	analysistest.Run(t, "testdata", []*analysis.Analyzer{analysis.StickyErr},
+		"./internal/kv", "./internal/netstore", "./stickyerr/...")
+}

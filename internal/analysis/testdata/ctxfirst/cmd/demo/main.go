@@ -1,0 +1,9 @@
+// cmd/ binaries are the sanctioned place to mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

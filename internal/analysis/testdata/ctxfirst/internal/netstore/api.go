@@ -1,0 +1,35 @@
+// Fixtures for the ctxfirst analyzer: this package's path ends in
+// internal/netstore, putting it on the request path.
+package netstore
+
+import "context"
+
+type Client struct{}
+
+func (c *Client) Fetch(key string, ctx context.Context) error { // want `first parameter`
+	_ = ctx
+	return nil
+}
+
+func (c *Client) Get(ctx context.Context, key string) error {
+	_ = ctx
+	return nil
+}
+
+func (c *Client) NoCtx(key string) error { return nil }
+
+// unexported helpers may order params freely.
+func retry(key string, ctx context.Context) { _ = ctx }
+
+func (c *Client) Detach() context.Context {
+	return context.Background() // want `context.Background`
+}
+
+func (c *Client) Postpone() context.Context {
+	return context.TODO() // want `context.TODO`
+}
+
+func (c *Client) Rooted() context.Context {
+	//brb:allow ctxfirst lifecycle root, cancelled by Close
+	return context.Background()
+}

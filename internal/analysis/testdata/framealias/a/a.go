@@ -1,0 +1,102 @@
+// Fixtures for the framealias analyzer: each flagged line retains
+// frame-aliased data past the frame's lifetime; the clean variants show
+// the sanctioned patterns (clone before retaining, use-then-release,
+// frame-owning containers).
+package a
+
+import (
+	"strings"
+
+	"example.com/brbfix/internal/wire"
+)
+
+// Sink is a retained destination shared with the multi-package fixture
+// in framealias/b.
+type Sink struct {
+	Name string
+}
+
+var lastName string
+
+type cache struct {
+	name string
+}
+
+func StoreGlobal(m *wire.Echo) {
+	lastName = m.Name // want `package-level`
+}
+
+func (c *cache) Keep(m *wire.Echo) {
+	c.name = m.Name // want `outlives the frame`
+}
+
+func (c *cache) KeepClone(m *wire.Echo) {
+	c.name = strings.Clone(m.Name)
+}
+
+func Index(idx map[string][]byte, m *wire.Echo) {
+	idx[m.Name] = m.Payload // want `outlives the frame`
+}
+
+func IndexCopied(idx map[string][]byte, m *wire.Echo) {
+	val := make([]byte, len(m.Payload))
+	copy(val, m.Payload)
+	idx[strings.Clone(m.Name)] = val
+}
+
+func Publish(ch chan string, m *wire.Echo) {
+	ch <- m.Name // want `sent on a channel`
+}
+
+func Spawn(m *wire.Echo) {
+	go func() {
+		_ = m.Name // want `captured by a closure`
+	}()
+}
+
+func UseAfterRelease(f *wire.Frame) {
+	msg, err := wire.DecodeAlias(f.Bytes())
+	if err != nil {
+		return
+	}
+	echo, ok := msg.(*wire.Echo)
+	if !ok {
+		return
+	}
+	name := echo.Name
+	f.Release()
+	println(name) // want `already released`
+}
+
+func UseThenRelease(f *wire.Frame) string {
+	msg, err := wire.DecodeAlias(f.Bytes())
+	if err != nil {
+		f.Release()
+		return ""
+	}
+	var out string
+	if e, ok := msg.(*wire.Echo); ok {
+		out = strings.Clone(e.Name)
+	}
+	f.Release()
+	return out
+}
+
+// batch owns its frame: release() drops data and frame together, so
+// holding aliased fields is sanctioned (the batchState pattern).
+type batch struct {
+	frame *wire.Frame
+	name  string
+}
+
+func NewBatch(f *wire.Frame, m *wire.Echo) *batch {
+	b := new(batch)
+	b.frame = f
+	b.name = m.Name
+	return b
+}
+
+func (b *batch) release() {
+	b.frame.Release()
+	b.frame = nil
+}

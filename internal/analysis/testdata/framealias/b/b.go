@@ -1,0 +1,25 @@
+// Multi-package framealias fixture: the retained container type comes
+// from package a and the message type from the fake wire package, so the
+// analyzer must resolve taint across two package boundaries.
+package b
+
+import (
+	"strings"
+
+	"example.com/brbfix/framealias/a"
+	"example.com/brbfix/internal/wire"
+)
+
+func Retain(s *a.Sink, m *wire.Echo) {
+	s.Name = m.Name // want `outlives the frame`
+}
+
+func RetainClone(s *a.Sink, m *wire.Echo) {
+	s.Name = strings.Clone(m.Name)
+}
+
+func RetainRanged(s *a.Sink, m *wire.Echo) {
+	for _, addr := range m.Addrs {
+		s.Name = addr // want `outlives the frame`
+	}
+}

@@ -1,0 +1,3 @@
+module example.com/brbfix
+
+go 1.22

@@ -1,0 +1,48 @@
+// Fixtures for the stickyerr analyzer's kv-side targets. The path suffix
+// internal/kv makes wal/Durable/writeSnapshot call sites here match the
+// real package's, including the unexported methods only callable
+// in-package.
+package kv
+
+type wal struct{ err error }
+
+func (w *wal) append(op byte, key string) error { return w.err }
+
+func (w *wal) appendAsync(op byte, key string) error { return w.err }
+
+func (w *wal) rotate() error { return w.err }
+
+func (w *wal) close() error { return w.err }
+
+func writeSnapshot(path string) error { return nil }
+
+type Durable struct{ w wal }
+
+func (d *Durable) Set(key string, val []byte) error { return d.w.append(1, key) }
+
+func (d *Durable) Close() error { return d.w.close() }
+
+func (d *Durable) purge(key string) {
+	d.w.appendAsync(2, key) // want `error discarded`
+}
+
+func (d *Durable) shutdown() {
+	defer d.w.close()         // want `error unobservable`
+	_ = writeSnapshot("snap") // want `assigned to _`
+}
+
+func (d *Durable) spin() {
+	go d.w.rotate() // want `error unobservable`
+}
+
+func (d *Durable) flushAll(key string) error {
+	if err := d.w.append(1, key); err != nil {
+		return err
+	}
+	return writeSnapshot("snap")
+}
+
+func (d *Durable) bestEffort(key string) {
+	//brb:allow stickyerr best-effort purge: the WAL is already fail-stopped
+	_ = d.w.appendAsync(2, key)
+}

@@ -1,0 +1,17 @@
+// Fixtures for the stickyerr analyzer's netstore-side target: the
+// connState.send wrapper over ConnWriter.
+package netstore
+
+import "example.com/brbfix/internal/wire"
+
+type connState struct{ w *wire.ConnWriter }
+
+func (c *connState) send(m wire.Message) error { return c.w.Send(m) }
+
+func respond(c *connState, m wire.Message) {
+	c.send(m) // want `error discarded`
+}
+
+func respondChecked(c *connState, m wire.Message) error {
+	return c.send(m)
+}

@@ -1,0 +1,9 @@
+// Fixture host for the sleepless analyzer: sleeps in non-test files are
+// out of scope (polling helpers like testutil live in one).
+package pkg
+
+import "time"
+
+func Backoff() {
+	time.Sleep(time.Millisecond)
+}

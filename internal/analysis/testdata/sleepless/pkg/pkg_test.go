@@ -1,0 +1,16 @@
+package pkg
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNaughty(t *testing.T) {
+	time.Sleep(time.Millisecond) // want `time.Sleep in test`
+	Backoff()
+}
+
+func TestSoak(t *testing.T) {
+	//brb:allow sleepless genuine soak: nothing observable to poll here
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,25 @@
+// Fixtures for the //brb:allow suppression machinery itself: a valid
+// marker silences its analyzer on the marker's line and the next line;
+// a marker without an analyzer and reason, or naming an unknown
+// analyzer, is a diagnostic in its own right (reported as "brbvet").
+// The bad markers ride as trailing comments, with the expectation on
+// the following line via want-prev, because the diagnostic lands on the
+// marker itself where no want comment can fit.
+package suppress
+
+import "example.com/brbfix/internal/metrics"
+
+//brb:allow counterlint legacy dashboard name, kept until the rename migration
+var legacy = metrics.GetCounter("LegacyOps")
+
+var orphan = metrics.GetCounter("fix_sup_ok_total") //brb:allow
+// want-prev `malformed`
+
+var unknown = metrics.GetCounter("fix_sup_other_total") //brb:allow nosuchanalyzer because reasons
+// want-prev `unknown analyzer`
+
+func Touch() {
+	legacy.Inc()
+	orphan.Inc()
+	unknown.Inc()
+}

@@ -164,7 +164,12 @@ func OpenDurable(dir string, store *Store, opts DurableOptions) (*Durable, Repla
 	// (replay resurrects a tombstone, which only re-suppresses already-
 	// dead writes), so purges ride the next flush without waiting.
 	store.setPurgeHook(func(key string, ver uint64) {
-		_ = w.appendAsync(opPurge, key, nil, ver)
+		if err := w.appendAsync(opPurge, key, nil, ver); err != nil {
+			// The WAL has fail-stopped, so foreground writes are
+			// already erroring; an unlogged purge at worst resurrects
+			// a tombstone on replay. Count it so the drop is visible.
+			walPurgeDrops.Inc()
+		}
 	})
 	if opts.SnapshotInterval > 0 {
 		d.snapStop = make(chan struct{})
@@ -263,8 +268,11 @@ func (d *Durable) snapshotLoop(interval time.Duration, stop <-chan struct{}) {
 		case <-ticker.C:
 			// Periodic snapshots are best-effort; a failure (e.g. an
 			// injected rename crash) leaves the WAL intact and the next
-			// tick tries again.
-			_ = d.Snapshot()
+			// tick tries again. Count failures so a persistently broken
+			// snapshot path shows up before boot-time replay blows up.
+			if err := d.Snapshot(); err != nil {
+				snapshotErrors.Inc()
+			}
 		}
 	}
 }

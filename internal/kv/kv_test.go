@@ -6,6 +6,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/brb-repro/brb/internal/testutil"
 )
 
 func TestSetGet(t *testing.T) {
@@ -297,17 +299,19 @@ func TestTombstoneGC(t *testing.T) {
 	if s.TombstoneCount() != 1 {
 		t.Fatalf("tombstones = %d, want 1", s.TombstoneCount())
 	}
-	// Horizon 30ms: wait until the old tombstone is past it, lay a fresh
-	// one, and let the sweeper run.
+	// Horizon 30ms: the background sweeper drops the old tombstone once
+	// it ages past the horizon.
 	stop := s.StartTombstoneGC(30*time.Millisecond, 5*time.Millisecond)
 	defer stop()
-	time.Sleep(60 * time.Millisecond)
+	testutil.Eventually(t, 2*time.Second, "old tombstone swept", func() bool {
+		return s.TombstoneCount() == 0
+	})
+	// Stop the background ticker (stop is idempotent); the fresh-survival
+	// half sweeps by hand so nothing races the assertions below.
+	stop()
 	s.SetVersion("fresh", []byte("y"), 1)
 	s.DeleteVersion("fresh", 2)
-	deadline := time.Now().Add(2 * time.Second)
-	for s.TombstoneCount() != 1 && time.Now().Before(deadline) {
-		time.Sleep(5 * time.Millisecond)
-	}
+	s.sweepShard(0, time.Now().Add(-30*time.Millisecond).UnixNano())
 	if n := s.TombstoneCount(); n != 1 {
 		t.Fatalf("tombstones after sweep = %d, want 1 (only the fresh one)", n)
 	}
@@ -331,13 +335,13 @@ func TestTombstoneGCRoundRobin(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		s.DeleteVersion(fmt.Sprintf("k%d", i), uint64(i+1))
 	}
-	time.Sleep(2 * time.Millisecond)
-	// Sweep manually with an immediate cutoff: each call clears one shard.
+	// Sweep manually with a future cutoff (every tombstone is older than
+	// it, whatever the clock granularity): each call clears one shard.
 	cleared := s.TombstoneCount()
 	if cleared != 64 {
 		t.Fatalf("tombstones = %d, want 64", cleared)
 	}
-	s.sweepShard(0, time.Now().UnixNano())
+	s.sweepShard(0, time.Now().Add(time.Second).UnixNano())
 	after := s.TombstoneCount()
 	if after == 64 {
 		t.Fatal("sweep of shard 0 cleared nothing (all 64 tombstones missed it?)")
@@ -346,7 +350,7 @@ func TestTombstoneGCRoundRobin(t *testing.T) {
 		t.Fatal("one shard sweep cleared every shard")
 	}
 	for i := 1; i < s.NumShards(); i++ {
-		s.sweepShard(i, time.Now().UnixNano())
+		s.sweepShard(i, time.Now().Add(time.Second).UnixNano())
 	}
 	if n := s.TombstoneCount(); n != 0 {
 		t.Fatalf("tombstones after full pass = %d, want 0", n)

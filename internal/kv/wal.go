@@ -71,8 +71,10 @@ var (
 	walBytesTotal     = metrics.GetCounter("kv_wal_bytes_total")
 	walReplayRecords  = metrics.GetCounter("kv_wal_replay_records_total")
 	walCorruptRecords = metrics.GetCounter("kv_wal_corrupt_records_total")
+	walPurgeDrops     = metrics.GetCounter("kv_wal_purge_drops_total")
 	snapshotWrites    = metrics.GetCounter("kv_snapshot_writes_total")
 	snapshotReplays   = metrics.GetCounter("kv_snapshot_replays_total")
+	snapshotErrors    = metrics.GetCounter("kv_snapshot_errors_total")
 )
 
 // walOptions configure a WAL (set through DurableOptions).

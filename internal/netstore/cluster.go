@@ -287,6 +287,7 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	if opts.CacheSize > 0 {
 		c.cache = newHotKeyCache(opts.CacheSize)
 	}
+	//brb:allow ctxfirst the cluster root context is cancelled by Close, not inherited from a caller
 	c.rootCtx, c.rootCancel = context.WithCancel(context.Background())
 	st := &topoState{
 		topo:    topo,

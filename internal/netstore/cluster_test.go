@@ -292,28 +292,23 @@ func TestClusterAttachController(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Issue multigets long enough for a report → grant round trip.
-	deadline := time.Now().Add(3 * time.Second)
-	granted := false
-	for time.Now().Before(deadline) && !granted {
+	// Keep multiget traffic flowing (reports ride on it) until a
+	// report → grant round trip lands a credit balance.
+	waitFor(t, 3*time.Second, "credit grant reaching the cluster client", func() bool {
 		for i := 0; i < 20; i++ {
 			if _, err := c.Multiget(bg, []string{fmt.Sprintf("key:%d", i%50)}, ReadOptions{}); err != nil {
 				t.Fatal(err)
 			}
 		}
-		for s := 0; s < m.Shards() && !granted; s++ {
+		for s := 0; s < m.Shards(); s++ {
 			for r := 0; r < m.Replicas(); r++ {
 				if c.CreditBalance(s, r) != 0 {
-					granted = true
-					break
+					return true
 				}
 			}
 		}
-		time.Sleep(25 * time.Millisecond)
-	}
-	if !granted {
-		t.Fatal("no credit grant reached the cluster client within 3s")
-	}
+		return false
+	})
 }
 
 func TestDialClusterValidation(t *testing.T) {

@@ -171,6 +171,7 @@ func (cs *ControllerServer) grantLoop() {
 		}
 		cs.mu.Unlock()
 		for c, st := range targets {
+			//brb:allow stickyerr a grant to a dead client is moot: its conn teardown unregisters it before the next tick
 			_ = st.send(&wire.Grant{Alloc: alloc[c]})
 		}
 	}

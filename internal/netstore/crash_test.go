@@ -16,6 +16,7 @@ import (
 
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/testutil"
 )
 
 // startDurable starts one durable server for shard on listenAddr
@@ -34,16 +35,12 @@ func startDurable(t *testing.T, shard int, dir, listenAddr string) (*Server, str
 		t.Fatalf("NewDurableServer(%s): %v", dir, err)
 	}
 	var ln net.Listener
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	// The dying server's listener may linger briefly; poll the bind.
+	if !testutil.Poll(5*time.Second, func() bool {
 		ln, err = net.Listen("tcp", listenAddr)
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("re-listen %s: %v", listenAddr, err)
-		}
-		time.Sleep(5 * time.Millisecond)
+		return err == nil
+	}) {
+		t.Fatalf("re-listen %s: %v", listenAddr, err)
 	}
 	go func() { _ = srv.Serve(ln) }()
 	t.Cleanup(srv.Close)
@@ -54,13 +51,7 @@ func startDurable(t *testing.T, shard int, dir, listenAddr string) (*Server, str
 // depend on probe/hint goroutines, not on fixed sleeps.
 func waitUntil(t *testing.T, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatalf("timed out waiting for %s", what)
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
+	testutil.Eventually(t, 10*time.Second, what, cond)
 }
 
 // scanAtLeast reports whether addr serves every key of shard at a

@@ -21,6 +21,7 @@ import (
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/kv"
 	"github.com/brb-repro/brb/internal/metrics"
+	"github.com/brb-repro/brb/internal/testutil"
 	"github.com/brb-repro/brb/internal/wire"
 )
 
@@ -30,9 +31,10 @@ import (
 // (process stalled, TCP alive) that timeouts exist for. Unlike a kill,
 // no read or write ever errors; only a deadline gets the caller out.
 type stallProxy struct {
-	ln      net.Listener
-	target  string
-	stalled atomic.Bool
+	ln        net.Listener
+	target    string
+	stalled   atomic.Bool
+	swallowed atomic.Int64 // bytes eaten while stalled: proof a request hit the wedge
 }
 
 func newStallProxy(t *testing.T, target string) *stallProxy {
@@ -71,6 +73,7 @@ func (p *stallProxy) acceptLoop() {
 					return
 				}
 				if p.stalled.Load() {
+					p.swallowed.Add(int64(n))
 					continue // swallow: the conn stays open, nothing flows
 				}
 				if _, err := dst.Write(buf[:n]); err != nil {
@@ -251,7 +254,12 @@ func TestCancellationMidMultiget(t *testing.T) {
 	cancelledBefore := metrics.CounterValue("netstore_cancelled_total")
 	ctx, cancel := context.WithCancel(bg)
 	go func() {
-		time.Sleep(100 * time.Millisecond)
+		// Cancel once the wedged proxy has demonstrably swallowed the
+		// multiget's request bytes — i.e. the caller is parked in the
+		// stalled wait, which is the state cancellation must escape.
+		// Cancel unconditionally so a missed observation can't hang the
+		// test (RequestTimeout is disabled).
+		_ = testutil.Poll(5*time.Second, func() bool { return proxy.swallowed.Load() > 0 })
 		cancel()
 	}()
 	start := time.Now()

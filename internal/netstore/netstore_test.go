@@ -170,16 +170,30 @@ func TestClientDelete(t *testing.T) {
 }
 
 func TestPriorityOrderOnServer(t *testing.T) {
-	// Single-worker server with a fixed service delay; a first batch
-	// occupies the worker while three more queue up; they must complete
-	// in priority order, not arrival order.
+	// Single-worker server; the fault injector parks the first batch at
+	// the service gate while three more queue up; they must be serviced
+	// in priority order, not arrival order. Each priority reads a key
+	// whose value length encodes it (prio+1 bytes), so the ServiceDelay
+	// hook — called by the lone worker, in service order — can record
+	// which request it is serving without racing client goroutines.
+	var mu sync.Mutex
+	var order []int64
+	fi := NewFaultInjector()
 	srv := NewServer(kv.New(0), ServerOptions{
-		Workers:      1,
-		Discipline:   Priority,
-		ServiceDelay: func(int64) time.Duration { return 30 * time.Millisecond },
+		Workers:    1,
+		Discipline: Priority,
+		Fault:      fi,
+		ServiceDelay: func(valueSize int64) time.Duration {
+			mu.Lock()
+			order = append(order, valueSize-1)
+			mu.Unlock()
+			return 0
+		},
 	})
 	defer srv.Close()
-	srv.Store().Set("k", []byte("v"))
+	for _, prio := range []int{0, 10, 20, 30} {
+		srv.Store().Set(fmt.Sprintf("k%d", prio), make([]byte, prio+1))
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -193,33 +207,30 @@ func TestPriorityOrderOnServer(t *testing.T) {
 	}
 	defer c.Close()
 
-	var mu sync.Mutex
-	var order []int64
 	issue := func(prio int64) chan struct{} {
 		done := make(chan struct{})
 		go func() {
 			defer close(done)
-			resp, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}})
-			if err != nil {
+			if _, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{fmt.Sprintf("k%d", prio)}}); err != nil {
 				t.Error(err)
-				return
 			}
-			_ = resp
-			mu.Lock()
-			order = append(order, prio)
-			mu.Unlock()
 		}()
 		return done
 	}
-	// Occupy the worker.
+	// Occupy the worker: the injector parks the first batch in service.
+	fi.StallNext(1)
 	first := issue(0)
-	time.Sleep(10 * time.Millisecond)
-	// These three queue while the worker is busy; arrival order 30,10,20.
+	waitFor(t, 5*time.Second, "first batch parked in service", func() bool {
+		return fi.StalledCount() == 1
+	})
+	// These three queue while the worker is parked; arrival order 30,10,20.
 	d1 := issue(30)
-	time.Sleep(2 * time.Millisecond)
+	waitFor(t, 5*time.Second, "second batch queued", func() bool { return srv.QueueLen() == 1 })
 	d2 := issue(10)
-	time.Sleep(2 * time.Millisecond)
+	waitFor(t, 5*time.Second, "third batch queued", func() bool { return srv.QueueLen() == 2 })
 	d3 := issue(20)
+	waitFor(t, 5*time.Second, "fourth batch queued", func() bool { return srv.QueueLen() == 3 })
+	fi.Release()
 	<-first
 	<-d1
 	<-d2
@@ -235,13 +246,28 @@ func TestPriorityOrderOnServer(t *testing.T) {
 }
 
 func TestFIFOOrderOnServer(t *testing.T) {
+	// Same scheme as TestPriorityOrderOnServer: park the first batch at
+	// the injector's gate, queue two more in a known arrival order, and
+	// read the service order out of the ServiceDelay hook via the
+	// value-length encoding.
+	var mu sync.Mutex
+	var order []int64
+	fi := NewFaultInjector()
 	srv := NewServer(kv.New(0), ServerOptions{
-		Workers:      1,
-		Discipline:   FIFO,
-		ServiceDelay: func(int64) time.Duration { return 20 * time.Millisecond },
+		Workers:    1,
+		Discipline: FIFO,
+		Fault:      fi,
+		ServiceDelay: func(valueSize int64) time.Duration {
+			mu.Lock()
+			order = append(order, valueSize-1)
+			mu.Unlock()
+			return 0
+		},
 	})
 	defer srv.Close()
-	srv.Store().Set("k", []byte("v"))
+	for _, prio := range []int{0, 10, 30} {
+		srv.Store().Set(fmt.Sprintf("k%d", prio), make([]byte, prio+1))
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -254,26 +280,26 @@ func TestFIFOOrderOnServer(t *testing.T) {
 	}
 	defer c.Close()
 
-	var mu sync.Mutex
-	var order []int64
 	var wg sync.WaitGroup
 	issue := func(prio int64) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{"k"}}); err != nil {
+			if _, err := c.conns[0].batch(bg, &wire.BatchReq{TaskID: 1, Priority: []int64{prio}, Keys: []string{fmt.Sprintf("k%d", prio)}}); err != nil {
 				t.Error(err)
-				return
 			}
-			mu.Lock()
-			order = append(order, prio)
-			mu.Unlock()
 		}()
-		time.Sleep(3 * time.Millisecond)
 	}
+	fi.StallNext(1)
 	issue(0) // occupies worker
+	waitFor(t, 5*time.Second, "first batch parked in service", func() bool {
+		return fi.StalledCount() == 1
+	})
 	issue(30)
+	waitFor(t, 5*time.Second, "second batch queued", func() bool { return srv.QueueLen() == 1 })
 	issue(10)
+	waitFor(t, 5*time.Second, "third batch queued", func() bool { return srv.QueueLen() == 2 })
+	fi.Release()
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -114,6 +115,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 	stop := make(chan struct{})
 	errCh := make(chan error, 8)
 	var wg sync.WaitGroup
+	var ops atomic.Uint64
 	type lastWrite struct {
 		mu   sync.Mutex
 		vals map[string]string
@@ -139,6 +141,7 @@ func TestClusterLiveAddShard(t *testing.T) {
 				last.mu.Lock()
 				last.vals[k] = v
 				last.mu.Unlock()
+				ops.Add(1)
 			}
 		}()
 	}
@@ -161,12 +164,13 @@ func TestClusterLiveAddShard(t *testing.T) {
 					errCh <- fmt.Errorf("Multiget: %w", err)
 					return
 				}
+				ops.Add(1)
 			}
 		}()
 	}
 
-	// Let the load run, then grow the cluster under it.
-	time.Sleep(150 * time.Millisecond)
+	// Let the load demonstrably run, then grow the cluster under it.
+	waitFor(t, 5*time.Second, "warm-up traffic", func() bool { return ops.Load() >= 200 })
 	newID := topo.NextShardID()
 	newAddrs := startShardServers(t, newID, topo.Replicas())
 	grown, err := AddShard(bg, topo, newAddrs, RebalanceOptions{Logf: t.Logf})
@@ -177,8 +181,13 @@ func TestClusterLiveAddShard(t *testing.T) {
 		t.Fatalf("grown topology wrong: epoch %d shards %v", grown.Epoch(), grown.ShardIDs())
 	}
 
-	// Keep the load crossing the boundary for a while, then stop it.
-	time.Sleep(300 * time.Millisecond)
+	// Keep the load crossing the boundary until the long-lived client
+	// has learned the new epoch AND pushed real traffic through it.
+	waitFor(t, 5*time.Second, "client learning the grown epoch under load", func() bool {
+		return c.TopologyEpoch() == grown.Epoch()
+	})
+	crossed := ops.Load()
+	waitFor(t, 5*time.Second, "post-grow traffic", func() bool { return ops.Load() >= crossed+200 })
 	close(stop)
 	wg.Wait()
 	close(errCh)
@@ -270,6 +279,7 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	stop := make(chan struct{})
 	errCh := make(chan error, 4)
 	var wg sync.WaitGroup
+	var ops atomic.Uint64
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -283,10 +293,11 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 				errCh <- err
 				return
 			}
+			ops.Add(1)
 		}
 	}()
 
-	time.Sleep(100 * time.Millisecond)
+	waitFor(t, 5*time.Second, "warm-up traffic", func() bool { return ops.Load() >= 200 })
 	shrunk, err := RemoveShard(bg, topo, victim, RebalanceOptions{Logf: t.Logf})
 	if err != nil {
 		t.Fatalf("RemoveShard: %v", err)
@@ -294,7 +305,13 @@ func TestClusterLiveRemoveShard(t *testing.T) {
 	if shrunk.HasShard(victim) || shrunk.Shards() != 2 {
 		t.Fatalf("shrunk topology wrong: %v", shrunk.ShardIDs())
 	}
-	time.Sleep(200 * time.Millisecond)
+	// Keep reads crossing the removal until the client has learned the
+	// shrunk epoch and pushed real traffic through it.
+	waitFor(t, 5*time.Second, "client learning the shrunk epoch under load", func() bool {
+		return c.TopologyEpoch() == shrunk.Epoch()
+	})
+	crossed := ops.Load()
+	waitFor(t, 5*time.Second, "post-shrink traffic", func() bool { return ops.Load() >= crossed+200 })
 	close(stop)
 	wg.Wait()
 	close(errCh)

@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/testutil"
 )
 
 // restartServer brings a killed replica back on its old address over the
@@ -25,14 +27,11 @@ func restartServer(t *testing.T, addr string, store *kv.Store, shard int) *Serve
 	srv := NewServer(store, ServerOptions{Workers: 2, Shard: shard, CheckShard: true})
 	var ln net.Listener
 	var err error
-	for i := 0; i < 50; i++ {
+	// The killed server's listener may linger briefly; poll the bind.
+	if !testutil.Poll(5*time.Second, func() bool {
 		ln, err = net.Listen("tcp", addr)
-		if err == nil {
-			break
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	if err != nil {
+		return err == nil
+	}) {
 		t.Fatalf("re-listen on %s: %v", addr, err)
 	}
 	go func() { _ = srv.Serve(ln) }()
@@ -42,14 +41,7 @@ func restartServer(t *testing.T, addr string, store *kv.Store, shard int) *Serve
 
 func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if cond() {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("timed out waiting for %s", what)
+	testutil.Eventually(t, timeout, what, cond)
 }
 
 // TestClusterReplicaRevival is the tentpole scenario: a replica killed
@@ -385,6 +377,7 @@ func TestClusterProbeRaceWithMultigets(t *testing.T) {
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+	var ops atomic.Uint64
 	errCh := make(chan error, 4)
 	for w := 0; w < 3; w++ {
 		w := w
@@ -407,6 +400,7 @@ func TestClusterProbeRaceWithMultigets(t *testing.T) {
 					errCh <- fmt.Errorf("Multiget: %w", err)
 					return
 				}
+				ops.Add(1)
 			}
 		}()
 	}
@@ -416,10 +410,15 @@ func TestClusterProbeRaceWithMultigets(t *testing.T) {
 	srv := servers[victim]
 	for round := 0; round < 3; round++ {
 		srv.Close()
-		time.Sleep(30 * time.Millisecond)
+		// The kill is only a real revival test once the client has
+		// noticed: wait for the down mark, not a fixed grace period.
+		waitFor(t, 5*time.Second, "victim marked down", func() bool { return c.ReplicaDown(0, 0) })
 		srv = restartServer(t, addrs[victim], store, 0)
 		waitFor(t, 5*time.Second, "revival", func() bool { return !c.ReplicaDown(0, 0) })
-		time.Sleep(20 * time.Millisecond)
+		// Soak the revived topology under real traffic before the next
+		// kill: wait for the workers to push operations through it.
+		base := ops.Load()
+		waitFor(t, 5*time.Second, "post-revival traffic", func() bool { return ops.Load() >= base+100 })
 	}
 	close(stop)
 	wg.Wait()

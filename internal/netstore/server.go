@@ -330,7 +330,11 @@ func (s *Server) shutdown(kill bool) {
 	}
 	s.wg.Wait()
 	if s.dur != nil && !kill {
-		_ = s.dur.Close()
+		if err := s.dur.Close(); err != nil {
+			// Shutdown has no caller to hand the error to; count it so
+			// a failed final snapshot/WAL close is visible in metrics.
+			srvDurabilityErrors.Inc()
+		}
 	}
 }
 
@@ -923,12 +927,14 @@ func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq, frame *wire.Frame
 				srvStrayKeys.Add(uint64(strays))
 			}
 		} else if m.Shard != uint32(s.opts.Shard) {
+			//brb:allow stickyerr response send on a sticky-errored conn is moot: the readLoop tears the conn down
 			_ = cs.send(&wire.BatchResp{Batch: m.Batch, Flags: wire.FlagMisrouted})
 			frame.Release()
 			return
 		}
 	}
 	if len(m.Keys) == 0 {
+		//brb:allow stickyerr response send on a sticky-errored conn is moot: the readLoop tears the conn down
 		_ = cs.send(&wire.BatchResp{Batch: m.Batch, Epoch: epoch})
 		frame.Release()
 		return
@@ -936,6 +942,7 @@ func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq, frame *wire.Frame
 	bs := newBatchState(cs, m, frame, stray, epoch)
 	if bs.remaining == 0 {
 		// Every key was a stray: nothing to schedule, answer now.
+		//brb:allow stickyerr response send on a sticky-errored conn is moot: the readLoop tears the conn down
 		_ = bs.cs.send(&bs.resp)
 		bs.release()
 		return
@@ -971,6 +978,7 @@ func (s *Server) worker() {
 			}
 			bs.mu.Unlock()
 			if done {
+				//brb:allow stickyerr response send on a sticky-errored conn is moot: the readLoop tears the conn down
 				_ = bs.cs.send(&bs.resp)
 				bs.release()
 			}
@@ -1006,6 +1014,7 @@ func (s *Server) worker() {
 			// Send encodes synchronously into the coalescing buffer, so
 			// the state (and the frame backing its keys) recycles the
 			// moment it returns.
+			//brb:allow stickyerr response send on a sticky-errored conn is moot: the readLoop tears the conn down
 			_ = bs.cs.send(&bs.resp)
 			bs.release()
 		}

@@ -1,0 +1,48 @@
+// Package testutil holds the polling primitives tests use instead of
+// time.Sleep. The sleepless analyzer (internal/analysis) bans Sleep in
+// _test.go files: a bare sleep is either a flake on a slow machine or
+// dead time on a fast one. Polling an observable condition with a hard
+// deadline is the replacement — the one place the interval sleep lives
+// is here, in a non-test file, where the contract (bounded wait on a
+// named condition, loud failure) is enforced once.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// pollInterval balances convergence latency against spin: 2ms lets a
+// test observe background goroutines (probers, sweepers, writers)
+// within a tick or two of the condition turning true.
+const pollInterval = 2 * time.Millisecond
+
+// Eventually polls cond until it reports true, failing t if timeout
+// passes first. what names the awaited condition in the failure.
+func Eventually(t testing.TB, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	if !poll(timeout, cond) {
+		t.Fatalf("timed out after %v waiting for %s", timeout, what)
+	}
+}
+
+// Poll is Eventually's non-fatal form: true when cond held within
+// timeout. For tests that want to assert their own failure shape.
+func Poll(timeout time.Duration, cond func() bool) bool {
+	return poll(timeout, cond)
+}
+
+func poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			// One last check: cond may have turned true during the final
+			// interval sleep.
+			return cond()
+		}
+		time.Sleep(pollInterval)
+	}
+}

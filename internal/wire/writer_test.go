@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"github.com/brb-repro/brb/internal/testutil"
 )
 
 // blockingWriter counts Write calls and can stall them, so tests can
@@ -237,15 +239,9 @@ func TestConnWriterQueuedWriterSeesStickyError(t *testing.T) {
 	// The queued frame's loss is observable: Flush and any later Send
 	// report the sticky error instead of pretending delivery.
 	waitErr := func(f func() error, what string) {
-		deadline := time.Now().Add(2 * time.Second)
-		for {
-			if err := f(); errors.Is(err, wantErr) {
-				return
-			} else if time.Now().After(deadline) {
-				t.Fatalf("%s never surfaced the sticky error", what)
-			}
-			time.Sleep(time.Millisecond)
-		}
+		testutil.Eventually(t, 2*time.Second, what+" surfacing the sticky error", func() bool {
+			return errors.Is(f(), wantErr)
+		})
 	}
 	waitErr(func() error { return cw.Flush() }, "Flush")
 	waitErr(func() error { return cw.Send(&Ping{Nonce: 2}) }, "Send")
@@ -388,18 +384,12 @@ func TestConnWriterIdleFlush(t *testing.T) {
 	if err := cw.Send(&Ping{Nonce: 5}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	testutil.Eventually(t, 2*time.Second, "idle frame flush", func() bool {
 		_, data := w.snapshot()
-		if len(data) > 0 {
-			if got := readAllFrames(t, data); len(got) != 1 || got[0].(*Ping).Nonce != 5 {
-				t.Fatalf("unexpected flushed frames: %v", got)
-			}
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("idle frame never flushed")
-		}
-		time.Sleep(time.Millisecond)
+		return len(data) > 0
+	})
+	_, data := w.snapshot()
+	if got := readAllFrames(t, data); len(got) != 1 || got[0].(*Ping).Nonce != 5 {
+		t.Fatalf("unexpected flushed frames: %v", got)
 	}
 }

@@ -110,6 +110,7 @@ func main() {
 	hedgeDelay := flag.Duration("hedge-delay", 0, "hedge trigger delay (fixed mode) and cold-start floor (adaptive); 0 = policy default")
 	hedgeQuantile := flag.Float64("hedge-quantile", 0, "adaptive hedge trigger quantile in (0,1); 0 = policy default")
 	cacheSize := flag.Int("cache", 0, "client hot-key cache entries per client (sharded mode only; 0 = off)")
+	connsPerReplica := flag.Int("conns-per-replica", 1, "TCP connections per replica per cluster client, batches round-robin across them (sharded mode only)")
 	spawn := flag.Bool("spawn", false, "spawn the cluster's servers in-process instead of dialing -servers (sharded mode only; self-contained smoke runs)")
 	slowReplica := flag.Int("slow-replica", -1, "dense server index slowed by -slow-latency per request after the load phase (requires -spawn; -1 = none)")
 	slowLatency := flag.Duration("slow-latency", 2*time.Millisecond, "added service latency for -slow-replica")
@@ -317,6 +318,7 @@ func main() {
 			c, err := netstore.DialCluster(nil, netstore.ClusterOptions{
 				Topology: shardTopo, Client: client, Clients: *clients, Assigner: assigner,
 				ProbeInterval: *probeInterval, CacheSize: *cacheSize,
+				ConnsPerReplica: *connsPerReplica,
 			})
 			if err != nil {
 				return nil, err
@@ -660,6 +662,18 @@ func main() {
 		h := metrics.CountersWithPrefix("netstore_hedge_")
 		fmt.Printf("hedges: fired=%d won=%d wasted=%d\n",
 			h["netstore_hedge_fired_total"], h["netstore_hedge_won_total"], h["netstore_hedge_wasted_total"])
+	}
+	if len(spawned) > 0 {
+		// The steal counter is process-wide, so it only describes this
+		// run's servers when they were spawned in-process.
+		var served uint64
+		for _, srv := range spawned {
+			if srv != nil {
+				served += srv.Served()
+			}
+		}
+		fmt.Printf("sched: steals=%d served_keys=%d\n",
+			metrics.CounterValue("netstore_sched_steals_total"), served)
 	}
 	if *cacheSize > 0 {
 		cc := metrics.CountersWithPrefix("netstore_cache_")

@@ -138,7 +138,7 @@ func (c *Client) Delete(ctx context.Context, key string, opts WriteOptions) erro
 
 func (c *Client) write(ctx context.Context, key string, value []byte, del bool, opts WriteOptions) (err error) {
 	defer func() { countCtxErr(err) }()
-	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
+	ctx, cancel := requestContextPooled(ctx, opts.Timeout, c.opts.RequestTimeout)
 	g := c.opts.Topology.GroupOfKey(key)
 	ver := c.versions.next()
 	reps := c.opts.Topology.Replicas(g)
@@ -268,7 +268,7 @@ func (c *Client) Multiget(ctx context.Context, keys []string, opts ReadOptions) 
 		return &TaskResult{}, nil
 	}
 	defer func() { countCtxErr(err) }()
-	ctx, cancel := requestContext(ctx, opts.Timeout, c.opts.RequestTimeout)
+	ctx, cancel := requestContextPooled(ctx, opts.Timeout, c.opts.RequestTimeout)
 	defer cancel()
 	start := time.Now()
 	topo := c.opts.Topology
@@ -305,13 +305,20 @@ func (c *Client) Multiget(ctx context.Context, keys []string, opts ReadOptions) 
 		prios []int64
 		idx   []int
 	}
-	batchOf := map[cluster.ServerID]*outBatch{}
+	// Batches are keyed by server, of which a task touches at most a
+	// handful — a linear scan beats a map allocation per call.
 	var batches []*outBatch
 	for _, sub := range subs {
 		reps := topo.Replicas(sub.Group)
 		for _, r := range sub.Requests {
 			best := c.pickReplica(reps, opts.Replica)
-			b := batchOf[best]
+			var b *outBatch
+			for _, cand := range batches {
+				if cand.sid == best {
+					b = cand
+					break
+				}
+			}
 			if b == nil {
 				// Sized for the current sub-task; a server collecting
 				// requests from several groups grows by append.
@@ -322,7 +329,6 @@ func (c *Client) Multiget(ctx context.Context, keys []string, opts ReadOptions) 
 					prios: make([]int64, 0, n),
 					idx:   make([]int, 0, n),
 				}
-				batchOf[best] = b
 				batches = append(batches, b)
 			}
 			b.keys = append(b.keys, keys[r.ID])

@@ -67,6 +67,17 @@ type ClusterOptions struct {
 	// local writes/deletes, wire-version proof of staleness, and
 	// topology epoch changes (see cache.go). 0 (default) disables it.
 	CacheSize int
+	// ConnsPerReplica is the number of parallel TCP connections the
+	// client keeps to each replica (default 1). A single hot
+	// client→replica link serializes every coalesced frame through one
+	// socket's send buffer and one readLoop goroutine; extra conns
+	// spread that load, with batches rotating round-robin across them.
+	// Each conn runs its own readLoop and batch-ID space, so routing is
+	// untouched; failover semantics are per-replica — any conn's
+	// transport failure downs the replica and tears down its siblings
+	// (the failure mode is the process, not the socket), and the
+	// revival prober redials the full set before re-admitting it.
+	ConnsPerReplica int
 
 	// hedgeTimer overrides the hedge-trigger timer (test hook): it
 	// returns a channel that fires after d plus an idempotent stop
@@ -86,6 +97,9 @@ func (o ClusterOptions) withDefaults() ClusterOptions {
 	}
 	if o.Clients <= 0 {
 		o.Clients = 1
+	}
+	if o.ConnsPerReplica <= 0 {
+		o.ConnsPerReplica = 1
 	}
 	if o.ServerWorkers <= 0 {
 		o.ServerWorkers = 4
@@ -115,7 +129,7 @@ var (
 	strayRetriesTotal  = metrics.GetCounter("netstore_stray_key_retries_total")
 )
 
-// serverSlot is one server's client-side state: the live connection
+// serverSlot is one server's client-side state: its live connections
 // (swapped atomically by the revival prober), the down mark, and the
 // hinted-handoff buffer. Slots are keyed by stable server ID and
 // SHARED between topology states, so hints and down-marks survive a
@@ -123,11 +137,57 @@ var (
 type serverSlot struct {
 	id   int
 	addr string
-	conn atomic.Pointer[serverConn]
+	// conns holds ClusterOptions.ConnsPerReplica parallel connections.
+	// Liveness is per-replica, not per-conn: all entries are live or
+	// the slot is down — any conn's transport failure tears the whole
+	// set down (markDown) and the prober redials the full set before
+	// clearing the down mark (tryRevive).
+	conns []atomic.Pointer[serverConn]
+	// rr rotates batch traffic across conns (pick).
+	rr   atomic.Uint32
 	down atomic.Bool
 	// hints buffers writes this server missed while down, for replay
 	// when the prober revives it.
 	hints hintBuffer
+}
+
+func newServerSlot(id int, addr string, conns int) *serverSlot {
+	if conns < 1 {
+		conns = 1
+	}
+	return &serverSlot{id: id, addr: addr, conns: make([]atomic.Pointer[serverConn], conns)}
+}
+
+// pick returns a live connection for new batch traffic, rotating
+// round-robin across the slot's parallel connections (nil when none —
+// the slot is down or being torn down). With one conn it is the plain
+// load it always was.
+func (s *serverSlot) pick() *serverConn {
+	n := uint32(len(s.conns))
+	if n == 1 {
+		return s.conns[0].Load()
+	}
+	start := s.rr.Add(1)
+	for i := uint32(0); i < n; i++ {
+		if sc := s.conns[(start+i)%n].Load(); sc != nil {
+			return sc
+		}
+	}
+	return nil
+}
+
+// primary returns the slot's first connection (nil when down): the
+// stable choice for control-plane traffic — topology polls, hint
+// replay, repair pushes — which stays off the batch rotation.
+func (s *serverSlot) primary() *serverConn { return s.conns[0].Load() }
+
+// closeAll swaps every connection out and closes it.
+func (s *serverSlot) closeAll() {
+	for i := range s.conns {
+		if sc := s.conns[i].Swap(nil); sc != nil {
+			sc.close()
+		}
+	}
 }
 
 // topoState is one epoch's immutable view of the cluster: the topology
@@ -304,13 +364,10 @@ func DialCluster(addrs []string, opts ClusterOptions) (*Cluster, error) {
 	// servable.
 	var lastErr error
 	for _, sid := range topo.Servers() {
-		slot := &serverSlot{id: sid, addr: topo.Addr(sid)}
-		conn, err := net.DialTimeout("tcp", slot.addr, opts.DialTimeout)
-		if err != nil {
+		slot := newServerSlot(sid, topo.Addr(sid), opts.ConnsPerReplica)
+		if err := c.dialSlot(slot); err != nil {
 			slot.down.Store(true)
 			lastErr = fmt.Errorf("netstore: dial %s: %w", slot.addr, err)
-		} else {
-			slot.conn.Store(newServerConn(conn))
 		}
 		st.slots[sid] = slot
 	}
@@ -348,6 +405,29 @@ func (c *Cluster) newScorer(replicas int) *c3.Scorer {
 	})
 }
 
+// dialSlot dials every parallel connection for slot and publishes them
+// all-or-nothing: a replica is either fully connected or left for the
+// prober. Partial sets are closed and the error returned — admitting a
+// half-connected replica would make pick()'s rotation lopsided and hide
+// a connectivity problem the down-mark machinery exists to surface.
+func (c *Cluster) dialSlot(slot *serverSlot) error {
+	scs := make([]*serverConn, len(slot.conns))
+	for i := range slot.conns {
+		conn, err := net.DialTimeout("tcp", slot.addr, c.opts.DialTimeout)
+		if err != nil {
+			for _, sc := range scs[:i] {
+				sc.close()
+			}
+			return err
+		}
+		scs[i] = newServerConn(conn)
+	}
+	for i, sc := range scs {
+		slot.conns[i].Store(sc)
+	}
+	return nil
+}
+
 // markDown records a transport failure at a server: the connection the
 // caller observed failing is torn down and the server skipped until the
 // prober revives it. Never a permanent blacklist — recording the
@@ -357,11 +437,27 @@ func (c *Cluster) newScorer(replicas int) *c3.Scorer {
 // already swapped in a fresh one must not tear the revived replica back
 // down.
 func (c *Cluster) markDown(slot *serverSlot, failed *serverConn) {
-	if !slot.conn.CompareAndSwap(failed, nil) {
+	for i := range slot.conns {
+		if !slot.conns[i].CompareAndSwap(failed, nil) {
+			continue
+		}
+		slot.down.Store(true)
+		failed.close()
+		// One conn's transport failure downs the whole replica: the
+		// failure mode is the process/host behind the address, not one
+		// socket, and liveness/hints/failover are all per-replica. Tear
+		// the sibling conns down too so no batch keeps riding a
+		// connection to a server already judged dead — the prober
+		// redials the full set on revival.
+		for j := range slot.conns {
+			if j != i {
+				if sc := slot.conns[j].Swap(nil); sc != nil {
+					sc.close()
+				}
+			}
+		}
 		return
 	}
-	slot.down.Store(true)
-	failed.close()
 }
 
 // Close tears down all connections and stops the prober and any
@@ -387,9 +483,7 @@ func (c *Cluster) Close() {
 	c.topoMu.Lock()
 	st := c.state.Load()
 	for _, slot := range st.slots {
-		if sc := slot.conn.Swap(nil); sc != nil {
-			sc.close()
-		}
+		slot.closeAll()
 	}
 	c.topoMu.Unlock()
 	// Repair goroutines unblock once their connections die.
@@ -433,7 +527,7 @@ func (c *Cluster) refreshTopology(ctx context.Context, prev *topoState) *topoSta
 	var live []*serverConn
 	for _, sid := range st.topo.Servers() {
 		slot := st.slots[sid]
-		if sc := slot.conn.Load(); sc != nil && !slot.down.Load() {
+		if sc := slot.primary(); sc != nil && !slot.down.Load() {
 			live = append(live, sc)
 		}
 	}
@@ -533,13 +627,10 @@ func (c *Cluster) installLocked(st *topoState, nt *cluster.ShardTopology) *topoS
 			ns.slots[sid] = slot
 			continue
 		}
-		slot := &serverSlot{id: sid, addr: nt.Addr(sid)}
-		conn, err := net.DialTimeout("tcp", slot.addr, c.opts.DialTimeout)
-		if err != nil {
+		slot := newServerSlot(sid, nt.Addr(sid), c.opts.ConnsPerReplica)
+		if err := c.dialSlot(slot); err != nil {
 			// Down from birth; the prober takes it from here.
 			slot.down.Store(true)
-		} else {
-			slot.conn.Store(newServerConn(conn))
 		}
 		ns.slots[sid] = slot
 	}
@@ -578,9 +669,7 @@ func (c *Cluster) installLocked(st *topoState, nt *cluster.ShardTopology) *topoS
 				c.addHint(ns.slots[osid], key, h.value, h.version, h.del)
 			}
 		}
-		if sc := slot.conn.Swap(nil); sc != nil {
-			sc.close()
-		}
+		slot.closeAll()
 	}
 	c.refreshes.Add(1)
 	topoRefreshesTotal.Inc()
@@ -644,7 +733,7 @@ func (c *Cluster) write(ctx context.Context, key string, value []byte, del bool,
 		var hinted []*serverSlot // slots holding this attempt's hints
 		for r := 0; r < reps; r++ {
 			slot := st.slotOf(shard, r)
-			sc := slot.conn.Load()
+			sc := slot.pick()
 			if slot.down.Load() || sc == nil {
 				c.addHint(slot, key, value, ver, del)
 				hinted = append(hinted, slot)
@@ -1047,7 +1136,7 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 		}
 		tried[rep] = true
 		slot := st.slotOf(b.shard, rep)
-		sc := slot.conn.Load()
+		sc := slot.pick()
 		if sc == nil {
 			// Lost a race with markDown's connection teardown: treat like
 			// a transport failure and fail over.

@@ -294,7 +294,7 @@ func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Sco
 			}
 			tried[rep] = true
 			hslot := st.slotOf(b.shard, rep)
-			hsc := hslot.conn.Load()
+			hsc := hslot.pick()
 			if hsc == nil {
 				arm(first) // lost a race with markDown; re-arm and re-rank
 				continue

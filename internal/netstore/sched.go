@@ -1,0 +1,264 @@
+package netstore
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/brb-repro/brb/internal/metrics"
+)
+
+// srvSchedSteals counts work items a worker popped from a scheduler
+// shard other than its home shard — the work-stealing that keeps a
+// drained shard's workers serving instead of idling. A steal rate
+// rivaling the served-key rate means batch placement and the
+// worker/shard ratio are mismatched (e.g. far more shards than
+// concurrently busy connections).
+var srvSchedSteals = metrics.GetCounter("netstore_sched_steals_total")
+
+// scheduler is the server's scheduling queue, sharded per core: N
+// independent shards — each a stable min-priority heap (or FIFO ring)
+// behind its own lock — drained by the worker pool with work-stealing
+// on pop. Each worker homes on one shard (worker i → shard i mod N) and
+// under load only ever touches its home shard's lock; it reaches for a
+// neighbor's only when its own runs dry, and parks on the shared idle
+// handshake only when every shard is empty. A steal takes the victim's
+// best (minimum-priority) item, so stolen work is exactly what the
+// victim's own workers would have served next and the discipline's
+// ordering survives the steal.
+//
+// Ordering guarantees: an arriving batch is placed whole on ONE shard,
+// so priority decisions still see the whole batch at once (the
+// simultaneous-arrival semantics of Figure 1) and per-shard ordering is
+// exactly the unsharded scheduler's (priority, then arrival seq).
+// Ordering BETWEEN batches on different shards is not defined — that is
+// the concurrency being bought. SchedShards=1 recovers the global
+// queue's total order, which is what the deterministic ordering tests
+// pin.
+type scheduler struct {
+	disc   Discipline
+	shards []schedShard
+
+	// rr places each arriving batch on the next shard round-robin
+	// (first batch lands on shard 0 — the steal tests pin this).
+	rr atomic.Uint32
+
+	// pending is the queued-item count across all shards, incremented
+	// BEFORE the items become poppable and decremented under the shard
+	// lock at pop, so it never goes negative and a zero read under
+	// idleMu really means "nothing to serve". It doubles as QueueLen
+	// telemetry.
+	pending atomic.Int64
+
+	// steals counts cross-shard pops for this scheduler instance (the
+	// process-wide aggregate is srvSchedSteals).
+	steals atomic.Uint64
+
+	// Idle handshake. Workers that find every shard empty park on
+	// idleCond; pushers wake them only when idlers says someone is (or
+	// is about to be) parked, so the loaded hot path never touches
+	// idleMu. The handshake is Dekker-shaped: the parking worker
+	// publishes idlers before reading pending, the pusher publishes
+	// pending before reading idlers, and Go atomics are sequentially
+	// consistent — so at least one side always sees the other, and a
+	// push can never slip between a worker's empty scan and its Wait
+	// unobserved.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idlers   atomic.Int32
+	closed   bool // guarded by idleMu
+}
+
+// schedShard is one scheduler shard: the unsharded scheduler's queue
+// state behind its own lock. The struct is exactly 64 bytes (8+24+24+8)
+// so adjacent shards tend to land on distinct cache lines.
+type schedShard struct {
+	mu   sync.Mutex
+	heap itemHeap
+	fifo []*workItem
+	seq  uint64
+}
+
+func newScheduler(d Discipline, shards int) *scheduler {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &scheduler{disc: d, shards: make([]schedShard, shards)}
+	s.idleCond = sync.NewCond(&s.idleMu)
+	return s
+}
+
+// pushAll enqueues a batch's work-item slab atomically on one shard and
+// wakes parked workers; the scheduler holds pointers into the slab
+// until each item is popped. pending is published before the items so
+// it never undercounts (a popper may transiently spin on a nonzero
+// pending while the shard lock is still held here — bounded by this
+// critical section).
+func (s *scheduler) pushAll(items []workItem) {
+	s.pending.Add(int64(len(items)))
+	sh := &s.shards[int(s.rr.Add(1)-1)%len(s.shards)]
+	sh.mu.Lock()
+	for i := range items {
+		it := &items[i]
+		if s.disc == FIFO {
+			sh.fifo = append(sh.fifo, it)
+		} else {
+			sh.heap.push(heapEntry{it: it, prio: it.priority, seq: sh.seq})
+			sh.seq++
+		}
+	}
+	sh.mu.Unlock()
+	if s.idlers.Load() != 0 {
+		s.idleMu.Lock()
+		s.idleCond.Broadcast()
+		s.idleMu.Unlock()
+	}
+}
+
+// pop blocks until an item is available — home shard first, then a
+// stealing scan of the others in ring order — returning the item and
+// the remaining queue length across all shards, or ok=false once the
+// scheduler is closed and drained.
+func (s *scheduler) pop(home int) (*workItem, int, bool) {
+	for {
+		if it, qlen, ok := s.tryPopAny(home); ok {
+			return it, qlen, true
+		}
+		s.idleMu.Lock()
+		if s.closed {
+			s.idleMu.Unlock()
+			// Drain semantics of the unsharded scheduler: anything
+			// pushed before (or racing) close is still served; only an
+			// empty scan after close exits.
+			if it, qlen, ok := s.tryPopAny(home); ok {
+				return it, qlen, true
+			}
+			return nil, 0, false
+		}
+		s.idlers.Add(1)
+		if s.pending.Load() == 0 {
+			s.idleCond.Wait()
+		}
+		s.idlers.Add(-1)
+		s.idleMu.Unlock()
+	}
+}
+
+// tryPopAny scans home first, then the other shards in ring order,
+// counting any non-home pop as a steal.
+func (s *scheduler) tryPopAny(home int) (*workItem, int, bool) {
+	n := len(s.shards)
+	for off := 0; off < n; off++ {
+		v := home + off
+		if v >= n {
+			v -= n
+		}
+		it, qlen, ok := s.tryPopShard(&s.shards[v])
+		if !ok {
+			continue
+		}
+		if off != 0 {
+			srvSchedSteals.Inc()
+			s.steals.Add(1)
+		}
+		return it, qlen, true
+	}
+	return nil, 0, false
+}
+
+func (s *scheduler) tryPopShard(sh *schedShard) (*workItem, int, bool) {
+	sh.mu.Lock()
+	var it *workItem
+	if s.disc == FIFO {
+		if len(sh.fifo) == 0 {
+			sh.mu.Unlock()
+			return nil, 0, false
+		}
+		it = sh.fifo[0]
+		sh.fifo[0] = nil
+		sh.fifo = sh.fifo[1:]
+	} else {
+		if sh.heap.Len() == 0 {
+			sh.mu.Unlock()
+			return nil, 0, false
+		}
+		it = sh.heap.pop().it
+	}
+	qlen := int(s.pending.Add(-1))
+	sh.mu.Unlock()
+	return it, qlen, true
+}
+
+func (s *scheduler) len() int {
+	if n := s.pending.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
+func (s *scheduler) close() {
+	s.idleMu.Lock()
+	s.closed = true
+	s.idleMu.Unlock()
+	s.idleCond.Broadcast()
+}
+
+type heapEntry struct {
+	it   *workItem
+	prio int64
+	seq  uint64
+}
+
+// itemHeap is a hand-rolled min-heap rather than a container/heap
+// client: the stdlib interface boxes every pushed and popped entry into
+// an `any`, which costs two heap allocations per scheduled key on the
+// serving hot path.
+type itemHeap []heapEntry
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio < h[j].prio
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *itemHeap) push(e heapEntry) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *itemHeap) pop() heapEntry {
+	s := *h
+	n := len(s) - 1
+	top := s[0]
+	s[0] = s[n]
+	s[n] = heapEntry{}
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}

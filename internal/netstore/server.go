@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,14 @@ type ServerOptions struct {
 	// Workers is the number of service goroutines ("cores"). Default 4,
 	// the paper's concurrency level.
 	Workers int
+	// SchedShards is the number of scheduler shards (default
+	// min(Workers, GOMAXPROCS)). Each worker homes on one shard and
+	// steals from the others when its own runs dry; 1 recovers the
+	// single global queue. Arriving batches are placed whole on one
+	// shard round-robin, so ordering within a batch is always the
+	// discipline's; ordering BETWEEN batches is guaranteed per shard
+	// only (see DESIGN.md §13).
+	SchedShards int
 	// Discipline selects priority (default) or FIFO scheduling.
 	Discipline Discipline
 	// ServiceDelay, when non-nil, adds an artificial per-key service
@@ -106,6 +115,15 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.Workers <= 0 {
 		o.Workers = 4
 	}
+	if o.SchedShards <= 0 {
+		o.SchedShards = o.Workers
+		if p := runtime.GOMAXPROCS(0); p < o.SchedShards {
+			o.SchedShards = p
+		}
+		if o.SchedShards < 1 {
+			o.SchedShards = 1
+		}
+	}
 	return o
 }
 
@@ -136,6 +154,10 @@ type Server struct {
 
 // Served returns the number of keys this server has serviced.
 func (s *Server) Served() uint64 { return s.served.Load() }
+
+// SchedSteals returns the number of work items this server's workers
+// popped from a scheduler shard other than their home shard.
+func (s *Server) SchedSteals() uint64 { return s.sched.steals.Load() }
 
 // NewServer creates a memory-only server over the given store. For a
 // durable server (opts.DataDir set) use NewDurableServer, which can
@@ -186,7 +208,7 @@ func newServer(store *kv.Store, dur *kv.Durable, opts ServerOptions) *Server {
 		opts:  opts,
 		store: store,
 		dur:   dur,
-		sched: newScheduler(opts.Discipline),
+		sched: newScheduler(opts.Discipline, opts.SchedShards),
 		conns: make(map[net.Conn]struct{}),
 	}
 	if opts.TombstoneGCHorizon > 0 {
@@ -201,7 +223,7 @@ func newServer(store *kv.Store, dur *kv.Durable, opts ServerOptions) *Server {
 	}
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i % opts.SchedShards)
 	}
 	return s
 }
@@ -353,7 +375,19 @@ func newConnState(conn net.Conn) *connState {
 	return &connState{conn: conn, w: wire.NewConnWriter(conn)}
 }
 
-func (cs *connState) send(m wire.Message) error { return cs.w.Send(m) }
+// send queues one response frame. Batch responses take the vectored
+// path: values the store handed out are immutable (a Set replaces the
+// slice), so large ones ride the drain's writev burst as references
+// instead of being copied into the coalescing buffer. By the time Send
+// returns the frame METADATA is staged, so the batch state (and the
+// request frame backing its keys) may recycle immediately — the value
+// bytes themselves are pinned by the writer's ref slab until written.
+func (cs *connState) send(m wire.Message) error {
+	if br, ok := m.(*wire.BatchResp); ok {
+		return cs.w.SendVectored(br)
+	}
+	return cs.w.Send(m)
+}
 
 // close tears the connection down first so the writer's in-flight Write
 // cannot block the drain.
@@ -950,10 +984,10 @@ func (s *Server) enqueueBatch(cs *connState, m *wire.BatchReq, frame *wire.Frame
 	s.sched.pushAll(bs.items)
 }
 
-func (s *Server) worker() {
+func (s *Server) worker(home int) {
 	defer s.wg.Done()
 	for {
-		it, qlen, ok := s.sched.pop()
+		it, qlen, ok := s.sched.pop(home)
 		if !ok {
 			return
 		}
@@ -1019,144 +1053,6 @@ func (s *Server) worker() {
 			bs.release()
 		}
 	}
-}
-
-// scheduler is the server's scheduling queue: a stable min-priority heap
-// (or FIFO) drained by the worker pool.
-type scheduler struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	disc   Discipline
-	heap   itemHeap
-	fifo   []*workItem
-	seq    uint64
-	closed bool
-}
-
-func newScheduler(d Discipline) *scheduler {
-	s := &scheduler{disc: d}
-	s.cond = sync.NewCond(&s.mu)
-	return s
-}
-
-type heapEntry struct {
-	it   *workItem
-	prio int64
-	seq  uint64
-}
-
-// itemHeap is a hand-rolled min-heap rather than a container/heap
-// client: the stdlib interface boxes every pushed and popped entry into
-// an `any`, which costs two heap allocations per scheduled key on the
-// serving hot path.
-type itemHeap []heapEntry
-
-func (h itemHeap) Len() int { return len(h) }
-func (h itemHeap) less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio < h[j].prio
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *itemHeap) push(e heapEntry) {
-	*h = append(*h, e)
-	s := *h
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *itemHeap) pop() heapEntry {
-	s := *h
-	n := len(s) - 1
-	top := s[0]
-	s[0] = s[n]
-	s[n] = heapEntry{}
-	s = s[:n]
-	*h = s
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && s.less(l, min) {
-			min = l
-		}
-		if r < n && s.less(r, min) {
-			min = r
-		}
-		if min == i {
-			break
-		}
-		s[i], s[min] = s[min], s[i]
-		i = min
-	}
-	return top
-}
-
-// pushAll enqueues a batch's work-item slab atomically and wakes
-// workers; the scheduler holds pointers into the slab until each item
-// is popped.
-func (s *scheduler) pushAll(items []workItem) {
-	s.mu.Lock()
-	for i := range items {
-		it := &items[i]
-		if s.disc == FIFO {
-			s.fifo = append(s.fifo, it)
-		} else {
-			s.heap.push(heapEntry{it: it, prio: it.priority, seq: s.seq})
-			s.seq++
-		}
-	}
-	s.mu.Unlock()
-	for range items {
-		s.cond.Signal()
-	}
-}
-
-// pop blocks until an item is available (returning it and the remaining
-// queue length) or the scheduler is closed.
-func (s *scheduler) pop() (*workItem, int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for {
-		if s.disc == FIFO && len(s.fifo) > 0 {
-			it := s.fifo[0]
-			s.fifo[0] = nil
-			s.fifo = s.fifo[1:]
-			return it, len(s.fifo), true
-		}
-		if s.disc != FIFO && s.heap.Len() > 0 {
-			e := s.heap.pop()
-			return e.it, s.heap.Len(), true
-		}
-		if s.closed {
-			return nil, 0, false
-		}
-		s.cond.Wait()
-	}
-}
-
-func (s *scheduler) len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.disc == FIFO {
-		return len(s.fifo)
-	}
-	return s.heap.Len()
-}
-
-func (s *scheduler) close() {
-	s.mu.Lock()
-	s.closed = true
-	s.mu.Unlock()
-	s.cond.Broadcast()
 }
 
 // String implements fmt.Stringer for Discipline.

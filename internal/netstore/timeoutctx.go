@@ -1,0 +1,141 @@
+package netstore
+
+// Pooled default-timeout contexts for the client hot path.
+//
+// Every operation whose caller brings no deadline gets one from
+// requestContext — on the flat client's pipeline that was five
+// allocations per call (timerCtx, lazily-made done channel, timer,
+// runtime timer, cancel closure) for an object that lives a few hundred
+// microseconds and is cancelled unfired in the overwhelmingly common
+// case. timeoutCtx is a context.WithTimeout equivalent whose cancel
+// returns it to a sync.Pool when the deadline timer was cleanly
+// stopped, so the steady-state cost of the default timeout is zero
+// allocations: the struct, its done channel, its timer, and its cancel
+// closure are all reused across calls.
+//
+// The recycling contract is strict: after cancel returns, NO goroutine
+// may touch the context again — not Done, not Err, not Deadline — since
+// the same object (including its never-closed done channel) may already
+// be running a different call's clock. The flat Client upholds this by
+// construction: Multiget joins its fan-out goroutines before its
+// deferred cancel, and write drains every replica ack (the WriteAny
+// fast path hands cancel to the background drainer, which calls it only
+// after the last straggler delivered). The Cluster client does NOT —
+// hedged reads detach waiter goroutines that keep selecting on
+// ctx.Done() after the public call returned — so Cluster keeps stdlib
+// contexts (requestContext) and only the flat client uses the pooled
+// variant (requestContextPooled).
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// timeoutCtx is a reusable deadline-only context. It never propagates a
+// parent cancellation signal, so it is only handed out when the parent
+// has no Done channel at all (context.Background and WithValue chains
+// over it); Value still delegates to the parent.
+type timeoutCtx struct {
+	parent   context.Context
+	deadline time.Time
+
+	mu   sync.Mutex
+	err  error // nil until the timer fires; DeadlineExceeded after
+	done chan struct{}
+
+	timer     *time.Timer
+	cancelled atomic.Bool
+	cancelFn  context.CancelFunc // tc.cancel, materialized once per object
+}
+
+// Pool invariant: every pooled timeoutCtx has err == nil and its done
+// channel unclosed (the timer was stopped before it could fire), so
+// reuse only needs to re-arm the timer and reset the bookkeeping.
+var timeoutCtxPool = sync.Pool{
+	New: func() any { return &timeoutCtx{done: make(chan struct{})} },
+}
+
+// newTimeoutCtx leases a context bounded by d from the pool. The
+// returned CancelFunc must be called exactly as a stdlib cancel would
+// be, and the context must not be touched after it runs.
+func newTimeoutCtx(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	tc := timeoutCtxPool.Get().(*timeoutCtx)
+	tc.parent = parent
+	tc.deadline = time.Now().Add(d)
+	tc.cancelled.Store(false)
+	if tc.timer == nil {
+		tc.timer = time.AfterFunc(d, tc.fire)
+		tc.cancelFn = tc.cancel
+	} else {
+		tc.timer.Reset(d)
+	}
+	return tc, tc.cancelFn
+}
+
+func (tc *timeoutCtx) fire() {
+	tc.mu.Lock()
+	if tc.err == nil {
+		tc.err = context.DeadlineExceeded
+		close(tc.done)
+	}
+	tc.mu.Unlock()
+}
+
+// cancel retires the lease. A clean timer stop proves fire neither ran
+// nor will run — the done channel is still virgin and the object can be
+// reused. A failed stop means the timer fired (or is firing): the done
+// channel is burned, so the object is left to the GC exactly like a
+// stdlib context.
+func (tc *timeoutCtx) cancel() {
+	if !tc.cancelled.CompareAndSwap(false, true) {
+		return
+	}
+	if tc.timer.Stop() {
+		tc.parent = nil
+		timeoutCtxPool.Put(tc)
+	}
+}
+
+// Deadline implements context.Context.
+func (tc *timeoutCtx) Deadline() (time.Time, bool) { return tc.deadline, true }
+
+// Done implements context.Context.
+func (tc *timeoutCtx) Done() <-chan struct{} { return tc.done }
+
+// Err implements context.Context. It is clock-aware: past the deadline
+// it reports DeadlineExceeded even if the timer goroutine has not run
+// fire yet, so a caller that observed the expiry through Deadline (the
+// budget check does) gets a non-nil cause instead of a torn nil.
+func (tc *timeoutCtx) Err() error {
+	tc.mu.Lock()
+	err := tc.err
+	tc.mu.Unlock()
+	if err == nil && !time.Now().Before(tc.deadline) {
+		return context.DeadlineExceeded
+	}
+	return err
+}
+
+// Value implements context.Context by delegating to the parent chain.
+func (tc *timeoutCtx) Value(key any) any { return tc.parent.Value(key) }
+
+// requestContextPooled is requestContext for callers that uphold the
+// recycling contract above: when the default timeout would be applied
+// to a parent with no cancellation signal of its own, the context comes
+// from the pool instead of the allocator. Every other shape falls
+// through to the stdlib path.
+func requestContextPooled(ctx context.Context, timeout, def time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 && ctx.Done() == nil {
+		if _, ok := ctx.Deadline(); !ok {
+			if def == 0 {
+				def = DefaultRequestTimeout
+			}
+			if def > 0 {
+				return newTimeoutCtx(ctx, def)
+			}
+		}
+	}
+	return requestContext(ctx, timeout, def)
+}

@@ -329,6 +329,11 @@ type reader struct {
 	// alias makes key/val return views into b instead of copies; the
 	// decoded message is then only valid while b is (see DecodeAlias).
 	alias bool
+	// slab, when armed by a decoder (see decodeBatchResp), backs every
+	// val() copy in this frame with one allocation instead of one per
+	// value. The subslices are capacity-capped, so a caller appending to
+	// a decoded value reallocates instead of clobbering its neighbor.
+	slab []byte
 }
 
 func (r *reader) need(n int) []byte {
@@ -399,6 +404,14 @@ func (r *reader) val() []byte {
 	}
 	if r.alias {
 		return s[:n:n]
+	}
+	if r.slab != nil {
+		// The slab's capacity was sized to the frame bytes remaining when
+		// it was armed, which bounds the total value bytes still to come —
+		// these appends never reallocate, so earlier subslices stay valid.
+		off := len(r.slab)
+		r.slab = append(r.slab, s...)
+		return r.slab[off : off+n : off+n]
 	}
 	cp := make([]byte, n)
 	copy(cp, s)

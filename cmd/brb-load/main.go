@@ -62,7 +62,6 @@ package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -73,12 +72,12 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/brb-repro/brb/internal/cluster"
 	"github.com/brb-repro/brb/internal/core"
 	"github.com/brb-repro/brb/internal/kv"
+	"github.com/brb-repro/brb/internal/loadgen"
 	"github.com/brb-repro/brb/internal/metrics"
 	"github.com/brb-repro/brb/internal/netstore"
 	"github.com/brb-repro/brb/internal/randx"
@@ -120,6 +119,10 @@ func main() {
 	recoverAfter := flag.Duration("recover-after", 1*time.Second, "downtime before the crashed server restarts from its WAL + snapshot directory")
 	dataDir := flag.String("data-dir", "", "durable spawn: WAL + snapshot root, one subdirectory per server (empty = a temp dir when -crash-replica is set)")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy for durable spawned servers: always | interval | never")
+	specPath := flag.String("spec", "", "declarative workload spec, YAML or JSON (see internal/loadgen); overrides the legacy workload flags -keys/-tasks/-clients/-fanout/-burst-prob/-write-frac/-zipf/-seed")
+	printSpec := flag.Bool("print-spec", false, "print the effective workload spec as canonical YAML and exit (legacy flags compile to a spec too)")
+	recordPath := flag.String("record", "", "record the run's op trace to this JSONL file before executing (a .gz suffix compresses)")
+	replayPath := flag.String("replay", "", "replay a previously recorded op trace instead of generating a workload (mutually exclusive with -spec)")
 	flag.Parse()
 
 	bg := context.Background()
@@ -150,6 +153,57 @@ func main() {
 		fmt.Fprintln(os.Stderr, "brb-load: -hedge/-cache need -shards > 0 (the flat client has no replica ranking or cache)")
 		os.Exit(2)
 	}
+
+	// Workload resolution: every run executes a loadgen op sequence —
+	// replayed from a trace, generated from a spec file, or generated
+	// from the legacy flags compiled down to an equivalent spec. The
+	// spec's keyspace and seed override the flags so the load phase and
+	// the post-run convergence scans address the same keys the ops do.
+	var header loadgen.TraceHeader
+	var wops []loadgen.Op
+	if *replayPath != "" {
+		if *specPath != "" || *printSpec {
+			fmt.Fprintln(os.Stderr, "brb-load: -replay is mutually exclusive with -spec/-print-spec (the trace already fixes the workload)")
+			os.Exit(2)
+		}
+		header, wops, err = loadgen.ReadTraceFile(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brb-load:", err)
+			os.Exit(2)
+		}
+		*keys, *seed = header.Keys, header.Seed
+		log.Printf("replaying %d ops from %s (workload %q, seed %d)", len(wops), *replayPath, header.Name, header.Seed)
+	} else {
+		wspec, err := loadWorkloadSpec(*specPath, legacyFlags{
+			seed: *seed, keys: *keys, tasks: *tasks, clients: *clients,
+			fanout: *fanout, burstProb: *burstProb, writeFrac: *writeFrac, zipfS: *zipfS,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brb-load:", err)
+			os.Exit(2)
+		}
+		if *printSpec {
+			fmt.Print(loadgen.EncodeYAML(wspec))
+			return
+		}
+		*keys, *seed = wspec.Keys, wspec.Seed
+		wops, err = loadgen.Generate(wspec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "brb-load:", err)
+			os.Exit(2)
+		}
+		header = loadgen.NewTraceHeader(wspec)
+	}
+	if *recordPath != "" {
+		// Record before running: the trace is the op *schedule*, fully
+		// determined pre-execution, so a recorded generated run and a
+		// recorded replay of it are byte-identical.
+		if err := loadgen.WriteTraceFile(*recordPath, header, wops); err != nil {
+			log.Fatalf("brb-load: record: %v", err)
+		}
+		log.Printf("recorded %d ops to %s", len(wops), *recordPath)
+	}
+	totalConns := countStreams(wops)
 
 	// Crash recovery needs -spawn (the run must own the *Server handle to
 	// hard-kill it) and a surviving sibling so writes keep succeeding and
@@ -316,7 +370,7 @@ func main() {
 	dialStore := func(client int) (netstore.Store, error) {
 		if shardTopo != nil {
 			c, err := netstore.DialCluster(nil, netstore.ClusterOptions{
-				Topology: shardTopo, Client: client, Clients: *clients, Assigner: assigner,
+				Topology: shardTopo, Client: client, Clients: totalConns, Assigner: assigner,
 				ProbeInterval: *probeInterval, CacheSize: *cacheSize,
 				ConnsPerReplica: *connsPerReplica,
 			})
@@ -396,24 +450,8 @@ func main() {
 			*slowReplica, *slowReplica / *replication, *slowReplica%*replication, *slowLatency)
 	}
 
-	// Key popularity: uniform by default, Zipf under -zipf — the
-	// workload where a hot-key cache earns its keep.
-	var zipf *randx.Zipf
-	if *zipfS > 0 {
-		zipf = randx.NewZipf(*keys, *zipfS)
-	}
-	pickKey := func(rng *randx.RNG) int {
-		if zipf != nil {
-			return zipf.Sample(rng)
-		}
-		return rng.Intn(*keys)
-	}
-
-	// Measurement phase.
-	hist := metrics.NewLatencyHistogram()
-	var histMu sync.Mutex
-	var wg sync.WaitGroup
-	perClient := *tasks / *clients
+	// Measurement phase: the loadgen engine executes the op sequence —
+	// generated or replayed, it cannot tell the difference.
 	var memBefore runtime.MemStats
 	if *allocStats {
 		runtime.GC()
@@ -526,111 +564,65 @@ func main() {
 			finalTopoCh <- nt
 		}()
 	}
-	var expiredTasks, cancelledTasks atomic.Uint64
-	for w := 0; w < *clients; w++ {
-		w := w
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			c, err := dialStore(w)
-			if err != nil {
-				log.Printf("brb-load: client %d: %v", w, err)
+	// Under fault injection each worker outlives the outage: it holds
+	// the hinted writes the dead replica missed, so it must stay up
+	// until its prober revives the replica and replays them, then
+	// sweep-read the keyspace once so read-repair catches anything the
+	// hint buffer dropped. The engine runs this after a worker's last
+	// op, before closing its store.
+	postWorker := func(client string, worker int, c netstore.Store) {
+		func() {
+			cc, ok := c.(*netstore.Cluster)
+			if !ok || downServer < 0 {
 				return
 			}
-			defer c.Close()
-			defer harvestAcked(c)
-			rng := randx.New(*seed + uint64(w)*7919)
-			wsizes := randx.BoundedPareto{Alpha: 1.0, L: 256, H: 64 << 10}
-			p := 1.0 / *fanout
-			if p > 1 {
-				p = 1
+			shard, rep := downServer / *replication, downServer%*replication
+			if d := time.Until(start.Add(outage)); d > 0 {
+				time.Sleep(d)
 			}
-			for i := 0; i < perClient; i++ {
-				if *writeFrac > 0 && rng.Float64() < *writeFrac {
-					// Writes aren't recorded in the read-latency histogram;
-					// they exist to exercise replication (and, under fault
-					// injection, to create divergence the recovery path
-					// must heal). With a replica down they still succeed on
-					// the survivors.
-					k := fmt.Sprintf("key:%d", pickKey(rng))
-					if err := c.Set(bg, k, make([]byte, int(wsizes.Sample(rng))), netstore.WriteOptions{Timeout: *deadline}); err != nil {
-						if errors.Is(err, context.DeadlineExceeded) {
-							expiredTasks.Add(1)
-							continue
-						}
-						log.Printf("brb-load: client %d write: %v", w, err)
-						return
-					}
-					continue
+			deadline := time.Now().Add(15 * time.Second)
+			for time.Now().Before(deadline) && cc.ReplicaDown(shard, rep) {
+				time.Sleep(50 * time.Millisecond)
+			}
+			if cc.ReplicaDown(shard, rep) {
+				log.Printf("brb-load: %s/%d: replica %d not revived within 15s", client, worker, downServer)
+				return
+			}
+			for lo := 0; lo < *keys; lo += 256 {
+				hi := lo + 256
+				if hi > *keys {
+					hi = *keys
 				}
-				fan := rng.Geometric(p)
-				if rng.Float64() < *burstProb {
-					fan = 50 + rng.Intn(100)
+				ks := make([]string, 0, hi-lo)
+				for i := lo; i < hi; i++ {
+					ks = append(ks, fmt.Sprintf("key:%d", i))
 				}
-				ks := make([]string, fan)
-				for j := range ks {
-					ks[j] = fmt.Sprintf("key:%d", pickKey(rng))
-				}
-				res, err := c.Multiget(bg, ks, readOpts)
-				if err != nil {
-					// Deadline expiry is an expected outcome under
-					// -deadline, not a client failure: count it and keep
-					// loading (the partial result is discarded like a real
-					// service would on an SLO miss).
-					switch {
-					case errors.Is(err, context.DeadlineExceeded):
-						expiredTasks.Add(1)
-						continue
-					case errors.Is(err, context.Canceled):
-						cancelledTasks.Add(1)
-						continue
-					}
-					log.Printf("brb-load: client %d task: %v", w, err)
+				if _, err := c.Multiget(bg, ks, netstore.ReadOptions{}); err != nil {
+					log.Printf("brb-load: %s/%d sweep: %v", client, worker, err)
 					return
 				}
-				histMu.Lock()
-				hist.Record(res.Latency.Nanoseconds())
-				histMu.Unlock()
 			}
-			// Under fault injection each client outlives the outage: it
-			// holds the hinted writes the dead replica missed, so it must
-			// stay up until its prober revives the replica and replays
-			// them, then sweep-read its keys once so read-repair catches
-			// anything the hint buffer dropped.
-			if cc, ok := c.(*netstore.Cluster); ok && downServer >= 0 {
-				shard, rep := downServer / *replication, downServer%*replication
-				if d := time.Until(start.Add(outage)); d > 0 {
-					time.Sleep(d)
-				}
-				deadline := time.Now().Add(15 * time.Second)
-				for time.Now().Before(deadline) && cc.ReplicaDown(shard, rep) {
-					time.Sleep(50 * time.Millisecond)
-				}
-				if cc.ReplicaDown(shard, rep) {
-					log.Printf("brb-load: client %d: replica %d not revived within 15s", w, downServer)
-					return
-				}
-				for lo := 0; lo < *keys; lo += 256 {
-					hi := lo + 256
-					if hi > *keys {
-						hi = *keys
-					}
-					ks := make([]string, 0, hi-lo)
-					for i := lo; i < hi; i++ {
-						ks = append(ks, fmt.Sprintf("key:%d", i))
-					}
-					if _, err := c.Multiget(bg, ks, netstore.ReadOptions{}); err != nil {
-						log.Printf("brb-load: client %d sweep: %v", w, err)
-						return
-					}
-				}
-				// Read-repair pushes are asynchronous; give them a beat.
-				time.Sleep(500 * time.Millisecond)
-			}
+			// Read-repair pushes are asynchronous; give them a beat.
+			time.Sleep(500 * time.Millisecond)
 		}()
+		harvestAcked(c)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	rep, err := loadgen.Run(bg, header.Classes, wops, loadgen.RunConfig{
+		Dial: func(client string, worker, idx int) (netstore.Store, error) {
+			return dialStore(idx)
+		},
+		ClassBias:   header.ClassBias,
+		Timeout:     *deadline,
+		ReadOptions: readOpts,
+		OnError: func(client string, worker int, err error) {
+			log.Printf("brb-load: %s/%d: %v", client, worker, err)
+		},
+		PostWorker: postWorker,
+	})
+	if err != nil {
+		log.Fatalf("brb-load: run: %v", err)
+	}
+	elapsed := rep.Wall
 	if proxy != nil {
 		checkConvergence(shardTopo, realAddrs, *killReplica / *replication, *keys)
 	}
@@ -646,16 +638,26 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// The classic whole-run lines aggregate across classes; the
+	// per-class lines follow with the SLO split.
+	hist := metrics.NewLatencyHistogram()
+	var expiredTasks, cancelledTasks uint64
+	for i := range rep.Classes {
+		hist.Merge(rep.Classes[i].Hist)
+		expiredTasks += rep.Classes[i].Expired
+		cancelledTasks += rep.Classes[i].Cancelled
+	}
 	s := hist.Summarize()
 	fmt.Printf("assigner=%s tasks=%d wall=%s throughput=%.0f tasks/s\n",
 		assigner.Name(), s.Count, elapsed.Round(time.Millisecond),
 		float64(s.Count)/elapsed.Seconds())
 	fmt.Printf("task latency: %s\n", s)
+	fmt.Print(rep.String())
 	// Deadline accounting: per-task outcomes from this run, plus the
 	// client library's process-wide counters (which also cover internal
 	// sub-batches and writes).
 	fmt.Printf("deadlines: expired_tasks=%d cancelled_tasks=%d  netstore_expired_total=%d netstore_cancelled_total=%d\n",
-		expiredTasks.Load(), cancelledTasks.Load(),
+		expiredTasks, cancelledTasks,
 		metrics.CounterValue("netstore_expired_total"),
 		metrics.CounterValue("netstore_cancelled_total"))
 	if hedgePol.Mode != netstore.HedgeOff {

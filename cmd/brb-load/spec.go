@@ -1,0 +1,94 @@
+package main
+
+// Workload resolution: every brb-load run executes a declarative
+// loadgen spec. -spec loads one from disk, -replay short-circuits to a
+// recorded op trace, and bare legacy flags compile down to an
+// equivalent single-client spec — one engine behind all three paths.
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/brb-repro/brb/internal/loadgen"
+)
+
+// legacyFlags carries the classic workload knobs into legacySpec.
+type legacyFlags struct {
+	seed      uint64
+	keys      int
+	tasks     int
+	clients   int
+	fanout    float64
+	burstProb float64
+	writeFrac float64
+	zipfS     float64
+}
+
+// legacySpec compiles the classic flag workload into a spec: one
+// closed-loop client named "legacy" whose workers, op mix, Zipf
+// popularity, Pareto value sizes, and bursty fan-out reproduce what
+// the hand-rolled measurement loop used to run. -print-spec emits this
+// spec, so any legacy invocation can be captured as a file and evolved
+// from there.
+func legacySpec(f legacyFlags) *loadgen.Spec {
+	kd := loadgen.KeySpec{Dist: "uniform"}
+	if f.zipfS > 0 {
+		kd = loadgen.KeySpec{Dist: "zipf", S: f.zipfS}
+	}
+	return &loadgen.Spec{
+		Name: "legacy-flags",
+		Seed: f.seed,
+		Keys: f.keys,
+		Clients: []loadgen.ClientSpec{{
+			Name:    "legacy",
+			Workers: f.clients,
+			Ops:     f.tasks,
+			Arrival: loadgen.ArrivalSpec{Process: "closed"},
+			Keys:    kd,
+			Sizes:   loadgen.SizeSpec{Dist: "pareto", Alpha: 1.0, Min: 256, Max: 64 << 10},
+			Mix:     loadgen.MixSpec{Write: f.writeFrac},
+			Fanout: loadgen.FanoutSpec{
+				Mean: f.fanout, BurstProb: f.burstProb, BurstMin: 50, BurstMax: 149,
+			},
+		}},
+	}
+}
+
+// loadWorkloadSpec returns the run's normalized spec: the -spec file
+// when given, the legacy flags compiled otherwise.
+func loadWorkloadSpec(specPath string, legacy legacyFlags) (*loadgen.Spec, error) {
+	if specPath == "" {
+		spec := legacySpec(legacy)
+		if err := spec.Normalize(); err != nil {
+			return nil, err
+		}
+		return spec, nil
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	spec, err := loadgen.ParseSpec(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", specPath, err)
+	}
+	return spec, nil
+}
+
+// countStreams counts the distinct (client, worker) op streams — the
+// number of store connections the engine will dial, which sizes the
+// cluster client's sticky-connection spread.
+func countStreams(ops []loadgen.Op) int {
+	type stream struct {
+		client string
+		worker int
+	}
+	seen := map[stream]struct{}{}
+	for i := range ops {
+		seen[stream{ops[i].Client, ops[i].Worker}] = struct{}{}
+	}
+	if len(seen) == 0 {
+		return 1
+	}
+	return len(seen)
+}

@@ -6,25 +6,38 @@ import (
 	"regexp"
 )
 
-// CounterLint enforces the internal/metrics counter registry scheme
-// from PR 4: every counter name is a string literal matching
-// ^[a-z][a-z0-9_]+_total$, resolved exactly once into a package-level
-// var. Literal names keep `grep` and dashboards authoritative; the
-// once-rule pins the documented registry idiom (resolve at init, one
-// atomic add per event) and catches copy-paste name collisions between
-// subsystems before two call sites silently share one counter.
-// _test.go files are exempt: tests register scratch counters.
+// CounterLint enforces the internal/metrics registry scheme from PR 4
+// (counters) and PR 10 (histograms): every counter name is a string
+// literal matching ^[a-z][a-z0-9_]+_total$ and every histogram name a
+// string literal matching ^[a-z][a-z0-9_]+_(ns|bytes)$, each resolved
+// exactly once into a package-level var. Literal names keep `grep` and
+// dashboards authoritative; the once-rule pins the documented registry
+// idiom (resolve at init, one atomic op per event) and catches
+// copy-paste name collisions between subsystems before two call sites
+// silently share one instrument. _test.go files are exempt: tests
+// register scratch instruments.
 var CounterLint = &Analyzer{
 	Name: "counterlint",
-	Doc: "metrics.GetCounter names must be *_total string literals, resolved " +
-		"once into a package-level var, and registered by exactly one call site",
+	Doc: "metrics.GetCounter/GetHistogram names must be *_total / *_(ns|bytes) " +
+		"string literals, resolved once into a package-level var, and " +
+		"registered by exactly one call site",
 	Run: runCounterLint,
 }
 
-var counterNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+_total$`)
+var (
+	counterNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]+_total$`)
+	histogramNameRE = regexp.MustCompile(`^[a-z][a-z0-9_]+_(ns|bytes)$`)
+)
 
-// counterRegistration records the first GetCounter site per name across
-// the whole driver run (all packages), via Pass.Shared.
+// registryFuncs maps the internal/metrics registration entry points to
+// the naming rule their names must satisfy.
+var registryFuncs = map[string]*regexp.Regexp{
+	"GetCounter":   counterNameRE,
+	"GetHistogram": histogramNameRE,
+}
+
+// counterRegistration records the first registration site per name
+// across the whole driver run (all packages), via Pass.Shared.
 type counterRegistration struct {
 	pkg string
 	pos token.Position
@@ -45,7 +58,7 @@ func runCounterLint(pass *Pass) error {
 			continue
 		}
 		// Package-level var declarations are the sanctioned home for
-		// GetCounter calls; remember their extent.
+		// registration calls; remember their extent.
 		atVarLevel := make(map[*ast.CallExpr]bool)
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
@@ -53,15 +66,21 @@ func runCounterLint(pass *Pass) error {
 				continue
 			}
 			ast.Inspect(gd, func(n ast.Node) bool {
-				if call, ok := n.(*ast.CallExpr); ok && isGetCounter(pass, call) {
-					atVarLevel[call] = true
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn, _ := registryCallee(pass, call); fn != "" {
+						atVarLevel[call] = true
+					}
 				}
 				return true
 			})
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
-			if !ok || !isGetCounter(pass, call) {
+			if !ok {
+				return true
+			}
+			fnName, nameRE := registryCallee(pass, call)
+			if fnName == "" {
 				return true
 			}
 			if len(call.Args) != 1 {
@@ -69,19 +88,19 @@ func runCounterLint(pass *Pass) error {
 			}
 			lit, ok := call.Args[0].(*ast.BasicLit)
 			if !ok || lit.Kind != token.STRING {
-				pass.Reportf(call.Pos(), "counter name must be a string literal (greppable, dashboard-stable), not a computed value")
+				pass.Reportf(call.Pos(), "%s name must be a string literal (greppable, dashboard-stable), not a computed value", fnName)
 				return true
 			}
 			name := lit.Value[1 : len(lit.Value)-1] // strip quotes; names never need escapes
-			if !counterNameRE.MatchString(name) {
-				pass.Reportf(lit.Pos(), "counter name %q must match %s", name, counterNameRE)
+			if !nameRE.MatchString(name) {
+				pass.Reportf(lit.Pos(), "%s name %q must match %s", fnName, name, nameRE)
 			}
 			if !atVarLevel[call] {
-				pass.Reportf(call.Pos(), "GetCounter(%q) outside a package-level var: resolve counters once at init, not per event", name)
+				pass.Reportf(call.Pos(), "%s(%q) outside a package-level var: resolve registry instruments once at init, not per event", fnName, name)
 				return true
 			}
 			if prev, dup := seen[name]; dup {
-				pass.Reportf(call.Pos(), "counter %q already registered at %s: each counter has exactly one owning call site", name, prev.pos)
+				pass.Reportf(call.Pos(), "name %q already registered at %s: each counter/histogram has exactly one owning call site", name, prev.pos)
 			} else {
 				seen[name] = counterRegistration{pkg: pass.Pkg.Path(), pos: pass.Fset.Position(call.Pos())}
 			}
@@ -91,7 +110,17 @@ func runCounterLint(pass *Pass) error {
 	return nil
 }
 
-func isGetCounter(pass *Pass, call *ast.CallExpr) bool {
+// registryCallee reports whether call targets one of internal/metrics'
+// registration functions, returning its name and naming rule ("" when
+// it is not one).
+func registryCallee(pass *Pass, call *ast.CallExpr) (string, *regexp.Regexp) {
 	fn := pass.CalleeFunc(call)
-	return fn != nil && fn.Name() == "GetCounter" && fn.Pkg() != nil && PkgPathIs(fn.Pkg().Path(), "internal/metrics")
+	if fn == nil || fn.Pkg() == nil || !PkgPathIs(fn.Pkg().Path(), "internal/metrics") {
+		return "", nil
+	}
+	re, ok := registryFuncs[fn.Name()]
+	if !ok {
+		return "", nil
+	}
+	return fn.Name(), re
 }

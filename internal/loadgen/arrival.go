@@ -1,0 +1,139 @@
+package loadgen
+
+import (
+	"math"
+
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+// gapGen produces a worker's inter-arrival gaps: next returns the
+// nanoseconds between the previous op's issue time and the next one's.
+// A generator that always returns 0 is closed-loop — the engine issues
+// the next op as soon as the previous completes.
+//
+// All generators are stateful but draw randomness only from the RNG
+// handed to next, so a worker's arrival stream is a pure function of
+// its substream seed.
+type gapGen interface {
+	next(r *randx.RNG) int64
+}
+
+// newGapGen builds the generator for a normalized ArrivalSpec. Open
+// loops split the client's aggregate rate evenly over its workers.
+func newGapGen(a ArrivalSpec, workers int) gapGen {
+	rate := a.Rate / float64(workers)
+	switch a.Process {
+	case "fixed":
+		return &fixedGen{gap: 1e9 / rate}
+	case "poisson":
+		return &poissonGen{meanGap: 1e9 / rate}
+	case "onoff":
+		return &onoffGen{
+			meanGap: 1e9 / rate,
+			on:      int64(a.On),
+			cycle:   int64(a.On) + int64(a.Off),
+		}
+	case "diurnal":
+		return &diurnalGen{
+			rate:   rate / 1e9, // events per nanosecond
+			amp:    a.Amplitude,
+			period: float64(a.Period),
+		}
+	default: // "closed"
+		return closedGen{}
+	}
+}
+
+// closedGen is the closed loop: no pacing, every gap zero.
+type closedGen struct{}
+
+func (closedGen) next(*randx.RNG) int64 { return 0 }
+
+// fixedGen paces at a constant rate. The fractional accumulator keeps
+// long streams drift-free even when the ideal gap is not a whole
+// nanosecond.
+type fixedGen struct {
+	gap float64
+	acc float64
+}
+
+func (g *fixedGen) next(*randx.RNG) int64 {
+	g.acc += g.gap
+	n := int64(g.acc)
+	if n < 1 {
+		n = 1
+	}
+	g.acc -= float64(n)
+	return n
+}
+
+// poissonGen is the open-loop Poisson process: exponential gaps with
+// the given mean, floored at 1ns so timestamps stay strictly
+// increasing.
+type poissonGen struct {
+	meanGap float64
+}
+
+func (g *poissonGen) next(r *randx.RNG) int64 {
+	n := int64(r.Exp(g.meanGap))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// onoffGen is the bursty process: Poisson at the full rate inside On
+// windows, silent in the Off window of each cycle. An arrival whose
+// exponential gap lands in an off window slides to the start of the
+// next on window — the classic interrupted-Poisson shape whose mean
+// rate is rate·on/(on+off).
+type onoffGen struct {
+	meanGap   float64
+	on, cycle int64
+	t         int64 // absolute time of the previous arrival
+}
+
+func (g *onoffGen) next(r *randx.RNG) int64 {
+	gap := int64(r.Exp(g.meanGap))
+	if gap < 1 {
+		gap = 1
+	}
+	t := g.t + gap
+	if pos := t % g.cycle; pos >= g.on {
+		t += g.cycle - pos
+	}
+	delta := t - g.t
+	g.t = t
+	return delta
+}
+
+// diurnalGen ramps a Poisson process sinusoidally:
+// λ(t) = rate·(1 + amp·sin(2πt/period)), sampled by thinning a
+// homogeneous process at the peak rate (accept a candidate arrival
+// with probability λ(t)/λmax). Deterministic: both the candidate gaps
+// and the accept draws come from the worker's RNG.
+type diurnalGen struct {
+	rate   float64 // events per nanosecond
+	amp    float64
+	period float64
+	t      int64
+}
+
+func (g *diurnalGen) next(r *randx.RNG) int64 {
+	lmax := g.rate * (1 + g.amp)
+	t := g.t
+	for {
+		gap := int64(r.Exp(1 / lmax))
+		if gap < 1 {
+			gap = 1
+		}
+		t += gap
+		l := g.rate * (1 + g.amp*math.Sin(2*math.Pi*float64(t)/g.period))
+		if r.Float64()*lmax <= l {
+			break
+		}
+	}
+	delta := t - g.t
+	g.t = t
+	return delta
+}

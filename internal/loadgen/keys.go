@@ -1,0 +1,84 @@
+package loadgen
+
+import "github.com/brb-repro/brb/internal/randx"
+
+// keyPicker draws key ids in [0, keyspace) under a client's popularity
+// model. Stateful pickers (hotspot churn) draw all randomness from the
+// RNG handed to pick, so a worker's key stream is a pure function of
+// its substream seed.
+type keyPicker interface {
+	pick(r *randx.RNG) int
+}
+
+// newKeyPicker builds the picker for a normalized KeySpec over the
+// spec's shared keyspace.
+func newKeyPicker(k KeySpec, keys int) keyPicker {
+	switch k.Dist {
+	case "zipf":
+		return &zipfPicker{z: randx.NewZipf(keys, k.S)}
+	case "hotspot":
+		return &hotspotPicker{
+			n:     keys,
+			hot:   k.Hot,
+			frac:  k.HotFrac,
+			churn: k.Churn,
+		}
+	default: // "uniform"
+		return uniformPicker{n: keys}
+	}
+}
+
+type uniformPicker struct{ n int }
+
+func (p uniformPicker) pick(r *randx.RNG) int { return r.Intn(p.n) }
+
+// zipfPicker maps Zipf ranks straight onto key ids: rank 0 (the most
+// popular) is key 0, so skew checks can read popularity off the id.
+type zipfPicker struct{ z *randx.Zipf }
+
+func (p *zipfPicker) pick(r *randx.RNG) int { return p.z.Sample(r) }
+
+// hotspotPicker concentrates frac of picks on a hot set of hot keys
+// drawn from the keyspace, re-drawn every churn picks (churn 0 keeps
+// it static). Churn is counted in picks, not wall time, so replaying
+// the same substream reproduces the same hot sets at the same points.
+type hotspotPicker struct {
+	n, hot int
+	frac   float64
+	churn  int
+
+	picks int
+	set   []int
+}
+
+func (p *hotspotPicker) pick(r *randx.RNG) int {
+	if p.set == nil || (p.churn > 0 && p.picks >= p.churn) {
+		p.set = drawDistinct(r, p.n, p.hot)
+		p.picks = 0
+	}
+	p.picks++
+	if r.Float64() < p.frac {
+		return p.set[r.Intn(len(p.set))]
+	}
+	return r.Intn(p.n)
+}
+
+// drawDistinct samples k distinct ids from [0, n). Rejection sampling
+// when the set is sparse; a partial Fisher–Yates over the whole space
+// when it is not (k within a factor of two of n).
+func drawDistinct(r *randx.RNG, n, k int) []int {
+	if k*2 >= n {
+		perm := r.Perm(n)
+		return perm[:k]
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for len(out) < k {
+		id := r.Intn(n)
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}

@@ -1,0 +1,57 @@
+package loadgen
+
+import (
+	"math"
+
+	"github.com/brb-repro/brb/internal/randx"
+)
+
+// sizer draws value sizes in bytes for a client's writes.
+type sizer interface {
+	size(r *randx.RNG) int
+}
+
+// newSizer builds the sizer for a normalized SizeSpec.
+func newSizer(z SizeSpec) sizer {
+	switch z.Dist {
+	case "fixed":
+		return fixedSizer{bytes: z.Bytes}
+	case "lognormal":
+		// Solve mu so the (unclamped) mean is MeanBytes:
+		// E[exp(N(mu, sigma))] = exp(mu + sigma²/2).
+		return &lognormalSizer{
+			mu:    math.Log(z.MeanBytes) - z.Sigma*z.Sigma/2,
+			sigma: z.Sigma,
+			min:   z.Min,
+			max:   z.Max,
+		}
+	default: // "pareto"
+		return &paretoSizer{
+			dist: randx.BoundedPareto{Alpha: z.Alpha, L: float64(z.Min), H: float64(z.Max)},
+		}
+	}
+}
+
+type fixedSizer struct{ bytes int }
+
+func (s fixedSizer) size(*randx.RNG) int { return s.bytes }
+
+type paretoSizer struct{ dist randx.BoundedPareto }
+
+func (s *paretoSizer) size(r *randx.RNG) int { return int(s.dist.Sample(r)) }
+
+type lognormalSizer struct {
+	mu, sigma float64
+	min, max  int
+}
+
+func (s *lognormalSizer) size(r *randx.RNG) int {
+	v := int(r.LogNormal(s.mu, s.sigma))
+	if v < s.min {
+		v = s.min
+	}
+	if v > s.max {
+		v = s.max
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// RHistogram is a registered, concurrency-safe log-bucketed histogram:
+// the histogram counterpart of Counter. Record is one atomic add on the
+// bucket plus bookkeeping atomics — cheap enough for request paths —
+// and any goroutine may Record concurrently. Quantile reads are
+// snapshot-based: Snapshot copies the buckets into a plain *Histogram,
+// so a reader racing writers sees some consistent-enough prefix of the
+// stream (each observation is atomically all-in or not-yet; totals and
+// buckets may be skewed by in-flight records, which is fine for
+// operational reporting).
+//
+// RHistograms share the Histogram bucket layout (precision 7,
+// ≤0.8% relative quantile error); merge snapshots with Histogram.Merge.
+type RHistogram struct {
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+const rhistPrecision = 7
+
+func newRHistogram() *RHistogram {
+	h := &RHistogram{counts: make([]atomic.Uint64, 64<<rhistPrecision)}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Record adds one observation. Negative values clamp to zero, matching
+// Histogram.Record.
+func (h *RHistogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// Same bucketing as Histogram.bucketIndex at precision 7.
+	u := uint64(v)
+	exp := 0
+	for u>>rhistPrecision != 0 {
+		u >>= 1
+		exp++
+	}
+	h.counts[exp<<rhistPrecision|int(u)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded observations.
+func (h *RHistogram) Count() uint64 { return h.total.Load() }
+
+// Snapshot copies the current state into a plain single-threaded
+// Histogram for quantile extraction and merging.
+func (h *RHistogram) Snapshot() *Histogram {
+	out := NewHistogram(rhistPrecision)
+	var total uint64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		out.counts[i] = c
+		total += c
+	}
+	out.total = total
+	out.sum = h.sum.Load()
+	out.min = h.min.Load()
+	out.max = h.max.Load()
+	return out
+}
+
+// Summarize snapshots and summarizes in one step.
+func (h *RHistogram) Summarize() Summary { return h.Snapshot().Summarize() }
+
+var histogramRegistry sync.Map // string -> *RHistogram
+
+// GetHistogram returns the process-wide histogram registered under
+// name, creating it on first use. Like GetCounter, callers should
+// capture the result in a package-level var rather than re-resolving
+// per observation; brb-vet's counterlint enforces that, plus the naming
+// scheme (literal snake_case with a _ns or _bytes unit suffix) and
+// single registration per name.
+func GetHistogram(name string) *RHistogram {
+	if h, ok := histogramRegistry.Load(name); ok {
+		return h.(*RHistogram)
+	}
+	h, _ := histogramRegistry.LoadOrStore(name, newRHistogram())
+	return h.(*RHistogram)
+}
+
+// HistogramSummary reads a named histogram's summary (zero Summary if
+// never registered).
+func HistogramSummary(name string) Summary {
+	if h, ok := histogramRegistry.Load(name); ok {
+		return h.(*RHistogram).Summarize()
+	}
+	return Summary{}
+}
+
+// HistogramNames returns the registered histogram names, sorted — for
+// stable operational dumps.
+func HistogramNames() []string {
+	var names []string
+	histogramRegistry.Range(func(k, _ any) bool {
+		names = append(names, k.(string))
+		return true
+	})
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRHistogramMatchesHistogram(t *testing.T) {
+	// The registered histogram must agree with the plain one on every
+	// summary statistic for the same observation stream: the bucketing
+	// is shared by construction, and Snapshot must not distort totals.
+	rh := newRHistogram()
+	ph := NewHistogram(rhistPrecision)
+	vals := []int64{0, 1, 127, 128, 129, 1000, 1 << 20, 7 << 30, -5}
+	for _, v := range vals {
+		rh.Record(v)
+		ph.Record(v)
+	}
+	got, want := rh.Summarize(), ph.Summarize()
+	if got != want {
+		t.Fatalf("RHistogram summary %+v != Histogram summary %+v", got, want)
+	}
+}
+
+func TestRHistogramConcurrentRecord(t *testing.T) {
+	rh := newRHistogram()
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				rh.Record(int64(g*per + i))
+			}
+		}()
+	}
+	wg.Wait()
+	s := rh.Summarize()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	if s.Min != 0 || s.Max != goroutines*per-1 {
+		t.Fatalf("min/max %d/%d, want 0/%d", s.Min, s.Max, goroutines*per-1)
+	}
+}
+
+func TestRHistogramSnapshotMergeable(t *testing.T) {
+	a, b := newRHistogram(), newRHistogram()
+	for i := int64(0); i < 100; i++ {
+		a.Record(i)
+		b.Record(i * 1000)
+	}
+	m := a.Snapshot()
+	m.Merge(b.Snapshot())
+	if m.Count() != 200 {
+		t.Fatalf("merged count %d, want 200", m.Count())
+	}
+	if m.Min() != 0 || m.Max() != 99000 {
+		t.Fatalf("merged min/max %d/%d", m.Min(), m.Max())
+	}
+}
+
+func TestHistogramRegistry(t *testing.T) {
+	h1 := GetHistogram("test_registry_probe_ns")
+	h2 := GetHistogram("test_registry_probe_ns")
+	if h1 != h2 {
+		t.Fatal("GetHistogram returned distinct instances for one name")
+	}
+	h1.Record(42)
+	if s := HistogramSummary("test_registry_probe_ns"); s.Count == 0 {
+		t.Fatal("HistogramSummary did not see the registered histogram")
+	}
+	if s := HistogramSummary("test_registry_never_registered_ns"); s.Count != 0 {
+		t.Fatal("HistogramSummary fabricated an unregistered histogram")
+	}
+	found := false
+	for _, n := range HistogramNames() {
+		if n == "test_registry_probe_ns" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("HistogramNames missing registered name")
+	}
+}

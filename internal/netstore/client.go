@@ -245,6 +245,11 @@ type TaskResult struct {
 	// Bottleneck is the task's forecasted bottleneck cost in
 	// nanoseconds.
 	Bottleneck int64
+	// Hedged counts hedge attempts fired while serving this task
+	// (sharded cluster reads only). Sub-batches update it with atomic
+	// adds while the call is in flight; read it only after the call
+	// returns.
+	Hedged int32
 }
 
 // Get reads a single key through the batched pipeline (found=false for
@@ -332,7 +337,7 @@ func (c *Client) Multiget(ctx context.Context, keys []string, opts ReadOptions) 
 				batches = append(batches, b)
 			}
 			b.keys = append(b.keys, keys[r.ID])
-			b.prios = append(b.prios, r.Priority)
+			b.prios = append(b.prios, r.Priority+opts.PriorityBias)
 			b.idx = append(b.idx, int(r.ID))
 			c.outstanding[best].Add(r.EstCost)
 			if c.credits != nil {

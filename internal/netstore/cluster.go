@@ -129,6 +129,14 @@ var (
 	strayRetriesTotal  = metrics.GetCounter("netstore_stray_key_retries_total")
 )
 
+// multigetLatencyNS is the process-wide multiget completion-time
+// histogram (registered; see metrics.GetHistogram): every Cluster
+// Multiget records its issue→last-response latency here, cache-only
+// hits included, so operational tooling can read p50/p99/p999 without
+// owning the call sites. Recording is a handful of atomic adds — no
+// allocation, hot-path safe.
+var multigetLatencyNS = metrics.GetHistogram("netstore_multiget_latency_ns")
+
 // serverSlot is one server's client-side state: its live connections
 // (swapped atomically by the revival prober), the down mark, and the
 // hinted-handoff buffer. Slots are keyed by stable server ID and
@@ -984,6 +992,7 @@ func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions)
 		}
 		if pending == 0 {
 			res.Latency = time.Since(start)
+			multigetLatencyNS.Record(res.Latency.Nanoseconds())
 			return res, nil
 		}
 	}
@@ -1033,7 +1042,7 @@ func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions)
 			}
 			for j, r := range sub.Requests {
 				b.keys[j] = keys[r.ID]
-				b.prios[j] = r.Priority
+				b.prios[j] = r.Priority + opts.PriorityBias
 				b.idx[j] = int(r.ID)
 			}
 			if ferr := c.fetchBatch(ctx, st, b, res, 0, opts); ferr != nil {
@@ -1044,6 +1053,7 @@ func (c *Cluster) Multiget(ctx context.Context, keys []string, opts ReadOptions)
 	wg.Wait()
 	close(errCh)
 	res.Latency = time.Since(start)
+	multigetLatencyNS.Record(res.Latency.Nanoseconds())
 	var errs []error
 	for e := range errCh {
 		errs = append(errs, e)
@@ -1149,7 +1159,14 @@ func (c *Cluster) fetchBatch(ctx context.Context, st *topoState, b shardBatch, r
 		var resp *wire.BatchResp
 		if pol.Mode != HedgeOff && st.topo.Replicas() > 1 {
 			var err error
-			resp, rep, err = c.hedgedBatch(ctx, st, scorer, b, rep, slot, sc, tried, pol)
+			var fired int
+			resp, rep, fired, err = c.hedgedBatch(ctx, st, scorer, b, rep, slot, sc, tried, pol)
+			if fired > 0 {
+				// res slots are disjoint across sub-batches but Hedged is
+				// shared; hedges from a failed attempt still cost real work,
+				// so they count even when this attempt fails over.
+				atomic.AddInt32(&res.Hedged, int32(fired))
+			}
 			if err != nil {
 				if ctx.Err() != nil {
 					return ctxErr(ctx, fmt.Sprintf("multiget batch on shard %d", b.shard))

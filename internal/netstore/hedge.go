@@ -175,7 +175,12 @@ func (c *Cluster) newHedgeTimer(d time.Duration) (<-chan time.Time, func()) {
 // An error return means every attempt's connection died (each already
 // marked down, arming the prober) or ctx ended; the caller fails over
 // or surfaces the deadline exactly as for an unhedged attempt.
-func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Scorer, b shardBatch, first int, slot *serverSlot, sc *serverConn, tried []bool, pol HedgePolicy) (*wire.BatchResp, int, error) {
+//
+// The third result is the number of hedges this call fired, on success
+// and failure alike — the caller accounts them to the task
+// (TaskResult.Hedged) so per-class workload reports can attribute
+// hedging spend, which the process-wide counters cannot.
+func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Scorer, b shardBatch, first int, slot *serverSlot, sc *serverConn, tried []bool, pol HedgePolicy) (*wire.BatchResp, int, int, error) {
 	n := len(b.keys)
 	maxAttempts := 1 + pol.MaxHedges
 	if r := st.topo.Replicas(); maxAttempts > r {
@@ -231,7 +236,7 @@ func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Sco
 		return true
 	}
 	if !launch(first, slot, sc) {
-		return nil, first, fmt.Errorf("netstore: batch send to shard %d replica %d failed", b.shard, first)
+		return nil, first, 0, fmt.Errorf("netstore: batch send to shard %d replica %d failed", b.shard, first)
 	}
 	pending, hedges := 1, 0
 	var timerC <-chan time.Time
@@ -271,12 +276,12 @@ func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Sco
 					hedgeWonTotal.Inc()
 				}
 				countWasted(hedges - won)
-				return out.resp, out.rep, nil
+				return out.resp, out.rep, hedges, nil
 			}
 			pending--
 			if pending == 0 {
 				countWasted(hedges)
-				return nil, first, fmt.Errorf("netstore: all %d attempt(s) to shard %d failed", hedges+1, b.shard)
+				return nil, first, hedges, fmt.Errorf("netstore: all %d attempt(s) to shard %d failed", hedges+1, b.shard)
 			}
 			// An attempt died but others remain: allow another hedge in
 			// its place if the policy still has headroom.
@@ -312,7 +317,7 @@ func (c *Cluster) hedgedBatch(ctx context.Context, st *topoState, scorer *c3.Sco
 				arm(first)
 			}
 		case <-ctx.Done():
-			return nil, first, ctxErr(ctx, fmt.Sprintf("hedged batch on shard %d", b.shard))
+			return nil, first, hedges, ctxErr(ctx, fmt.Sprintf("hedged batch on shard %d", b.shard))
 		}
 	}
 }

@@ -245,6 +245,84 @@ func TestPriorityOrderOnServer(t *testing.T) {
 	}
 }
 
+func TestPriorityBiasOrdersAcrossCalls(t *testing.T) {
+	// SLO-class plumbing: ReadOptions.PriorityBias must shift the wire
+	// priority of the whole call, so a low-bias (urgent-class) Multiget
+	// issued later is served before higher-bias calls already queued.
+	// Same parked-worker scheme as TestPriorityOrderOnServer, but the
+	// priorities travel through the public Store API: the Oblivious
+	// assigner stamps 0 on every request, leaving the bias as the only
+	// ordering signal — exactly how workload SLO classes ride on top of
+	// task-aware priorities.
+	var mu sync.Mutex
+	var order []int64
+	fi := NewFaultInjector()
+	srv := NewServer(kv.New(0), ServerOptions{
+		Workers:    1,
+		Discipline: Priority,
+		Fault:      fi,
+		ServiceDelay: func(valueSize int64) time.Duration {
+			mu.Lock()
+			order = append(order, valueSize-1)
+			mu.Unlock()
+			return 0
+		},
+	})
+	defer srv.Close()
+	for _, bias := range []int{0, 10, 20, 30} {
+		srv.Store().Set(fmt.Sprintf("k%d", bias), make([]byte, bias+1))
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+
+	topo := cluster.MustNew(cluster.Config{Servers: 1, Replication: 1})
+	c, err := Dial([]string{ln.Addr().String()}, ClientOptions{Topology: topo, Assigner: core.Oblivious{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	issue := func(bias int64) chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if _, err := c.Multiget(bg, []string{fmt.Sprintf("k%d", bias)}, ReadOptions{PriorityBias: bias}); err != nil {
+				t.Error(err)
+			}
+		}()
+		return done
+	}
+	// Occupy the worker: the injector parks the first call in service.
+	fi.StallNext(1)
+	first := issue(0)
+	waitFor(t, 5*time.Second, "first call parked in service", func() bool {
+		return fi.StalledCount() == 1
+	})
+	// These three queue while the worker is parked; arrival order 30,10,20.
+	d1 := issue(30)
+	waitFor(t, 5*time.Second, "second call queued", func() bool { return srv.QueueLen() == 1 })
+	d2 := issue(10)
+	waitFor(t, 5*time.Second, "third call queued", func() bool { return srv.QueueLen() == 2 })
+	d3 := issue(20)
+	waitFor(t, 5*time.Second, "fourth call queued", func() bool { return srv.QueueLen() == 3 })
+	fi.Release()
+	<-first
+	<-d1
+	<-d2
+	<-d3
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int64{0, 10, 20, 30}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
 func TestFIFOOrderOnServer(t *testing.T) {
 	// Same scheme as TestPriorityOrderOnServer: park the first batch at
 	// the injector's gate, queue two more in a known arrival order, and

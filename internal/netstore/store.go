@@ -85,6 +85,14 @@ type ReadOptions struct {
 	// zero value disables hedging. Honored by Cluster; the flat Client
 	// and Local have no replica ranking to hedge across and ignore it.
 	Hedge HedgePolicy
+	// PriorityBias shifts the task-aware wire priority of every key this
+	// call issues (lower priorities serve sooner, so a positive bias
+	// deprioritizes the call relative to unbiased traffic). Workload SLO
+	// classes map onto biases — see internal/loadgen — spaced wider than
+	// per-request cost forecasts, so classes order strictly on server
+	// queues while task-awareness keeps operating within each class.
+	// Local applies work inline and ignores it.
+	PriorityBias int64
 }
 
 // WriteFanout selects how many replica acknowledgments a write waits for.
